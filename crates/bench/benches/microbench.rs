@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks for the per-component costs behind Tab. VII:
+//! scoring, ranking queries, SRF extraction, canonicalization / filtering,
+//! predictor fit+rank, one training epoch and one evaluation pass.
+
+use autosf::filter::DedupFilter;
+use autosf::invariance::canonical;
+use autosf::predictor::{FeatureKind, PerformancePredictor};
+use autosf::space::random_spec;
+use autosf::srf::srf;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kg_core::FilterIndex;
+use kg_datagen::{preset, Preset, Scale};
+use kg_eval::ranking::evaluate;
+use kg_linalg::SeededRng;
+use kg_models::blm::classics;
+use kg_models::LinkPredictor;
+use kg_train::{train, TrainConfig};
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut rng = SeededRng::new(1);
+    let dsub = 16; // d = 64, the paper's search dimension
+    let d = 4 * dsub;
+    let spec = classics::complex();
+    let mut h = vec![0.0f32; d];
+    let mut r = vec![0.0f32; d];
+    let mut t = vec![0.0f32; d];
+    rng.fill_normal(1.0, &mut h);
+    rng.fill_normal(1.0, &mut r);
+    rng.fill_normal(1.0, &mut t);
+    c.bench_function("blockspec_score_d64", |b| {
+        b.iter(|| black_box(spec.score(&h, &r, &t, dsub)))
+    });
+    let mut q = vec![0.0f32; d];
+    c.bench_function("blockspec_tail_query_d64", |b| {
+        b.iter(|| {
+            spec.tail_query(&h, &r, &mut q, dsub);
+            black_box(q[0])
+        })
+    });
+}
+
+fn bench_srf_and_filter(c: &mut Criterion) {
+    let mut rng = SeededRng::new(2);
+    let specs: Vec<_> = (0..32)
+        .map(|_| random_spec(6, &mut rng, 500).expect("valid f6"))
+        .collect();
+    c.bench_function("srf_f6", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % specs.len();
+            black_box(srf(&specs[i]))
+        })
+    });
+    c.bench_function("canonicalize_f6", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % specs.len();
+            black_box(canonical(&specs[i]))
+        })
+    });
+    c.bench_function("filter_admit_f6", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let mut f = DedupFilter::new();
+            i = (i + 1) % specs.len();
+            black_box(f.admit(&specs[i]))
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut rng = SeededRng::new(3);
+    let data: Vec<_> = (0..24)
+        .map(|i| {
+            let s = random_spec(6, &mut rng, 500).expect("valid");
+            (s, 0.3 + 0.01 * i as f64)
+        })
+        .collect();
+    c.bench_function("predictor_fit_srf_24pts", |b| {
+        b.iter(|| {
+            let mut p = PerformancePredictor::new(FeatureKind::Srf, 9);
+            p.fit_epochs = 100;
+            p.fit(&data);
+            black_box(p.predict(&data[0].0))
+        })
+    });
+    let mut p = PerformancePredictor::new(FeatureKind::Srf, 9);
+    p.fit(&data);
+    c.bench_function("predictor_predict_srf", |b| {
+        b.iter(|| black_box(p.predict(&data[0].0)))
+    });
+}
+
+fn bench_train_eval(c: &mut Criterion) {
+    let ds = preset(Preset::Wn18rrLike, Scale::Tiny, 4);
+    let cfg = TrainConfig { dim: 16, epochs: 1, batch_size: 256, ..Default::default() };
+    c.bench_function("train_one_epoch_tiny", |b| {
+        b.iter(|| black_box(train(&classics::simple(), &ds, &cfg)))
+    });
+    let model = train(&classics::simple(), &ds, &TrainConfig { epochs: 5, ..cfg });
+    let filter = FilterIndex::from_dataset(&ds);
+    c.bench_function("evaluate_valid_tiny", |b| {
+        b.iter(|| black_box(evaluate(&model, &ds.valid, &filter)))
+    });
+    let mut scores = vec![0.0f32; model.n_entities()];
+    c.bench_function("score_all_tails_tiny", |b| {
+        b.iter(|| {
+            model.score_tails(0, 0, &mut scores);
+            black_box(scores[0])
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_scoring, bench_srf_and_filter, bench_predictor, bench_train_eval
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 5: the searched scoring functions drawn as block matrices, one
+//! per dataset, plus their SRF signature and the nearest human baseline
+//! (by invariance-equivalence, as the paper's distinctiveness case study).
+
+use autosf::invariance::equivalent;
+use autosf::srf::srf;
+use bench::ExpCtx;
+use kg_datagen::Preset;
+use kg_models::blm::classics;
+
+fn main() {
+    let ctx = ExpCtx::new();
+    ctx.banner("Figure 5 — searched scoring functions per dataset");
+    let mut found = Vec::new();
+    for p in Preset::ALL {
+        let (sf, _) = ctx.search_best(p);
+        println!("\n--- {} (val MRR {:.3}) ---", sf.dataset, sf.valid_mrr);
+        print!("{}", sf.spec.render());
+        println!("formula: {}", sf.spec.formula());
+        let f = srf(&sf.spec);
+        let sym_bits: String = (0..11).map(|i| if f[2 * i] > 0.0 { '1' } else { '0' }).collect();
+        let skew_bits: String =
+            (0..11).map(|i| if f[2 * i + 1] > 0.0 { '1' } else { '0' }).collect();
+        println!("SRF  sym bits S1..S11:  {sym_bits}");
+        println!("SRF skew bits S1..S11:  {skew_bits}");
+        match classics::all().into_iter().find(|(_, c)| equivalent(c, &sf.spec)) {
+            Some((name, _)) => println!("equivalent to human baseline: {name}"),
+            None => println!("not equivalent to any human-designed baseline (new to the literature)"),
+        }
+        found.push(sf);
+    }
+
+    // pairwise distinctness (the paper: "they are not equivalent regarding
+    // invariance properties")
+    println!("\npairwise equivalence of searched structures:");
+    for i in 0..found.len() {
+        for j in i + 1..found.len() {
+            if found[i].spec.n_blocks() == found[j].spec.n_blocks()
+                && equivalent(&found[i].spec, &found[j].spec)
+            {
+                println!("  {} ~ {}", found[i].dataset, found[j].dataset);
+            }
+        }
+    }
+    println!("  (no output above = all distinct)");
+    ctx.write_json("fig5_specs", &found);
+}

@@ -1,0 +1,49 @@
+//! Figure 7: ablation of the filter and the predictor — full AutoSF vs
+//! no-filter vs no-predictor vs plain greedy, best-so-far curves at equal
+//! budget.
+
+use autosf::{GreedyConfig, GreedySearch, SearchDriver};
+use bench::ExpCtx;
+use kg_datagen::Preset;
+use kg_eval::Curve;
+
+fn main() {
+    let ctx = ExpCtx::new();
+    ctx.banner("Figure 7 — filter/predictor ablation");
+    let mut curves: Vec<Curve> = Vec::new();
+
+    for p in [Preset::Wn18rrLike, Preset::Fb15k237Like] {
+        let ds = ctx.dataset(p);
+        println!("\n--- {} ---", ds.name);
+        let variants: [(&str, bool, bool); 4] = [
+            ("AutoSF", true, true),
+            ("no-filter", false, true),
+            ("no-predictor", true, false),
+            ("greedy", false, false),
+        ];
+        for (label, use_filter, use_predictor) in variants {
+            let mut driver = SearchDriver::new(&ds, ctx.search_train_cfg(), ctx.threads);
+            let gcfg = GreedyConfig {
+                use_filter,
+                use_predictor,
+                seed: ctx.seed,
+                ..ctx.greedy_cfg()
+            };
+            GreedySearch::new(gcfg).run(&mut driver);
+            let curve = driver.trace.best_so_far_curve(&format!("{}/{}", ds.name, label));
+            println!(
+                "{:<14} best {:.3} after {} models",
+                label,
+                curve.final_y(),
+                driver.models_trained()
+            );
+            print!("{}", curve.to_text());
+            curves.push(curve);
+        }
+    }
+    ctx.write_json("fig7_curves", &curves);
+    println!(
+        "\nreproduction target (paper Fig. 7): removing either component\n\
+         degrades the any-time curve; full AutoSF is the most efficient."
+    );
+}

@@ -1,0 +1,44 @@
+//! Extra ablation (beyond the paper, justified by Sec. II-A's loss
+//! discussion): multi-class full-softmax loss vs negative-sampling logistic
+//! loss for the same structures on the same data.
+
+use bench::ExpCtx;
+use kg_core::FilterIndex;
+use kg_datagen::Preset;
+use kg_eval::ranking::evaluate_parallel;
+use kg_models::blm::classics;
+use kg_train::{train, LossKind, TrainConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    model: String,
+    loss: String,
+    mrr: f64,
+}
+
+fn main() {
+    let ctx = ExpCtx::new();
+    ctx.banner("Loss ablation — multi-class vs negative sampling");
+    let mut rows = Vec::new();
+    for p in [Preset::Wn18rrLike, Preset::Fb15k237Like] {
+        let ds = ctx.dataset(p);
+        let filter = FilterIndex::from_dataset(&ds);
+        println!("\n--- {} ---", ds.name);
+        println!("{:<12} {:>14} {:>14}", "model", "multi-class", "neg-sampling");
+        for (name, spec) in classics::all() {
+            let base = ctx.final_train_cfg();
+            let mc_cfg = TrainConfig { loss: LossKind::MultiClass, ..base };
+            let ns_cfg =
+                TrainConfig { loss: LossKind::NegSampling { m: 8 }, lr: 0.1, ..base };
+            let mc = evaluate_parallel(&train(&spec, &ds, &mc_cfg), &ds.test, &filter, ctx.threads);
+            let ns = evaluate_parallel(&train(&spec, &ds, &ns_cfg), &ds.test, &filter, ctx.threads);
+            println!("{:<12} {:>14.3} {:>14.3}", name, mc.mrr, ns.mrr);
+            rows.push(Row { dataset: ds.name.clone(), model: name.into(), loss: "multi-class".into(), mrr: mc.mrr });
+            rows.push(Row { dataset: ds.name.clone(), model: name.into(), loss: "neg-sampling".into(), mrr: ns.mrr });
+        }
+    }
+    ctx.write_json("loss_ablation", &rows);
+    println!("\nexpectation (Lacroix et al., adopted in Sec. II-A): multi-class ≥ neg-sampling.");
+}

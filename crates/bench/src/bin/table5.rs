@@ -1,0 +1,62 @@
+//! Table V: cross-dataset transfer — the structure searched on dataset A
+//! (row) trained and tested on dataset B (column). The searched SFs are
+//! KG-dependent, so the diagonal should dominate each column.
+
+use bench::zoo::eval_blm;
+use bench::ExpCtx;
+use kg_core::FilterIndex;
+use kg_datagen::Preset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    searched_on: String,
+    evaluated_on: String,
+    mrr: f64,
+}
+
+fn main() {
+    let ctx = ExpCtx::new();
+    ctx.banner("Table V — transfer of searched SFs across datasets");
+
+    let searched: Vec<_> = Preset::ALL.iter().map(|&p| ctx.search_best(p).0).collect();
+    let datasets: Vec<_> = Preset::ALL.iter().map(|&p| ctx.dataset(p)).collect();
+    let cfg = ctx.final_train_cfg();
+
+    print!("{:<16}", "searched\\eval");
+    for ds in &datasets {
+        print!(" {:>13}", ds.name);
+    }
+    println!();
+
+    let mut cells = Vec::new();
+    for sf in &searched {
+        print!("{:<16}", sf.dataset);
+        for ds in &datasets {
+            let filter = FilterIndex::from_dataset(ds);
+            let m = eval_blm(&sf.spec, ds, &cfg, &filter, ctx.threads);
+            print!(" {:>13.3}", m.mrr);
+            cells.push(Cell {
+                searched_on: sf.dataset.clone(),
+                evaluated_on: ds.name.clone(),
+                mrr: m.mrr,
+            });
+        }
+        println!();
+    }
+    ctx.write_json("table5", &cells);
+
+    // diagonal-dominance summary
+    let mut diag_wins = 0usize;
+    for (j, ds) in datasets.iter().enumerate() {
+        let col: Vec<&Cell> = cells.iter().filter(|c| c.evaluated_on == ds.name).collect();
+        let best = col.iter().max_by(|a, b| a.mrr.total_cmp(&b.mrr)).expect("non-empty");
+        if best.searched_on == datasets[j].name {
+            diag_wins += 1;
+        }
+    }
+    println!(
+        "\ndiagonal best in {diag_wins}/5 columns \
+         (paper: the SF searched on a dataset performs best there)"
+    );
+}

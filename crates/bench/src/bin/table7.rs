@@ -1,0 +1,60 @@
+//! Table VII: running time per greedy stage, broken into the paper's
+//! components — filtering (steps 2-6), predictor (steps 7, 10-11), and
+//! train+evaluate (steps 8-9). The headline claim: filter and predictor
+//! cost a rounding error next to model training.
+
+use autosf::{GreedyConfig, GreedySearch, SearchDriver};
+use bench::ExpCtx;
+use kg_datagen::Preset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    stage_b: usize,
+    filter_secs: f64,
+    predictor_secs: f64,
+    train_eval_secs: f64,
+}
+
+fn main() {
+    let ctx = ExpCtx::new();
+    ctx.banner("Table VII — running time per greedy stage");
+    let mut rows = Vec::new();
+    println!(
+        "{:<16} {:>4} {:>12} {:>12} {:>12}",
+        "dataset", "b", "filter(s)", "predictor(s)", "train+eval(s)"
+    );
+    for p in Preset::ALL {
+        let ds = ctx.dataset(p);
+        let mut driver = SearchDriver::new(&ds, ctx.search_train_cfg(), ctx.threads);
+        let gcfg = GreedyConfig { seed: ctx.seed, ..ctx.greedy_cfg() };
+        let outcome = GreedySearch::new(gcfg).run(&mut driver);
+        for t in &outcome.timings {
+            println!(
+                "{:<16} {:>4} {:>12.3} {:>12.3} {:>12.3}",
+                ds.name, t.b, t.filter_secs, t.predictor_secs, t.train_eval_secs
+            );
+            rows.push(Row {
+                dataset: ds.name.clone(),
+                stage_b: t.b,
+                filter_secs: t.filter_secs,
+                predictor_secs: t.predictor_secs,
+                train_eval_secs: t.train_eval_secs,
+            });
+        }
+    }
+    ctx.write_json("table7", &rows);
+
+    let totals = rows.iter().fold((0.0, 0.0, 0.0), |acc, r| {
+        (acc.0 + r.filter_secs, acc.1 + r.predictor_secs, acc.2 + r.train_eval_secs)
+    });
+    println!(
+        "\ntotals: filter {:.2}s, predictor {:.2}s, train+eval {:.2}s \
+         ({:.1}% of time is training — the paper's Tab. VII shows the same shape)",
+        totals.0,
+        totals.1,
+        totals.2,
+        100.0 * totals.2 / (totals.0 + totals.1 + totals.2).max(1e-9)
+    );
+}

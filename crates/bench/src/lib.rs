@@ -1,0 +1,14 @@
+//! Shared experiment harness.
+//!
+//! Every paper table/figure has a binary in `src/bin/` (see DESIGN.md §4);
+//! this library holds what they share: the scale-aware experiment context,
+//! the searched-structure disk cache (so `table5`/`fig4`/`fig5` reuse what
+//! `table4` found instead of re-searching), the baseline model zoo, and
+//! JSON/report output.
+//!
+//! Scale is controlled by `SCALE=tiny|quick|full` (default `quick`).
+
+pub mod ctx;
+pub mod zoo;
+
+pub use ctx::ExpCtx;

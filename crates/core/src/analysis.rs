@@ -1,0 +1,116 @@
+//! Interpretation of searched structures — the machinery behind the
+//! paper's case study (Sec. V-B2): which relation patterns can a structure
+//! express, and is it genuinely new or a disguise of a known baseline?
+
+use crate::invariance::equivalent;
+use crate::srf::{srf, SRF_DIM};
+use kg_models::blm::classics;
+use kg_models::BlockSpec;
+use serde::{Deserialize, Serialize};
+
+/// What a structure can express and how it relates to the literature.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Number of non-zero blocks.
+    pub n_blocks: usize,
+    /// Can `g(r)` be symmetric under some assignment (handles symmetric
+    /// relations, Proposition 1)?
+    pub can_be_symmetric: bool,
+    /// Can `g(r)` be skew-symmetric (handles anti-symmetric relations)?
+    pub can_be_skew_symmetric: bool,
+    /// Satisfies the full expressiveness precondition (C1).
+    pub expressive: bool,
+    /// The 22-dim SRF signature.
+    pub srf: [f32; SRF_DIM],
+    /// Name of the invariance-equivalent human baseline, when one exists.
+    pub equivalent_baseline: Option<String>,
+    /// The paper-style formula.
+    pub formula: String,
+}
+
+/// Explain a structure.
+pub fn explain(spec: &BlockSpec) -> Explanation {
+    let f = srf(spec);
+    let can_sym = (0..11).any(|i| f[2 * i] == 1.0);
+    let can_skew = (0..11).any(|i| f[2 * i + 1] == 1.0);
+    let equivalent_baseline = classics::all()
+        .into_iter()
+        .find(|(_, c)| c.n_blocks() == spec.n_blocks() && equivalent(c, spec))
+        .map(|(name, _)| name.to_string());
+    Explanation {
+        n_blocks: spec.n_blocks(),
+        can_be_symmetric: can_sym,
+        can_be_skew_symmetric: can_skew,
+        expressive: can_sym && can_skew,
+        srf: f,
+        equivalent_baseline,
+        formula: spec.formula(),
+    }
+}
+
+impl Explanation {
+    /// Multi-line human-readable report.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("structure: {} ({} blocks)\n", self.formula, self.n_blocks));
+        s.push_str(&format!(
+            "expressiveness: symmetric={} skew-symmetric={} (C1 {})\n",
+            self.can_be_symmetric,
+            self.can_be_skew_symmetric,
+            if self.expressive { "satisfied" } else { "NOT satisfied" }
+        ));
+        match &self.equivalent_baseline {
+            Some(name) => s.push_str(&format!("equivalent to the human-designed {name}\n")),
+            None => s.push_str("new to the literature (no equivalent human baseline)\n"),
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariance::Transform;
+
+    #[test]
+    fn distmult_explanation() {
+        let e = explain(&classics::distmult());
+        assert!(e.can_be_symmetric);
+        assert!(!e.can_be_skew_symmetric);
+        assert!(!e.expressive);
+        assert_eq!(e.equivalent_baseline.as_deref(), Some("DistMult"));
+        assert!(e.report().contains("NOT satisfied"));
+    }
+
+    #[test]
+    fn complex_explanation() {
+        let e = explain(&classics::complex());
+        assert!(e.expressive);
+        assert_eq!(e.equivalent_baseline.as_deref(), Some("ComplEx"));
+    }
+
+    #[test]
+    fn disguised_simple_is_recognised() {
+        let t = Transform {
+            ent_perm: [3, 1, 0, 2],
+            rel_perm: [2, 0, 3, 1],
+            flips: [true, true, false, false],
+        };
+        let disguised = t.apply(&classics::simple());
+        let e = explain(&disguised);
+        assert_eq!(e.equivalent_baseline.as_deref(), Some("SimplE"));
+    }
+
+    #[test]
+    fn novel_structure_reports_new() {
+        // DistMult plus off-diagonal couplings — not any of the four
+        let spec = classics::distmult()
+            .extended(kg_models::Block::new(0, 2, 1, 1))
+            .expect("free cell")
+            .extended(kg_models::Block::new(1, 3, 0, -1))
+            .expect("free cell");
+        let e = explain(&spec);
+        assert_eq!(e.equivalent_baseline, None);
+        assert!(e.report().contains("new to the literature"));
+    }
+}

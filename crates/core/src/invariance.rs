@@ -1,0 +1,313 @@
+//! The invariance group of scoring-function structures (Sec. IV-A2).
+//!
+//! Three families of transforms leave a structure's trainable semantics
+//! unchanged (Fig. 2d-f):
+//!
+//! 1. simultaneously permuting head and tail components (h and t share
+//!    entity embeddings, so the permutation is applied to both `hc` and
+//!    `tc`);
+//! 2. permuting relation components;
+//! 3. flipping the sign of any relation component (flips the sign of every
+//!    block using it).
+//!
+//! That is `4! × 4! × 2⁴ = 9,216` transforms. [`canonical`] maps a
+//! structure to the lexicographically-least member of its orbit, giving the
+//! equality test the filter uses to avoid training equivalent structures.
+
+use kg_models::{Block, BlockSpec};
+
+/// All 24 permutations of `{0, 1, 2, 3}`.
+pub const PERMS: [[u8; 4]; 24] = {
+    let mut out = [[0u8; 4]; 24];
+    let mut idx = 0;
+    let mut a = 0u8;
+    while a < 4 {
+        let mut b = 0u8;
+        while b < 4 {
+            let mut c = 0u8;
+            while c < 4 {
+                let mut d = 0u8;
+                while d < 4 {
+                    if a != b && a != c && a != d && b != c && b != d && c != d {
+                        out[idx] = [a, b, c, d];
+                        idx += 1;
+                    }
+                    d += 1;
+                }
+                c += 1;
+            }
+            b += 1;
+        }
+        a += 1;
+    }
+    out
+};
+
+/// One group element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transform {
+    /// Permutation applied to entity components (both `hc` and `tc`).
+    pub ent_perm: [u8; 4],
+    /// Permutation applied to relation components.
+    pub rel_perm: [u8; 4],
+    /// Sign flip per relation component (`true` = flip).
+    pub flips: [bool; 4],
+}
+
+impl Transform {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Transform { ent_perm: [0, 1, 2, 3], rel_perm: [0, 1, 2, 3], flips: [false; 4] }
+    }
+
+    /// Apply to one block.
+    pub fn apply_block(&self, b: Block) -> Block {
+        let sign = if self.flips[b.rc as usize] { -b.sign } else { b.sign };
+        Block {
+            hc: self.ent_perm[b.hc as usize],
+            rc: self.rel_perm[b.rc as usize],
+            tc: self.ent_perm[b.tc as usize],
+            sign,
+        }
+    }
+
+    /// Apply to a whole structure.
+    pub fn apply(&self, spec: &BlockSpec) -> BlockSpec {
+        BlockSpec::new(spec.blocks().iter().map(|&b| self.apply_block(b)).collect())
+    }
+
+    /// Group composition: `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &Transform) -> Transform {
+        let mut ent_perm = [0u8; 4];
+        let mut rel_perm = [0u8; 4];
+        let mut flips = [false; 4];
+        for i in 0..4 {
+            ent_perm[i] = self.ent_perm[other.ent_perm[i] as usize];
+            rel_perm[i] = self.rel_perm[other.rel_perm[i] as usize];
+            // other maps component i to other.rel_perm[i], flipping by
+            // other.flips[i]; self then flips by self.flips[target].
+            flips[i] = other.flips[i] ^ self.flips[other.rel_perm[i] as usize];
+        }
+        Transform { ent_perm, rel_perm, flips }
+    }
+
+    /// Group inverse.
+    pub fn inverse(&self) -> Transform {
+        let mut ent_perm = [0u8; 4];
+        let mut rel_perm = [0u8; 4];
+        let mut flips = [false; 4];
+        for i in 0..4 {
+            ent_perm[self.ent_perm[i] as usize] = i as u8;
+            rel_perm[self.rel_perm[i] as usize] = i as u8;
+        }
+        for i in 0..4 {
+            flips[i] = self.flips[rel_perm[i] as usize];
+        }
+        Transform { ent_perm, rel_perm, flips }
+    }
+
+    /// Enumerate the whole group (9,216 elements).
+    pub fn all() -> impl Iterator<Item = Transform> {
+        PERMS.iter().flat_map(move |&ent_perm| {
+            PERMS.iter().flat_map(move |&rel_perm| {
+                (0..16u8).map(move |mask| Transform {
+                    ent_perm,
+                    rel_perm,
+                    flips: [
+                        mask & 1 != 0,
+                        mask & 2 != 0,
+                        mask & 4 != 0,
+                        mask & 8 != 0,
+                    ],
+                })
+            })
+        })
+    }
+}
+
+/// Canonical signature of a structure's orbit: the lexicographically-least
+/// block list over all 9,216 transforms. Two structures are equivalent iff
+/// their canonical forms are equal.
+pub fn canonical(spec: &BlockSpec) -> BlockSpec {
+    let mut best: Option<Vec<Block>> = None;
+    for t in Transform::all() {
+        let mut blocks: Vec<Block> = spec.blocks().iter().map(|&b| t.apply_block(b)).collect();
+        blocks.sort_unstable();
+        match &best {
+            Some(cur) if blocks >= *cur => {}
+            _ => best = Some(blocks),
+        }
+    }
+    BlockSpec::new(best.expect("group is non-empty"))
+}
+
+/// Are two structures in the same orbit?
+pub fn equivalent(a: &BlockSpec, b: &BlockSpec) -> bool {
+    if a.n_blocks() != b.n_blocks() {
+        return false;
+    }
+    canonical(a) == canonical(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_linalg::SeededRng;
+    use kg_models::blm::classics;
+
+    fn random_transform(rng: &mut SeededRng) -> Transform {
+        Transform {
+            ent_perm: PERMS[rng.below(24)],
+            rel_perm: PERMS[rng.below(24)],
+            flips: [rng.coin(), rng.coin(), rng.coin(), rng.coin()],
+        }
+    }
+
+    #[test]
+    fn perms_are_distinct_and_complete() {
+        let mut set = std::collections::HashSet::new();
+        for p in PERMS {
+            assert!(set.insert(p));
+            let mut sorted = p;
+            sorted.sort_unstable();
+            assert_eq!(sorted, [0, 1, 2, 3]);
+        }
+        assert_eq!(set.len(), 24);
+    }
+
+    #[test]
+    fn group_size_is_9216() {
+        assert_eq!(Transform::all().count(), 24 * 24 * 16);
+    }
+
+    #[test]
+    fn identity_fixes_everything() {
+        let id = Transform::identity();
+        for (_, spec) in classics::all() {
+            assert_eq!(id.apply(&spec), spec);
+        }
+    }
+
+    #[test]
+    fn inverse_undoes_apply() {
+        let mut rng = SeededRng::new(61);
+        let spec = classics::complex();
+        for _ in 0..50 {
+            let t = random_transform(&mut rng);
+            let back = t.inverse().apply(&t.apply(&spec));
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let mut rng = SeededRng::new(62);
+        let spec = classics::analogy();
+        for _ in 0..50 {
+            let t1 = random_transform(&mut rng);
+            let t2 = random_transform(&mut rng);
+            let seq = t1.apply(&t2.apply(&spec));
+            let comp = t1.compose(&t2).apply(&spec);
+            assert_eq!(seq, comp);
+        }
+    }
+
+    #[test]
+    fn canonical_is_orbit_invariant() {
+        let mut rng = SeededRng::new(63);
+        for (_, spec) in classics::all() {
+            let c = canonical(&spec);
+            for _ in 0..20 {
+                let t = random_transform(&mut rng);
+                assert_eq!(canonical(&t.apply(&spec)), c);
+            }
+        }
+    }
+
+    #[test]
+    fn equivalent_detects_permuted_simple() {
+        // Fig. 2d: permute entity components of SimplE
+        let spec = classics::simple();
+        let t = Transform {
+            ent_perm: [0, 2, 1, 3],
+            rel_perm: [0, 1, 2, 3],
+            flips: [false; 4],
+        };
+        let permuted = t.apply(&spec);
+        assert_ne!(permuted, spec, "the raw block lists differ");
+        assert!(equivalent(&permuted, &spec), "but they are in the same orbit");
+    }
+
+    #[test]
+    fn flip_signs_is_equivalent() {
+        // Fig. 2f: flip the signs of r2 and r4
+        let spec = classics::complex();
+        let t = Transform {
+            ent_perm: [0, 1, 2, 3],
+            rel_perm: [0, 1, 2, 3],
+            flips: [false, true, false, true],
+        };
+        assert!(equivalent(&t.apply(&spec), &spec));
+    }
+
+    #[test]
+    fn different_classics_are_not_equivalent() {
+        let models = classics::all();
+        for i in 0..models.len() {
+            for j in i + 1..models.len() {
+                assert!(
+                    !equivalent(&models[i].1, &models[j].1),
+                    "{} ~ {}",
+                    models[i].0,
+                    models[j].0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn semantic_invariance_scores_match_after_transform() {
+        // h>g1(r)t == h̄>g2(r̄)t̄ when embeddings are permuted/flipped
+        // consistently (the training-equivalence argument of Sec. IV-A2).
+        let mut rng = SeededRng::new(64);
+        let spec = classics::analogy();
+        let t = random_transform(&mut rng);
+        let transformed = t.apply(&spec);
+        let dsub = 3;
+        let d = 4 * dsub;
+        let mut h = vec![0.0f32; d];
+        let mut r = vec![0.0f32; d];
+        let mut tt = vec![0.0f32; d];
+        rng.fill_normal(1.0, &mut h);
+        rng.fill_normal(1.0, &mut r);
+        rng.fill_normal(1.0, &mut tt);
+        // build the transformed embeddings: component c of the new vector
+        // is component c' of the old where perm[c'] = c; signs flip for
+        // flipped relation components.
+        // flips are indexed by the *old* relation component (the transform
+        // flips block signs by `flips[old rc]`), so the compensating
+        // embedding flip also keys on the old component index.
+        let permute = |v: &[f32], perm: [u8; 4], flips: Option<[bool; 4]>| {
+            let mut out = vec![0.0f32; d];
+            for c_old in 0..4usize {
+                let c_new = perm[c_old] as usize;
+                for i in 0..dsub {
+                    let mut val = v[c_old * dsub + i];
+                    if let Some(f) = flips {
+                        if f[c_old] {
+                            val = -val;
+                        }
+                    }
+                    out[c_new * dsub + i] = val;
+                }
+            }
+            out
+        };
+        let h2 = permute(&h, t.ent_perm, None);
+        let t2 = permute(&tt, t.ent_perm, None);
+        let r2 = permute(&r, t.rel_perm, Some(t.flips));
+        let s1 = spec.score(&h, &r, &tt, dsub);
+        let s2 = transformed.score(&h2, &r2, &t2, dsub);
+        assert!((s1 - s2).abs() < 1e-3, "scores diverge: {s1} vs {s2}");
+    }
+}

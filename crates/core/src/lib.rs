@@ -1,0 +1,47 @@
+//! AutoSF: automated search for bilinear scoring-function structures
+//! (Zhang, Yao, Dai, Chen — ICDE 2020).
+//!
+//! Given a knowledge graph, AutoSF searches the space of unified bilinear
+//! structures ([`kg_models::BlockSpec`], Definition 2) with a progressive
+//! greedy algorithm (Alg. 2) whose cost is kept tractable by two
+//! domain-specific components:
+//!
+//! * the **filter** ([`filter`]) enforces structural constraint (C2) and
+//!   discards candidates equivalent under the invariance group
+//!   ([`invariance`]: component permutations × sign flips, 9,216 transforms
+//!   — Sec. IV-A2);
+//! * the **predictor** ([`predictor`]) ranks surviving candidates by
+//!   symmetry-related features ([`srf`], Appendix C) so only the most
+//!   promising `K2` are actually trained (Sec. IV-B3).
+//!
+//! [`search`] wires structure evaluation (train on `S_tra`, score by
+//! validation MRR — the bi-level objective of Definition 1) and [`greedy`]
+//! runs Alg. 2 on top. [`baselines`] holds the comparison searchers of
+//! Fig. 6/7: random, TPE ("Bayes"), and the ablated greedy variants.
+//!
+//! ```no_run
+//! use autosf::{GreedyConfig, GreedySearch, SearchDriver};
+//! use kg_datagen::{preset, Preset, Scale};
+//! use kg_train::TrainConfig;
+//!
+//! let ds = preset(Preset::Wn18rrLike, Scale::Tiny, 42);
+//! let mut driver = SearchDriver::new(&ds, TrainConfig::default(), 4);
+//! let outcome = GreedySearch::new(GreedyConfig::default()).run(&mut driver);
+//! println!("best SF ({:.3} MRR):\n{}", outcome.best_mrr, outcome.best_spec.render());
+//! ```
+
+// Index loops mirror the paper's subscript notation in numeric kernels.
+#![allow(clippy::needless_range_loop)]
+pub mod analysis;
+pub mod baselines;
+pub mod filter;
+pub mod greedy;
+pub mod invariance;
+pub mod predictor;
+pub mod search;
+pub mod space;
+pub mod srf;
+
+pub use greedy::{GreedyConfig, GreedySearch};
+pub use predictor::{FeatureKind, PerformancePredictor};
+pub use search::{SearchDriver, SearchRecord, SearchTrace};

@@ -1,0 +1,174 @@
+//! The performance predictor (Sec. IV-B3).
+//!
+//! A tiny regression network maps structure features to predicted
+//! validation MRR. It only has to *rank* candidates (Principle (P1)) and
+//! must learn from the few dozen structures trained so far (Principle
+//! (P2)) — hence the 22-2-1 network over [`crate::srf`] features. The
+//! one-hot alternative (96-8-1, the PNAS-style encoding the paper compares
+//! against in Fig. 8) is provided for that experiment.
+
+use crate::srf::{srf, SRF_DIM};
+use kg_linalg::{Activation, Adam, Mlp, SeededRng};
+use kg_models::BlockSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which feature encoding the predictor uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// 22-dim symmetry-related features, 22-2-1 network (the paper's).
+    Srf,
+    /// 96-dim one-hot cell encoding, 96-8-1 network (Fig. 8 baseline).
+    OneHot,
+}
+
+/// One-hot feature dimension: 16 cells × (sign⁺, sign⁻, r1..r4).
+pub const ONEHOT_DIM: usize = 96;
+
+/// Encode a structure as the one-hot feature vector.
+pub fn one_hot(spec: &BlockSpec) -> [f32; ONEHOT_DIM] {
+    let mut f = [0.0f32; ONEHOT_DIM];
+    for b in spec.blocks() {
+        let cell = (b.hc as usize) * 4 + (b.tc as usize);
+        let base = cell * 6;
+        if b.sign > 0 {
+            f[base] = 1.0;
+        } else {
+            f[base + 1] = 1.0;
+        }
+        f[base + 2 + b.rc as usize] = 1.0;
+    }
+    f
+}
+
+/// The trainable predictor.
+pub struct PerformancePredictor {
+    kind: FeatureKind,
+    mlp: Mlp,
+    seed: u64,
+    /// Full-batch Adam epochs per [`PerformancePredictor::fit`].
+    pub fit_epochs: usize,
+}
+
+impl PerformancePredictor {
+    /// Fresh predictor of the given kind.
+    pub fn new(kind: FeatureKind, seed: u64) -> Self {
+        let mut rng = SeededRng::new(seed);
+        let mlp = Self::fresh_mlp(kind, &mut rng);
+        PerformancePredictor { kind, mlp, seed, fit_epochs: 400 }
+    }
+
+    fn fresh_mlp(kind: FeatureKind, rng: &mut SeededRng) -> Mlp {
+        let sizes: &[usize] = match kind {
+            FeatureKind::Srf => &[SRF_DIM, 2, 1],
+            FeatureKind::OneHot => &[ONEHOT_DIM, 8, 1],
+        };
+        Mlp::new(sizes, Activation::Tanh, Activation::Identity, rng)
+    }
+
+    /// The feature encoding this predictor consumes.
+    pub fn features(&self, spec: &BlockSpec) -> Vec<f32> {
+        match self.kind {
+            FeatureKind::Srf => srf(spec).to_vec(),
+            FeatureKind::OneHot => one_hot(spec).to_vec(),
+        }
+    }
+
+    /// Refit from scratch on (structure, observed MRR) pairs. Re-training
+    /// from scratch avoids drift on these tiny data sets and costs
+    /// milliseconds.
+    pub fn fit(&mut self, data: &[(BlockSpec, f64)]) {
+        if data.is_empty() {
+            return;
+        }
+        let mut rng = SeededRng::new(self.seed ^ 0x9D2C_5680_ACE1_2345);
+        self.mlp = Self::fresh_mlp(self.kind, &mut rng);
+        let inputs: Vec<Vec<f32>> = data.iter().map(|(s, _)| self.features(s)).collect();
+        let targets: Vec<f32> = data.iter().map(|(_, y)| *y as f32).collect();
+        let mut opt = Adam::new(self.mlp.param_count(), 0.02);
+        for _ in 0..self.fit_epochs {
+            opt.tick();
+            self.mlp.mse_step(&inputs, &targets, &mut opt, 1e-4);
+        }
+    }
+
+    /// Predicted score for one structure.
+    pub fn predict(&self, spec: &BlockSpec) -> f32 {
+        self.mlp.forward(&self.features(spec))[0]
+    }
+
+    /// Indices of `specs` sorted by predicted score, best first.
+    pub fn rank(&self, specs: &[BlockSpec]) -> Vec<usize> {
+        let scores: Vec<f32> = specs.iter().map(|s| self.predict(s)).collect();
+        let mut idx: Vec<usize> = (0..specs.len()).collect();
+        idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_models::blm::classics;
+
+    #[test]
+    fn one_hot_marks_each_block() {
+        let f = one_hot(&classics::distmult());
+        // diagonal cells 0,5,10,15; cell c occupies dims 6c..6c+6
+        for (c, rc) in [(0usize, 0usize), (5, 1), (10, 2), (15, 3)] {
+            assert_eq!(f[6 * c], 1.0, "sign+ of cell {c}");
+            assert_eq!(f[6 * c + 2 + rc], 1.0, "r{} of cell {c}", rc + 1);
+        }
+        assert_eq!(f.iter().filter(|&&v| v != 0.0).count(), 8);
+    }
+
+    #[test]
+    fn predictor_learns_to_rank_srf_separable_data() {
+        // targets depend on the SRF "can be skew" bits — learnable from SRF
+        let mut pred = PerformancePredictor::new(FeatureKind::Srf, 3);
+        let specs: Vec<BlockSpec> =
+            classics::all().into_iter().map(|(_, s)| s).collect();
+        let data: Vec<(BlockSpec, f64)> = specs
+            .iter()
+            .map(|s| {
+                let y = if crate::srf::satisfies_c1(s) { 0.9 } else { 0.2 };
+                (s.clone(), y)
+            })
+            .collect();
+        pred.fit(&data);
+        // DistMult (no C1) must rank below the others
+        let ranked = pred.rank(&specs);
+        assert_ne!(ranked[0], 0, "DistMult (index 0) should not rank first");
+        assert_eq!(*ranked.last().unwrap(), 0, "DistMult should rank last");
+    }
+
+    #[test]
+    fn predictions_correlate_with_targets_after_fit() {
+        let mut pred = PerformancePredictor::new(FeatureKind::OneHot, 4);
+        let specs: Vec<BlockSpec> = classics::all().into_iter().map(|(_, s)| s).collect();
+        let targets = [0.1f64, 0.9, 0.7, 0.5];
+        let data: Vec<(BlockSpec, f64)> =
+            specs.iter().cloned().zip(targets.iter().copied()).collect();
+        pred.fit(&data);
+        let preds: Vec<f32> = specs.iter().map(|s| pred.predict(s)).collect();
+        let tgt: Vec<f32> = targets.iter().map(|&t| t as f32).collect();
+        let rho = kg_linalg::vecops::spearman(&preds, &tgt);
+        assert!(rho > 0.7, "rank correlation {rho}");
+    }
+
+    #[test]
+    fn fit_on_empty_is_noop() {
+        let mut pred = PerformancePredictor::new(FeatureKind::Srf, 5);
+        let before = pred.predict(&classics::simple());
+        pred.fit(&[]);
+        assert_eq!(pred.predict(&classics::simple()), before);
+    }
+
+    #[test]
+    fn rank_returns_permutation() {
+        let pred = PerformancePredictor::new(FeatureKind::Srf, 6);
+        let specs: Vec<BlockSpec> = classics::all().into_iter().map(|(_, s)| s).collect();
+        let mut r = pred.rank(&specs);
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,117 @@
+//! A small Fx-style (Firefox/rustc) hasher.
+//!
+//! The filtered-ranking index performs one hash lookup per candidate entity
+//! per test triple; std's default SipHash is the dominant cost there. The
+//! performance guide recommends `rustc-hash`; to stay within the approved
+//! dependency set we re-implement the same multiply-rotate scheme (it is
+//! ~30 lines) and expose `FxHashMap`/`FxHashSet` aliases.
+//!
+//! Not HashDoS-resistant — all keys come from our own generators.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: a single u64 folded with multiply-rotate per word.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u32), Vec<u32>> = FxHashMap::default();
+        m.insert((1, 2), vec![3]);
+        m.entry((1, 2)).or_default().push(4);
+        assert_eq!(m.get(&(1, 2)), Some(&vec![3, 4]));
+        assert_eq!(m.get(&(2, 1)), None);
+    }
+
+    #[test]
+    fn set_distinguishes_keys() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..10_000u64 {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 10_000);
+        assert!(s.contains(&42));
+        assert!(!s.contains(&10_000));
+    }
+
+    #[test]
+    fn hasher_is_deterministic() {
+        let h = |x: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(x);
+            hasher.finish()
+        };
+        assert_eq!(h(7), h(7));
+        assert_ne!(h(7), h(8));
+    }
+
+    #[test]
+    fn write_handles_unaligned_tails() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 3, 0, 0, 0, 0, 0, 9]);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

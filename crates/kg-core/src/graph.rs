@@ -1,0 +1,160 @@
+//! The [`Dataset`] type: entity/relation vocabularies plus the
+//! train/valid/test triple splits used by the bi-level AutoSF objective
+//! (Definition 1: parameters fit on `S_tra`, structures scored on `S_val`).
+
+use crate::ids::{EntityId, RelationId};
+use crate::triple::{self, Triple};
+use serde::{Deserialize, Serialize};
+
+/// A knowledge-graph dataset with its standard three-way split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable name (e.g. "wn18-like").
+    pub name: String,
+    /// Number of entities; ids are dense in `[0, n_entities)`.
+    pub n_entities: usize,
+    /// Number of relations; ids are dense in `[0, n_relations)`.
+    pub n_relations: usize,
+    /// Training triples (`S_tra`).
+    pub train: Vec<Triple>,
+    /// Validation triples (`S_val`) — the search signal in AutoSF.
+    pub valid: Vec<Triple>,
+    /// Test triples, only touched by final evaluation.
+    pub test: Vec<Triple>,
+}
+
+impl Dataset {
+    /// Build a dataset, inferring vocabulary sizes from the triples.
+    ///
+    /// # Panics
+    /// Panics if any split references an entity/relation id beyond the
+    /// inferred dense bound of the union (which cannot happen when ids are
+    /// dense, but guards against caller mistakes).
+    pub fn new(
+        name: impl Into<String>,
+        train: Vec<Triple>,
+        valid: Vec<Triple>,
+        test: Vec<Triple>,
+    ) -> Self {
+        let n_entities = triple::entity_bound(&train)
+            .max(triple::entity_bound(&valid))
+            .max(triple::entity_bound(&test));
+        let n_relations = triple::relation_bound(&train)
+            .max(triple::relation_bound(&valid))
+            .max(triple::relation_bound(&test));
+        Dataset { name: name.into(), n_entities, n_relations, train, valid, test }
+    }
+
+    /// Build with explicit vocabulary sizes (allows entities that only
+    /// appear as negatives).
+    pub fn with_vocab(
+        name: impl Into<String>,
+        n_entities: usize,
+        n_relations: usize,
+        train: Vec<Triple>,
+        valid: Vec<Triple>,
+        test: Vec<Triple>,
+    ) -> Self {
+        let ds = Dataset { name: name.into(), n_entities, n_relations, train, valid, test };
+        ds.validate().expect("triples must stay within the declared vocabulary");
+        ds
+    }
+
+    /// All triples across the three splits, in split order.
+    pub fn all_triples(&self) -> Vec<Triple> {
+        let mut out = Vec::with_capacity(self.train.len() + self.valid.len() + self.test.len());
+        out.extend_from_slice(&self.train);
+        out.extend_from_slice(&self.valid);
+        out.extend_from_slice(&self.test);
+        out
+    }
+
+    /// Total triple count.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.valid.len() + self.test.len()
+    }
+
+    /// True when all splits are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Check id bounds of every triple against the vocabulary.
+    pub fn validate(&self) -> Result<(), String> {
+        for (split, ts) in
+            [("train", &self.train), ("valid", &self.valid), ("test", &self.test)]
+        {
+            for t in ts.iter() {
+                if t.h.idx() >= self.n_entities || t.t.idx() >= self.n_entities {
+                    return Err(format!("{split}: entity id out of range in {t}"));
+                }
+                if t.r.idx() >= self.n_relations {
+                    return Err(format!("{split}: relation id out of range in {t}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterator over all entity ids.
+    pub fn entities(&self) -> impl Iterator<Item = EntityId> {
+        (0..self.n_entities as u32).map(EntityId)
+    }
+
+    /// Iterator over all relation ids.
+    pub fn relations(&self) -> impl Iterator<Item = RelationId> {
+        (0..self.n_relations as u32).map(RelationId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2)],
+            vec![Triple::new(2, 0, 3)],
+            vec![Triple::new(3, 1, 0)],
+        )
+    }
+
+    #[test]
+    fn vocab_inferred_from_all_splits() {
+        let ds = toy();
+        assert_eq!(ds.n_entities, 4);
+        assert_eq!(ds.n_relations, 2);
+        assert_eq!(ds.len(), 4);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn all_triples_order() {
+        let ds = toy();
+        let all = ds.all_triples();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0], Triple::new(0, 0, 1));
+        assert_eq!(all[3], Triple::new(3, 1, 0));
+    }
+
+    #[test]
+    fn validate_catches_out_of_range() {
+        let mut ds = toy();
+        ds.n_entities = 2;
+        assert!(ds.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "declared vocabulary")]
+    fn with_vocab_panics_on_bad_ids() {
+        Dataset::with_vocab("bad", 1, 1, vec![Triple::new(0, 0, 5)], vec![], vec![]);
+    }
+
+    #[test]
+    fn iterators_cover_vocab() {
+        let ds = toy();
+        assert_eq!(ds.entities().count(), 4);
+        assert_eq!(ds.relations().count(), 2);
+    }
+}

@@ -1,0 +1,79 @@
+//! Typed identifiers for entities and relations.
+//!
+//! Plain `u32` newtypes: KGs in the reproduction stay far below 2³² nodes,
+//! and 4-byte ids keep triple arrays compact (the performance guide's
+//! "smaller integers" advice).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an entity (a node of the KG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntityId(pub u32);
+
+/// Identifier of a relation (an edge label of the KG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelationId(pub u32);
+
+impl EntityId {
+    /// The id as an index into entity-major arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RelationId {
+    /// The id as an index into relation-major arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for EntityId {
+    fn from(v: u32) -> Self {
+        EntityId(v)
+    }
+}
+
+impl From<u32> for RelationId {
+    fn from(v: u32) -> Self {
+        RelationId(v)
+    }
+}
+
+impl std::fmt::Display for EntityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl std::fmt::Display for RelationId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_roundtrip() {
+        assert_eq!(EntityId(7).idx(), 7);
+        assert_eq!(RelationId(3).idx(), 3);
+        assert_eq!(EntityId::from(5u32), EntityId(5));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(EntityId(1).to_string(), "e1");
+        assert_eq!(RelationId(2).to_string(), "r2");
+    }
+
+    #[test]
+    fn ids_are_small() {
+        assert_eq!(std::mem::size_of::<EntityId>(), 4);
+        assert_eq!(std::mem::size_of::<RelationId>(), 4);
+    }
+}

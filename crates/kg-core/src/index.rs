@@ -1,0 +1,144 @@
+//! Filtered-ranking index.
+//!
+//! Link prediction in the "filtered setting" (Sec. V-B) ranks the true
+//! entity against all candidates *excluding other known true triples*. This
+//! index answers, in O(1):
+//!
+//! * `known(h, r, t)` — is the triple observed anywhere in the dataset?
+//! * `tails(h, r)` / `heads(r, t)` — all observed completions, used both for
+//!   filtering and for fast relation-pattern classification.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ids::{EntityId, RelationId};
+use crate::triple::Triple;
+
+/// Immutable lookup structure over a set of triples.
+#[derive(Debug, Default, Clone)]
+pub struct FilterIndex {
+    all: FxHashSet<Triple>,
+    by_hr: FxHashMap<(EntityId, RelationId), Vec<EntityId>>,
+    by_rt: FxHashMap<(RelationId, EntityId), Vec<EntityId>>,
+}
+
+impl FilterIndex {
+    /// Build from any iterator of triples (duplicates are collapsed).
+    pub fn build<'a, I: IntoIterator<Item = &'a Triple>>(triples: I) -> Self {
+        let mut idx = FilterIndex::default();
+        for &t in triples {
+            idx.insert(t);
+        }
+        idx
+    }
+
+    /// Build from a whole dataset (train + valid + test), the standard
+    /// filtered-evaluation convention.
+    pub fn from_dataset(ds: &crate::graph::Dataset) -> Self {
+        let mut idx = FilterIndex::default();
+        for t in ds.train.iter().chain(ds.valid.iter()).chain(ds.test.iter()) {
+            idx.insert(*t);
+        }
+        idx
+    }
+
+    /// Insert one triple.
+    pub fn insert(&mut self, t: Triple) {
+        if self.all.insert(t) {
+            self.by_hr.entry((t.h, t.r)).or_default().push(t.t);
+            self.by_rt.entry((t.r, t.t)).or_default().push(t.h);
+        }
+    }
+
+    /// Is `(h, r, t)` a known positive?
+    #[inline]
+    pub fn known(&self, h: EntityId, r: RelationId, t: EntityId) -> bool {
+        self.all.contains(&Triple { h, r, t })
+    }
+
+    /// All known tails for `(h, r, ·)`.
+    #[inline]
+    pub fn tails(&self, h: EntityId, r: RelationId) -> &[EntityId] {
+        self.by_hr.get(&(h, r)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All known heads for `(·, r, t)`.
+    #[inline]
+    pub fn heads(&self, r: RelationId, t: EntityId) -> &[EntityId] {
+        self.by_rt.get(&(r, t)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct triples indexed.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// True when no triples are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// Iterate over all indexed triples (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+        self.all.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Dataset;
+
+    fn idx() -> FilterIndex {
+        FilterIndex::build(&[
+            Triple::new(0, 0, 1),
+            Triple::new(0, 0, 2),
+            Triple::new(3, 0, 1),
+            Triple::new(0, 1, 1),
+        ])
+    }
+
+    #[test]
+    fn known_membership() {
+        let i = idx();
+        assert!(i.known(EntityId(0), RelationId(0), EntityId(1)));
+        assert!(!i.known(EntityId(1), RelationId(0), EntityId(0)));
+    }
+
+    #[test]
+    fn tails_and_heads() {
+        let i = idx();
+        let mut tails: Vec<u32> = i.tails(EntityId(0), RelationId(0)).iter().map(|e| e.0).collect();
+        tails.sort_unstable();
+        assert_eq!(tails, vec![1, 2]);
+        let mut heads: Vec<u32> = i.heads(RelationId(0), EntityId(1)).iter().map(|e| e.0).collect();
+        heads.sort_unstable();
+        assert_eq!(heads, vec![0, 3]);
+        assert!(i.tails(EntityId(9), RelationId(0)).is_empty());
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let i = FilterIndex::build(&[Triple::new(0, 0, 1), Triple::new(0, 0, 1)]);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.tails(EntityId(0), RelationId(0)).len(), 1);
+    }
+
+    #[test]
+    fn from_dataset_spans_all_splits() {
+        let ds = Dataset::new(
+            "toy",
+            vec![Triple::new(0, 0, 1)],
+            vec![Triple::new(1, 0, 2)],
+            vec![Triple::new(2, 0, 3)],
+        );
+        let i = FilterIndex::from_dataset(&ds);
+        assert_eq!(i.len(), 3);
+        assert!(i.known(EntityId(2), RelationId(0), EntityId(3)));
+    }
+
+    #[test]
+    fn empty_index() {
+        let i = FilterIndex::default();
+        assert!(i.is_empty());
+        assert_eq!(i.iter().count(), 0);
+    }
+}

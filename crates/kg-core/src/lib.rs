@@ -1,0 +1,35 @@
+//! Knowledge-graph data model for the AutoSF reproduction.
+//!
+//! A KG is a set of triples `(h, r, t)` over entity set `E` and relation set
+//! `R` (paper, Notations). This crate owns everything the rest of the
+//! workspace needs to *hold and query* KGs:
+//!
+//! * [`ids`] — typed entity/relation identifiers.
+//! * [`triple`] — the [`triple::Triple`] record and triple-set helpers.
+//! * [`graph`] — [`graph::Dataset`]: vocabularies plus train/valid/test splits.
+//! * [`index`] — [`index::FilterIndex`], the "filtered setting" lookup used
+//!   by link-prediction evaluation (Bordes et al., adopted in Sec. V-B).
+//! * [`reltype`] — the relation-pattern classifier behind Tab. III
+//!   (#symmetric / #anti-symmetric / #inverse / #general with the paper's
+//!   0.9 / 0.1 thresholds).
+//! * [`split`] — deterministic train/valid/test splitting.
+//! * [`stats`] — dataset statistics (Tab. III rows).
+//! * [`fxhash`] — a small Fx-style hasher so hot index lookups don't pay
+//!   SipHash costs (std's default), per the performance guide.
+
+pub mod fxhash;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod index;
+pub mod reltype;
+pub mod split;
+pub mod stats;
+pub mod triple;
+
+pub use graph::Dataset;
+pub use ids::{EntityId, RelationId};
+pub use index::FilterIndex;
+pub use reltype::{RelationKind, RelationProfile};
+pub use stats::DatasetStats;
+pub use triple::Triple;

@@ -1,0 +1,338 @@
+//! Relation-pattern classification — the procedure behind Tab. III.
+//!
+//! The paper classifies each relation `r` with `n_r` positive triples:
+//!
+//! 1. **symmetric** — the number of reversed triples `(t, r, h)` present
+//!    exceeds `0.9 · n_r`;
+//! 2. **anti-symmetric** — no reversed triple is present *and* the head and
+//!    tail entity sets overlap by at least `0.1 · n_r` (so head and tail
+//!    ranges have the same type, ruling out trivially-asymmetric bipartite
+//!    relations);
+//! 3. **inverse** — some other relation `r'` contains at least `0.9 · n_r`
+//!    of the reversed pairs `(t, r', h)`;
+//! 4. **general asymmetric** — everything else.
+//!
+//! The 0.9 / 0.1 thresholds are the paper's (configurable here).
+//!
+//! **Partition semantics.** The paper's Tab. III rows sum exactly to the
+//! relation count (WN18: 4 + 7 + 7 + 0 = 18), yet in WN18 both members of a
+//! *hypernym/hyponym*-style pair satisfy the anti-symmetric test *and* the
+//! inverse test. The only coherent reading (and the one consistent with
+//! Tab. II listing *Hypernym* under anti-symmetric but *Hypernym/Hyponym*
+//! under inverse) is that each inverse pair contributes **one** relation
+//! keeping its intrinsic class and **one** classified `Inverse`. We
+//! implement that in two phases: first every relation gets its intrinsic
+//! class (symmetric / anti-symmetric / general); then, scanning in id
+//! order, a relation is re-labelled `Inverse` when it has a reverse-overlap
+//! partner with a smaller id that itself is not `Inverse` or `Symmetric`.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ids::{EntityId, RelationId};
+use crate::triple::Triple;
+use serde::{Deserialize, Serialize};
+
+/// The pattern class of one relation (Tab. II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelationKind {
+    /// `f(t,r,h) = f(h,r,t)`, e.g. *IsSimilarTo*.
+    Symmetric,
+    /// `f(t,r,h) = -f(h,r,t)`, e.g. *Hypernym*.
+    AntiSymmetric,
+    /// `f(t,r,h) = f(h,r',t)` for a partner `r' ≠ r`, e.g. *Hypernym/Hyponym*.
+    Inverse,
+    /// No constraint ties the two directions, e.g. *Profession*.
+    General,
+}
+
+/// Classification thresholds; defaults are the paper's hand-made values.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RelTypeConfig {
+    /// Fraction of reversed triples required for symmetric / inverse (0.9).
+    pub reverse_fraction: f64,
+    /// Fraction of head-tail overlap required for anti-symmetric (0.1).
+    pub overlap_fraction: f64,
+}
+
+impl Default for RelTypeConfig {
+    fn default() -> Self {
+        RelTypeConfig { reverse_fraction: 0.9, overlap_fraction: 0.1 }
+    }
+}
+
+/// Per-relation classification results for a dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RelationProfile {
+    kinds: Vec<RelationKind>,
+    /// Inverse partner (for `Inverse` relations): the `r'` realising the
+    /// reverse-fraction threshold.
+    partners: Vec<Option<RelationId>>,
+    counts: [usize; 4],
+}
+
+impl RelationProfile {
+    /// Classify every relation appearing in `triples`; `n_relations` sizes
+    /// the dense output (relations with zero triples classify as General).
+    pub fn classify(triples: &[Triple], n_relations: usize) -> Self {
+        Self::classify_with(triples, n_relations, RelTypeConfig::default())
+    }
+
+    /// Classify with explicit thresholds.
+    pub fn classify_with(triples: &[Triple], n_relations: usize, cfg: RelTypeConfig) -> Self {
+        // Group triples by relation and index ordered pairs.
+        let mut by_rel: Vec<Vec<(EntityId, EntityId)>> = vec![Vec::new(); n_relations];
+        let mut pair_rels: FxHashMap<(EntityId, EntityId), Vec<RelationId>> =
+            FxHashMap::default();
+        for t in triples {
+            by_rel[t.r.idx()].push((t.h, t.t));
+            pair_rels.entry((t.h, t.t)).or_default().push(t.r);
+        }
+
+        // Phase 1: intrinsic class (symmetric / anti-symmetric / general)
+        // and the best reverse-overlap partner of every relation.
+        let mut kinds = vec![RelationKind::General; n_relations];
+        let mut partners: Vec<Option<RelationId>> = vec![None; n_relations];
+        for (ri, pairs) in by_rel.iter().enumerate() {
+            let n_r = pairs.len();
+            if n_r == 0 {
+                continue;
+            }
+            let r = RelationId(ri as u32);
+
+            // How often is each relation (including r itself) the label of
+            // the reversed pair?
+            let mut rev_counts: FxHashMap<RelationId, usize> = FxHashMap::default();
+            for &(h, t) in pairs {
+                if let Some(rels) = pair_rels.get(&(t, h)) {
+                    let mut seen_here: FxHashSet<RelationId> = FxHashSet::default();
+                    for &rp in rels {
+                        // A pair can carry duplicate relation labels only if
+                        // the input had duplicate triples; count each
+                        // (pair, relation) once.
+                        if seen_here.insert(rp) {
+                            *rev_counts.entry(rp).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+
+            let threshold = cfg.reverse_fraction * n_r as f64;
+            partners[ri] = rev_counts
+                .iter()
+                .filter(|(rp, _)| **rp != r)
+                .filter(|(_, &c)| c as f64 >= threshold)
+                .max_by_key(|(_, &c)| c)
+                .map(|(rp, _)| *rp);
+
+            let self_rev = rev_counts.get(&r).copied().unwrap_or(0);
+            if self_rev as f64 > threshold {
+                kinds[ri] = RelationKind::Symmetric;
+                continue;
+            }
+            if self_rev == 0 {
+                let heads: FxHashSet<EntityId> = pairs.iter().map(|p| p.0).collect();
+                let tails: FxHashSet<EntityId> = pairs.iter().map(|p| p.1).collect();
+                let joint = heads.intersection(&tails).count();
+                if joint as f64 >= cfg.overlap_fraction * n_r as f64 {
+                    kinds[ri] = RelationKind::AntiSymmetric;
+                    continue;
+                }
+            }
+            kinds[ri] = RelationKind::General;
+        }
+
+        // Phase 2: one member of each inverse pair becomes `Inverse` — the
+        // later one in id order, provided its partner keeps a non-inverse,
+        // non-symmetric class (symmetric relations are their own inverses
+        // and stay symmetric, as in Tab. III).
+        for ri in 0..n_relations {
+            if kinds[ri] == RelationKind::Symmetric {
+                continue;
+            }
+            if let Some(rp) = partners[ri] {
+                if rp.idx() < ri
+                    && kinds[rp.idx()] != RelationKind::Inverse
+                    && kinds[rp.idx()] != RelationKind::Symmetric
+                {
+                    kinds[ri] = RelationKind::Inverse;
+                }
+            }
+        }
+        // Report partners only for relations that ended up `Inverse`.
+        for ri in 0..n_relations {
+            if kinds[ri] != RelationKind::Inverse {
+                partners[ri] = None;
+            }
+        }
+
+        let mut counts = [0usize; 4];
+        for k in &kinds {
+            counts[Self::slot(*k)] += 1;
+        }
+        RelationProfile { kinds, partners, counts }
+    }
+
+    fn slot(k: RelationKind) -> usize {
+        match k {
+            RelationKind::Symmetric => 0,
+            RelationKind::AntiSymmetric => 1,
+            RelationKind::Inverse => 2,
+            RelationKind::General => 3,
+        }
+    }
+
+    /// The kind of relation `r`.
+    pub fn kind(&self, r: RelationId) -> RelationKind {
+        self.kinds[r.idx()]
+    }
+
+    /// Inverse partner of `r`, when `r` classified as `Inverse`.
+    pub fn partner(&self, r: RelationId) -> Option<RelationId> {
+        self.partners[r.idx()]
+    }
+
+    /// Number of relations classified symmetric.
+    pub fn n_symmetric(&self) -> usize {
+        self.counts[0]
+    }
+
+    /// Number of relations classified anti-symmetric.
+    pub fn n_anti_symmetric(&self) -> usize {
+        self.counts[1]
+    }
+
+    /// Number of relations participating in inverse pairs.
+    pub fn n_inverse(&self) -> usize {
+        self.counts[2]
+    }
+
+    /// Number of general asymmetric relations.
+    pub fn n_general(&self) -> usize {
+        self.counts[3]
+    }
+
+    /// All kinds, indexed by relation id.
+    pub fn kinds(&self) -> &[RelationKind] {
+        &self.kinds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a perfectly symmetric relation over 10 entity pairs.
+    fn symmetric_triples(r: u32) -> Vec<Triple> {
+        let mut ts = Vec::new();
+        for i in 0..10u32 {
+            ts.push(Triple::new(2 * i, r, 2 * i + 1));
+            ts.push(Triple::new(2 * i + 1, r, 2 * i));
+        }
+        ts
+    }
+
+    #[test]
+    fn detects_symmetric() {
+        let p = RelationProfile::classify(&symmetric_triples(0), 1);
+        assert_eq!(p.kind(RelationId(0)), RelationKind::Symmetric);
+        assert_eq!(p.n_symmetric(), 1);
+    }
+
+    #[test]
+    fn detects_anti_symmetric_chain() {
+        // A strict hierarchy over one entity type: 0->1->2->...->9, never
+        // reversed, heads and tails overlap heavily.
+        let ts: Vec<Triple> = (0..9).map(|i| Triple::new(i, 0, i + 1)).collect();
+        let p = RelationProfile::classify(&ts, 1);
+        assert_eq!(p.kind(RelationId(0)), RelationKind::AntiSymmetric);
+    }
+
+    #[test]
+    fn bipartite_without_overlap_is_general() {
+        // heads 0..10, tails 100..110: no reversed triples but no overlap
+        // either, so the "same type" guard rejects anti-symmetric.
+        let ts: Vec<Triple> = (0..10).map(|i| Triple::new(i, 0, 100 + i)).collect();
+        let p = RelationProfile::classify(&ts, 1);
+        assert_eq!(p.kind(RelationId(0)), RelationKind::General);
+    }
+
+    #[test]
+    fn inverse_pair_splits_base_and_mirror() {
+        // r0 is a bipartite base relation, r1 mirrors every r0 edge. The
+        // base keeps its intrinsic class (general), the mirror classifies
+        // inverse — the partition that makes Tab. III rows sum to |R|.
+        let mut ts = Vec::new();
+        for i in 0..10u32 {
+            ts.push(Triple::new(i, 0, i + 50));
+            ts.push(Triple::new(i + 50, 1, i));
+        }
+        let p = RelationProfile::classify(&ts, 2);
+        assert_eq!(p.kind(RelationId(0)), RelationKind::General);
+        assert_eq!(p.kind(RelationId(1)), RelationKind::Inverse);
+        assert_eq!(p.partner(RelationId(1)), Some(RelationId(0)));
+        assert_eq!(p.partner(RelationId(0)), None);
+        assert_eq!(p.n_inverse(), 1);
+    }
+
+    #[test]
+    fn anti_symmetric_base_with_mirror_stays_anti() {
+        // hypernym/hyponym: same entity pool, strict orientation, mirrored.
+        let mut ts = Vec::new();
+        for i in 0..20u32 {
+            ts.push(Triple::new(i, 0, i + 1));
+            ts.push(Triple::new(i + 1, 1, i));
+        }
+        let p = RelationProfile::classify(&ts, 2);
+        assert_eq!(p.kind(RelationId(0)), RelationKind::AntiSymmetric);
+        assert_eq!(p.kind(RelationId(1)), RelationKind::Inverse);
+        assert_eq!(p.partner(RelationId(1)), Some(RelationId(0)));
+    }
+
+    #[test]
+    fn partial_reversal_below_threshold_is_not_symmetric() {
+        // 10 forward edges, only 5 reversed: 5/10 < 0.9.
+        let mut ts: Vec<Triple> = (0..10).map(|i| Triple::new(2 * i, 0, 2 * i + 1)).collect();
+        for i in 0..5 {
+            ts.push(Triple::new(2 * i + 1, 0, 2 * i));
+        }
+        let p = RelationProfile::classify(&ts, 1);
+        assert_ne!(p.kind(RelationId(0)), RelationKind::Symmetric);
+    }
+
+    #[test]
+    fn empty_relation_defaults_to_general() {
+        let p = RelationProfile::classify(&[Triple::new(0, 1, 1)], 3);
+        assert_eq!(p.kind(RelationId(0)), RelationKind::General);
+        assert_eq!(p.kind(RelationId(2)), RelationKind::General);
+    }
+
+    #[test]
+    fn counts_partition_the_relations() {
+        let mut ts = symmetric_triples(0);
+        ts.extend((0..9).map(|i| Triple::new(i, 1, i + 1)));
+        for i in 0..10u32 {
+            ts.push(Triple::new(i, 2, i + 50));
+            ts.push(Triple::new(i + 50, 3, i));
+        }
+        let p = RelationProfile::classify(&ts, 4);
+        assert_eq!(
+            p.n_symmetric() + p.n_anti_symmetric() + p.n_inverse() + p.n_general(),
+            4
+        );
+        assert_eq!(p.n_symmetric(), 1);
+        // relation 2 is a bipartite base (general), relation 3 its mirror
+        assert_eq!(p.n_inverse(), 1);
+        assert_eq!(p.n_general(), 1);
+    }
+
+    #[test]
+    fn custom_thresholds_respected() {
+        // 10 forward, 6 reversed: symmetric under a 0.5 threshold, not 0.9.
+        let mut ts: Vec<Triple> = (0..10).map(|i| Triple::new(2 * i, 0, 2 * i + 1)).collect();
+        for i in 0..6 {
+            ts.push(Triple::new(2 * i + 1, 0, 2 * i));
+        }
+        let relaxed = RelTypeConfig { reverse_fraction: 0.5, overlap_fraction: 0.1 };
+        let p = RelationProfile::classify_with(&ts, 1, relaxed);
+        assert_eq!(p.kind(RelationId(0)), RelationKind::Symmetric);
+    }
+}

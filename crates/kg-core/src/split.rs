@@ -1,0 +1,180 @@
+//! Deterministic train/valid/test splitting.
+//!
+//! The generators emit one flat triple list; this module splits it the way
+//! the benchmark datasets are split: a random partition by given fractions,
+//! with the constraint that **every entity and relation appears in the
+//! training set** (otherwise its embedding is never optimised and filtered
+//! ranking is meaningless — the benchmark datasets satisfy this property).
+//!
+//! Self-contained splitmix64 randomness keeps this crate dependency-free.
+
+use crate::triple::Triple;
+
+/// Fractions of triples for valid and test (the rest train).
+#[derive(Debug, Clone, Copy)]
+pub struct SplitSpec {
+    /// Fraction sent to the validation split.
+    pub valid_fraction: f64,
+    /// Fraction sent to the test split.
+    pub test_fraction: f64,
+}
+
+impl Default for SplitSpec {
+    fn default() -> Self {
+        SplitSpec { valid_fraction: 0.05, test_fraction: 0.05 }
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Split `triples` into (train, valid, test) deterministically from `seed`.
+///
+/// Entity/relation coverage: after the random partition, any valid/test
+/// triple containing an entity or relation not seen in train is moved to
+/// train (so the split fractions are approximate on pathological inputs).
+///
+/// # Panics
+/// Panics if the fractions are negative or sum to ≥ 1.
+pub fn split_triples(
+    mut triples: Vec<Triple>,
+    spec: SplitSpec,
+    seed: u64,
+) -> (Vec<Triple>, Vec<Triple>, Vec<Triple>) {
+    assert!(spec.valid_fraction >= 0.0 && spec.test_fraction >= 0.0, "negative fraction");
+    assert!(spec.valid_fraction + spec.test_fraction < 1.0, "held-out fractions must sum below 1");
+    let mut rng = SplitMix64(seed ^ 0xA076_1D64_78BD_642F);
+    // Fisher-Yates
+    let n = triples.len();
+    if n > 1 {
+        for i in (1..n).rev() {
+            let j = rng.below(i + 1);
+            triples.swap(i, j);
+        }
+    }
+    let n_valid = (n as f64 * spec.valid_fraction).round() as usize;
+    let n_test = (n as f64 * spec.test_fraction).round() as usize;
+    let n_held = (n_valid + n_test).min(n.saturating_sub(1));
+
+    let held: Vec<Triple> = triples.split_off(n - n_held);
+    let mut train = triples;
+
+    // Coverage repair: held-out triples whose entities/relations never occur
+    // in train are pulled back into train.
+    let mut ent_seen = crate::fxhash::FxHashSet::default();
+    let mut rel_seen = crate::fxhash::FxHashSet::default();
+    for t in &train {
+        ent_seen.insert(t.h);
+        ent_seen.insert(t.t);
+        rel_seen.insert(t.r);
+    }
+    let mut kept = Vec::with_capacity(held.len());
+    for t in held {
+        if ent_seen.contains(&t.h) && ent_seen.contains(&t.t) && rel_seen.contains(&t.r) {
+            kept.push(t);
+        } else {
+            ent_seen.insert(t.h);
+            ent_seen.insert(t.t);
+            rel_seen.insert(t.r);
+            train.push(t);
+        }
+    }
+    let n_valid = n_valid.min(kept.len());
+    let test = kept.split_off(n_valid);
+    (train, kept, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::{count_entities, count_relations};
+
+    fn dense_triples(n_ent: u32, per_ent: u32) -> Vec<Triple> {
+        let mut ts = Vec::new();
+        for h in 0..n_ent {
+            for k in 0..per_ent {
+                ts.push(Triple::new(h, k % 3, (h + k + 1) % n_ent));
+            }
+        }
+        ts
+    }
+
+    #[test]
+    fn fractions_roughly_respected() {
+        let ts = dense_triples(100, 10);
+        let n = ts.len();
+        let (train, valid, test) =
+            split_triples(ts, SplitSpec { valid_fraction: 0.1, test_fraction: 0.1 }, 1);
+        assert_eq!(train.len() + valid.len() + test.len(), n);
+        assert!((valid.len() as f64 - n as f64 * 0.1).abs() < n as f64 * 0.03);
+        assert!((test.len() as f64 - n as f64 * 0.1).abs() < n as f64 * 0.03);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let ts = dense_triples(50, 5);
+        let a = split_triples(ts.clone(), SplitSpec::default(), 7);
+        let b = split_triples(ts, SplitSpec::default(), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let ts = dense_triples(50, 5);
+        let a = split_triples(ts.clone(), SplitSpec::default(), 1);
+        let b = split_triples(ts, SplitSpec::default(), 2);
+        assert_ne!(a.0, b.0);
+    }
+
+    #[test]
+    fn train_covers_all_entities_and_relations() {
+        let ts = dense_triples(60, 4);
+        let ne = count_entities(&ts);
+        let nr = count_relations(&ts);
+        let (train, _, _) =
+            split_triples(ts, SplitSpec { valid_fraction: 0.3, test_fraction: 0.3 }, 3);
+        assert_eq!(count_entities(&train), ne);
+        assert_eq!(count_relations(&train), nr);
+    }
+
+    #[test]
+    fn rare_entity_forced_into_train() {
+        // entity 999 appears exactly once; it must land in train.
+        let mut ts = dense_triples(20, 5);
+        ts.push(Triple::new(999, 0, 1));
+        for seed in 0..10 {
+            let (train, valid, test) =
+                split_triples(ts.clone(), SplitSpec { valid_fraction: 0.2, test_fraction: 0.2 }, seed);
+            let in_train = train.iter().any(|t| t.h.0 == 999);
+            assert!(in_train, "seed {seed}");
+            assert!(!valid.iter().chain(test.iter()).any(|t| t.h.0 == 999));
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_do_not_panic() {
+        let (tr, va, te) = split_triples(vec![Triple::new(0, 0, 1)], SplitSpec::default(), 0);
+        assert_eq!(tr.len() + va.len() + te.len(), 1);
+        let (tr, _, _) = split_triples(vec![], SplitSpec::default(), 0);
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum below 1")]
+    fn overfull_fractions_panic() {
+        split_triples(vec![], SplitSpec { valid_fraction: 0.6, test_fraction: 0.6 }, 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The triple record `(h, r, t)` and helpers over triple slices.
+
+use crate::ids::{EntityId, RelationId};
+use serde::{Deserialize, Serialize};
+
+/// One observed fact: head entity, relation, tail entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Triple {
+    /// Head entity `h`.
+    pub h: EntityId,
+    /// Relation `r`.
+    pub r: RelationId,
+    /// Tail entity `t`.
+    pub t: EntityId,
+}
+
+impl Triple {
+    /// Construct from raw ids.
+    #[inline]
+    pub fn new(h: u32, r: u32, t: u32) -> Self {
+        Triple { h: EntityId(h), r: RelationId(r), t: EntityId(t) }
+    }
+
+    /// The reversed triple `(t, r, h)` — used by the relation-pattern
+    /// classifier (Tab. III) and symmetry tests.
+    #[inline]
+    pub fn reversed(self) -> Triple {
+        Triple { h: self.t, r: self.r, t: self.h }
+    }
+
+    /// True if head equals tail (a self-loop).
+    #[inline]
+    pub fn is_loop(self) -> bool {
+        self.h == self.t
+    }
+}
+
+impl std::fmt::Display for Triple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}, {})", self.h, self.r, self.t)
+    }
+}
+
+/// Number of distinct entities referenced by `triples`.
+pub fn count_entities(triples: &[Triple]) -> usize {
+    let mut seen = crate::fxhash::FxHashSet::default();
+    for t in triples {
+        seen.insert(t.h);
+        seen.insert(t.t);
+    }
+    seen.len()
+}
+
+/// Number of distinct relations referenced by `triples`.
+pub fn count_relations(triples: &[Triple]) -> usize {
+    let mut seen = crate::fxhash::FxHashSet::default();
+    for t in triples {
+        seen.insert(t.r);
+    }
+    seen.len()
+}
+
+/// Largest entity id + 1 (0 for the empty slice) — the array size needed to
+/// index entities densely.
+pub fn entity_bound(triples: &[Triple]) -> usize {
+    triples.iter().map(|t| t.h.0.max(t.t.0) as usize + 1).max().unwrap_or(0)
+}
+
+/// Largest relation id + 1 (0 for the empty slice).
+pub fn relation_bound(triples: &[Triple]) -> usize {
+    triples.iter().map(|t| t.r.0 as usize + 1).max().unwrap_or(0)
+}
+
+/// Deduplicate while preserving first-occurrence order.
+pub fn dedup_preserving_order(triples: Vec<Triple>) -> Vec<Triple> {
+    let mut seen = crate::fxhash::FxHashSet::default();
+    triples.into_iter().filter(|t| seen.insert(*t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_swaps_entities() {
+        let t = Triple::new(1, 2, 3);
+        assert_eq!(t.reversed(), Triple::new(3, 2, 1));
+        assert_eq!(t.reversed().reversed(), t);
+    }
+
+    #[test]
+    fn loops_detected() {
+        assert!(Triple::new(5, 0, 5).is_loop());
+        assert!(!Triple::new(5, 0, 6).is_loop());
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let ts = vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2), Triple::new(0, 0, 1)];
+        assert_eq!(count_entities(&ts), 3);
+        assert_eq!(count_relations(&ts), 2);
+        assert_eq!(entity_bound(&ts), 3);
+        assert_eq!(relation_bound(&ts), 2);
+    }
+
+    #[test]
+    fn bounds_of_empty() {
+        assert_eq!(entity_bound(&[]), 0);
+        assert_eq!(relation_bound(&[]), 0);
+    }
+
+    #[test]
+    fn dedup_keeps_order() {
+        let ts = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 0, 2),
+            Triple::new(0, 0, 1),
+            Triple::new(2, 0, 3),
+        ];
+        let d = dedup_preserving_order(ts);
+        assert_eq!(d, vec![Triple::new(0, 0, 1), Triple::new(1, 0, 2), Triple::new(2, 0, 3)]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Triple::new(1, 2, 3).to_string(), "(e1, r2, e3)");
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the KG data model.
+
+use kg_core::split::{split_triples, SplitSpec};
+use kg_core::triple::{count_entities, count_relations};
+use kg_core::{FilterIndex, Triple};
+use proptest::prelude::*;
+
+fn arb_triple(n_ent: u32, n_rel: u32) -> impl Strategy<Value = Triple> {
+    (0..n_ent, 0..n_rel, 0..n_ent).prop_map(|(h, r, t)| Triple::new(h, r, t))
+}
+
+fn arb_triples(n: usize) -> impl Strategy<Value = Vec<Triple>> {
+    prop::collection::vec(arb_triple(40, 4), 1..n)
+}
+
+proptest! {
+    #[test]
+    fn split_is_a_partition(ts in arb_triples(200), seed in 0u64..1000) {
+        let spec = SplitSpec { valid_fraction: 0.15, test_fraction: 0.15 };
+        let total = ts.len();
+        let (tr, va, te) = split_triples(ts, spec, seed);
+        prop_assert_eq!(tr.len() + va.len() + te.len(), total);
+    }
+
+    #[test]
+    fn split_train_covers_vocabulary(ts in arb_triples(200), seed in 0u64..1000) {
+        let spec = SplitSpec { valid_fraction: 0.2, test_fraction: 0.2 };
+        let ne = count_entities(&ts);
+        let nr = count_relations(&ts);
+        let (tr, _, _) = split_triples(ts, spec, seed);
+        prop_assert_eq!(count_entities(&tr), ne);
+        prop_assert_eq!(count_relations(&tr), nr);
+    }
+
+    #[test]
+    fn filter_index_membership_is_exact(ts in arb_triples(150)) {
+        let idx = FilterIndex::build(&ts);
+        for t in &ts {
+            prop_assert!(idx.known(t.h, t.r, t.t));
+            prop_assert!(idx.tails(t.h, t.r).contains(&t.t));
+            prop_assert!(idx.heads(t.r, t.t).contains(&t.h));
+        }
+    }
+
+    #[test]
+    fn filter_index_no_false_positives(ts in arb_triples(80), probe in arb_triple(40, 4)) {
+        let idx = FilterIndex::build(&ts);
+        let in_set = ts.contains(&probe);
+        prop_assert_eq!(idx.known(probe.h, probe.r, probe.t), in_set);
+    }
+
+    #[test]
+    fn reversal_is_involution(t in arb_triple(100, 10)) {
+        prop_assert_eq!(t.reversed().reversed(), t);
+    }
+}
+
+mod reltype_props {
+    use super::*;
+    use kg_core::reltype::{RelationKind, RelationProfile};
+
+    proptest! {
+        /// Whatever the input, the four counts partition the relations.
+        #[test]
+        fn census_partitions_relations(ts in arb_triples(150)) {
+            let nr = 4;
+            let p = RelationProfile::classify(&ts, nr);
+            prop_assert_eq!(
+                p.n_symmetric() + p.n_anti_symmetric() + p.n_inverse() + p.n_general(),
+                nr
+            );
+        }
+
+        /// Fully-mirrored relations always classify symmetric.
+        #[test]
+        fn closed_symmetric_sets_classify_symmetric(
+            pairs in prop::collection::vec((0u32..30, 31u32..60), 5..40)
+        ) {
+            let mut ts = Vec::new();
+            for (a, b) in pairs {
+                ts.push(Triple::new(a, 0, b));
+                ts.push(Triple::new(b, 0, a));
+            }
+            let p = RelationProfile::classify(&ts, 1);
+            prop_assert_eq!(p.kind(kg_core::RelationId(0)), RelationKind::Symmetric);
+        }
+
+        /// Inverse partners are mutual: if r' reports partner r, then r's
+        /// reversed pairs really do appear under r'.
+        #[test]
+        fn reported_partner_is_consistent(ts in arb_triples(150)) {
+            let nr = 4;
+            let p = RelationProfile::classify(&ts, nr);
+            for r in 0..nr as u32 {
+                if let Some(partner) = p.partner(kg_core::RelationId(r)) {
+                    prop_assert_ne!(partner.0, r);
+                    prop_assert_eq!(p.kind(kg_core::RelationId(r)), RelationKind::Inverse);
+                }
+            }
+        }
+    }
+}

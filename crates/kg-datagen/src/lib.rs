@@ -1,0 +1,33 @@
+//! Seeded synthetic knowledge-graph generators.
+//!
+//! The paper evaluates on WN18, FB15k, WN18RR, FB15k237 and YAGO3-10 —
+//! download-gated benchmark dumps we substitute with generators (see
+//! DESIGN.md §2). The design goal is *not* to match absolute benchmark
+//! numbers but to preserve the property the paper's analysis hinges on: each
+//! dataset has a distinct census of relation patterns (Tab. III), and which
+//! scoring function wins depends on that census (Tab. II).
+//!
+//! Generation is driven by a **latent bilinear world** ([`world::LatentWorld`]):
+//! every entity gets a low-dimensional latent vector, and every relation a
+//! latent k×k matrix whose algebraic shape enforces its pattern —
+//! symmetric matrices yield symmetric relations, skew-symmetric matrices
+//! yield anti-symmetric ones, transposed matrices yield inverse pairs.
+//! Because the ground truth is itself bilinear, held-out triples are
+//! *learnable* by BLM scoring functions (the model class the paper
+//! searches), while the pattern census stays under exact control.
+//!
+//! * [`world`] — the latent entity/relation model.
+//! * [`patterns`] — per-pattern triple generators.
+//! * [`builder`] — composable KG assembly + splitting into a [`kg_core::Dataset`].
+//! * [`presets`] — the five benchmark-like datasets of Tab. III, scaled.
+
+// Index loops mirror the paper's subscript notation in numeric kernels.
+#![allow(clippy::needless_range_loop)]
+pub mod builder;
+pub mod patterns;
+pub mod presets;
+pub mod world;
+
+pub use builder::KgBuilder;
+pub use presets::{preset, Preset, Scale};
+pub use world::LatentWorld;

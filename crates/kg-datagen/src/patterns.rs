@@ -1,0 +1,316 @@
+//! Per-pattern triple generators over a [`LatentWorld`].
+//!
+//! Each generator emits approximately `n` triples for one relation id,
+//! selecting tails by ground-truth latent score among a random candidate
+//! pool (so the graph is *structured but noisy*, like real KGs: a high
+//! latent score makes an edge likely, not certain).
+//!
+//! Generators take **entity pools** (index ranges): symmetric and
+//! anti-symmetric relations draw heads and tails from one pool (their head
+//! and tail sets overlap, as Tab. II's "same type" requirement demands),
+//! while general relations draw heads and tails from disjoint pools —
+//! mirroring real type-bipartite relations like *Profession* — which is
+//! what keeps them out of the anti-symmetric class under the paper's
+//! 0.1-overlap rule.
+
+use crate::world::{LatentRelation, LatentWorld};
+use kg_core::fxhash::FxHashSet;
+use kg_core::Triple;
+use kg_linalg::SeededRng;
+use std::ops::Range;
+
+/// How many random tail candidates are scored per emitted triple. Larger
+/// values make the graph more deterministic given the latent world.
+const CANDIDATES: usize = 24;
+
+fn sample_in(pool: &Range<usize>, rng: &mut SeededRng) -> usize {
+    pool.start + rng.below(pool.len())
+}
+
+/// Pick the best-scoring tail for `h` among `CANDIDATES` random candidates
+/// from `pool`, excluding self-loops.
+fn pick_tail(
+    world: &LatentWorld,
+    rel: &LatentRelation,
+    h: usize,
+    pool: &Range<usize>,
+    rng: &mut SeededRng,
+) -> usize {
+    let mut best = usize::MAX;
+    let mut best_score = f32::NEG_INFINITY;
+    for _ in 0..CANDIDATES {
+        let t = sample_in(pool, rng);
+        if t == h {
+            continue;
+        }
+        let s = world.score(h, rel, t);
+        if s > best_score {
+            best_score = s;
+            best = t;
+        }
+    }
+    if best == usize::MAX {
+        // pool was {h}; fall back to the neighbouring entity
+        (h + 1) % world.n_entities()
+    } else {
+        best
+    }
+}
+
+/// Generate `n` triples for a **general asymmetric** relation with heads
+/// from `head_pool` and tails from `tail_pool`.
+///
+/// Each sampled head emits its `FANOUT` best-scoring tails, making the
+/// relation many-to-many like real Freebase relations. This matters for
+/// baseline fidelity: near-functional synthetic relations would hand
+/// translational models an unrealistic memorisation advantage (a
+/// translation maps each head to *one* point, which is exactly wrong for
+/// 1-to-N relations — the weakness TransH was designed around).
+pub fn general(
+    world: &LatentWorld,
+    rel: &LatentRelation,
+    r: u32,
+    n: usize,
+    head_pool: Range<usize>,
+    tail_pool: Range<usize>,
+    rng: &mut SeededRng,
+) -> Vec<Triple> {
+    assert!(!head_pool.is_empty() && !tail_pool.is_empty(), "empty entity pool");
+    /// Tails emitted per sampled head.
+    const FANOUT: usize = 3;
+    let mut seen: FxHashSet<(usize, usize)> = FxHashSet::default();
+    let mut out = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    let mut scored: Vec<(f32, usize)> = Vec::with_capacity(CANDIDATES);
+    while out.len() < n && attempts < n * 20 {
+        attempts += 1;
+        let h = sample_in(&head_pool, rng);
+        // score a candidate pool and keep the FANOUT best tails
+        scored.clear();
+        for _ in 0..CANDIDATES {
+            let t = sample_in(&tail_pool, rng);
+            if t != h {
+                scored.push((world.score(h, rel, t), t));
+            }
+        }
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        scored.dedup_by_key(|s| s.1);
+        for &(_, t) in scored.iter().take(FANOUT) {
+            if out.len() >= n {
+                break;
+            }
+            if seen.insert((h, t)) {
+                out.push(Triple::new(h as u32, r, t as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Generate a **symmetric** relation over `pool`: `n` *undirected* facts
+/// emitted in both directions (≈ 2n triples), with a `completeness`
+/// fraction of reverse edges actually materialised (1.0 = perfectly
+/// symmetric; real KGs sit slightly below).
+pub fn symmetric(
+    world: &LatentWorld,
+    rel: &LatentRelation,
+    r: u32,
+    n: usize,
+    pool: Range<usize>,
+    completeness: f64,
+    rng: &mut SeededRng,
+) -> Vec<Triple> {
+    assert!((0.0..=1.0).contains(&completeness), "completeness must be a fraction");
+    assert!(pool.len() >= 2, "symmetric pool needs at least two entities");
+    let mut seen: FxHashSet<(usize, usize)> = FxHashSet::default();
+    let mut out = Vec::with_capacity(2 * n);
+    let mut attempts = 0usize;
+    while seen.len() < n && attempts < n * 20 {
+        attempts += 1;
+        let h = sample_in(&pool, rng);
+        let t = pick_tail(world, rel, h, &pool, rng);
+        let key = (h.min(t), h.max(t));
+        if h != t && seen.insert(key) {
+            out.push(Triple::new(h as u32, r, t as u32));
+            if rng.uniform() < completeness {
+                out.push(Triple::new(t as u32, r, h as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Generate an **anti-symmetric** relation over `pool`: only the direction
+/// the skew ground truth prefers is emitted, guaranteeing zero reversed
+/// pairs, while head/tail sets overlap (same pool).
+pub fn anti_symmetric(
+    world: &LatentWorld,
+    rel: &LatentRelation,
+    r: u32,
+    n: usize,
+    pool: Range<usize>,
+    rng: &mut SeededRng,
+) -> Vec<Triple> {
+    assert!(pool.len() >= 2, "anti-symmetric pool needs at least two entities");
+    let mut seen: FxHashSet<(usize, usize)> = FxHashSet::default();
+    let mut out = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    while out.len() < n && attempts < n * 20 {
+        attempts += 1;
+        let h = sample_in(&pool, rng);
+        let t = pick_tail(world, rel, h, &pool, rng);
+        if h == t {
+            continue;
+        }
+        // Orient along the skew score; never emit both directions.
+        let (h, t) = if world.score(h, rel, t) >= 0.0 { (h, t) } else { (t, h) };
+        if seen.contains(&(t, h)) {
+            continue;
+        }
+        if seen.insert((h, t)) {
+            out.push(Triple::new(h as u32, r, t as u32));
+        }
+    }
+    out
+}
+
+/// Generate the **inverse** of existing triples under a new relation id:
+/// each base triple `(h, r, t)` yields `(t, r', h)` with probability
+/// `fidelity`. Fidelity ≥ 0.9 makes the *pair* classify as inverse under
+/// Tab. III rules; fidelity around 0.5 yields a one-sided inverse (only the
+/// mirror classifies as inverse), which is how YAGO3-10's lone inverse
+/// relation arises.
+pub fn inverse_of(base: &[Triple], r_new: u32, fidelity: f64, rng: &mut SeededRng) -> Vec<Triple> {
+    assert!((0.0..=1.0).contains(&fidelity), "fidelity must be a fraction");
+    base.iter()
+        .filter(|_| rng.uniform() < fidelity)
+        .map(|t| Triple::new(t.t.0, r_new, t.h.0))
+        .collect()
+}
+
+/// Uniform random noise triples for a relation (used to stress robustness;
+/// real KGs carry an unlearnable fraction too).
+pub fn noise(n_entities: usize, r: u32, n: usize, rng: &mut SeededRng) -> Vec<Triple> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let h = rng.below(n_entities) as u32;
+        let mut t = rng.below(n_entities) as u32;
+        if t == h {
+            t = (t + 1) % n_entities as u32;
+        }
+        out.push(Triple::new(h, r, t));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::reltype::{RelationKind, RelationProfile};
+
+    const N_ENT: usize = 120;
+
+    fn setup() -> (LatentWorld, SeededRng) {
+        let mut rng = SeededRng::new(2024);
+        let w = LatentWorld::generate(N_ENT, 6, 4, &mut rng);
+        (w, rng)
+    }
+
+    #[test]
+    fn symmetric_generator_classifies_symmetric() {
+        let (w, mut rng) = setup();
+        let rel = w.symmetric_relation(&mut rng);
+        let ts = symmetric(&w, &rel, 0, 100, 0..N_ENT, 1.0, &mut rng);
+        let p = RelationProfile::classify(&ts, 1);
+        assert_eq!(p.kind(kg_core::RelationId(0)), RelationKind::Symmetric);
+    }
+
+    #[test]
+    fn anti_symmetric_generator_classifies_anti_symmetric() {
+        let (w, mut rng) = setup();
+        let rel = w.anti_symmetric_relation(&mut rng);
+        let ts = anti_symmetric(&w, &rel, 0, 150, 0..N_ENT, &mut rng);
+        // no reversed pairs at all
+        let set: FxHashSet<Triple> = ts.iter().copied().collect();
+        for t in &ts {
+            assert!(!set.contains(&t.reversed()), "reversed pair leaked: {t}");
+        }
+        let p = RelationProfile::classify(&ts, 1);
+        assert_eq!(p.kind(kg_core::RelationId(0)), RelationKind::AntiSymmetric);
+    }
+
+    #[test]
+    fn inverse_generator_creates_inverse_pair() {
+        let (w, mut rng) = setup();
+        let rel = w.general_relation(&mut rng);
+        let base = general(&w, &rel, 0, 150, 0..60, 60..N_ENT, &mut rng);
+        let mirrored = inverse_of(&base, 1, 1.0, &mut rng);
+        assert_eq!(base.len(), mirrored.len());
+        let mut all = base;
+        all.extend(mirrored);
+        let p = RelationProfile::classify(&all, 2);
+        // base keeps its intrinsic class; mirror classifies inverse
+        assert_eq!(p.kind(kg_core::RelationId(0)), RelationKind::General);
+        assert_eq!(p.kind(kg_core::RelationId(1)), RelationKind::Inverse);
+        assert_eq!(p.partner(kg_core::RelationId(1)), Some(kg_core::RelationId(0)));
+    }
+
+    #[test]
+    fn half_fidelity_inverse_is_one_sided() {
+        let (w, mut rng) = setup();
+        let rel = w.general_relation(&mut rng);
+        let base = general(&w, &rel, 0, 200, 0..60, 60..N_ENT, &mut rng);
+        let mirrored = inverse_of(&base, 1, 0.5, &mut rng);
+        let mut all = base;
+        all.extend(mirrored);
+        let p = RelationProfile::classify(&all, 2);
+        assert_eq!(p.kind(kg_core::RelationId(0)), RelationKind::General);
+        assert_eq!(p.kind(kg_core::RelationId(1)), RelationKind::Inverse);
+    }
+
+    #[test]
+    fn bipartite_general_classifies_general() {
+        let (w, mut rng) = setup();
+        let rel = w.general_relation(&mut rng);
+        let ts = general(&w, &rel, 0, 200, 0..60, 60..N_ENT, &mut rng);
+        let p = RelationProfile::classify(&ts, 1);
+        assert_eq!(p.kind(kg_core::RelationId(0)), RelationKind::General);
+        // pools respected
+        assert!(ts.iter().all(|t| (t.h.0 as usize) < 60 && (t.t.0 as usize) >= 60));
+    }
+
+    #[test]
+    fn generators_avoid_loops_and_duplicates() {
+        let (w, mut rng) = setup();
+        let rel = w.general_relation(&mut rng);
+        let ts = general(&w, &rel, 0, 200, 0..N_ENT, 0..N_ENT, &mut rng);
+        let set: FxHashSet<Triple> = ts.iter().copied().collect();
+        assert_eq!(set.len(), ts.len(), "duplicates emitted");
+        assert!(ts.iter().all(|t| !t.is_loop()));
+    }
+
+    #[test]
+    fn requested_sizes_roughly_met() {
+        let (w, mut rng) = setup();
+        let rel = w.general_relation(&mut rng);
+        let ts = general(&w, &rel, 0, 300, 0..60, 60..N_ENT, &mut rng);
+        assert!(ts.len() >= 250, "only {} triples emitted", ts.len());
+    }
+
+    #[test]
+    fn noise_is_in_range() {
+        let mut rng = SeededRng::new(1);
+        let ts = noise(10, 3, 50, &mut rng);
+        assert_eq!(ts.len(), 50);
+        assert!(ts.iter().all(|t| t.h.0 < 10 && t.t.0 < 10 && t.r.0 == 3 && !t.is_loop()));
+    }
+
+    #[test]
+    fn partial_symmetric_completeness() {
+        let (w, mut rng) = setup();
+        let rel = w.symmetric_relation(&mut rng);
+        let ts = symmetric(&w, &rel, 0, 100, 0..N_ENT, 0.5, &mut rng);
+        // between n and 2n triples
+        assert!(ts.len() > 100 && ts.len() < 200, "{} triples", ts.len());
+    }
+}

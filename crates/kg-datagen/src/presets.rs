@@ -1,0 +1,303 @@
+//! Benchmark-like dataset presets — the five rows of Tab. III, scaled.
+//!
+//! Each preset reproduces its benchmark's *relation-pattern census* (the
+//! property that drives which scoring function wins, per Tab. II/III), at a
+//! size a laptop trains in seconds-to-minutes:
+//!
+//! | preset | relations | census target (sym / anti / inverse / general) |
+//! |---|---|---|
+//! | `Wn18Like`     | 18 | 4 / 7 / 7 / 0   (paper: 4 / 7 / 7 / 0)    |
+//! | `Fb15kLike`    | 54 | 3 / 2 / 22 / 27 (paper ratios of 66/38/556/685) |
+//! | `Wn18rrLike`   | 11 | 4 / 3 / 1 / 3   (paper: 4 / 3 / 1 / 3)    |
+//! | `Fb15k237Like` | 24 | 3 / 1 / 2 / 18  (paper ratios of 33/5/20/179) |
+//! | `Yago310Like`  | 37 | 8 / 0 / 1 / 28  (paper: 8 / 0 / 1 / 28)   |
+//!
+//! `Wn18rrLike`/`Fb15k237Like` carry far fewer inverse relations than their
+//! parents, exactly like the real `-RR`/`-237` variants that removed
+//! inverse-duplicate leakage.
+
+use crate::builder::KgBuilder;
+use kg_core::split::SplitSpec;
+use kg_core::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// The five benchmark-like datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Preset {
+    /// WordNet-18-like: symmetry/inversion-dominated lexical graph.
+    Wn18Like,
+    /// Freebase-15k-like: inverse-heavy, many general relations.
+    Fb15kLike,
+    /// WN18RR-like: WN18 with inverse duplicates removed.
+    Wn18rrLike,
+    /// FB15k-237-like: FB15k with inverse/near-duplicates removed.
+    Fb15k237Like,
+    /// YAGO3-10-like: larger, general-dominated.
+    Yago310Like,
+}
+
+impl Preset {
+    /// All presets in Tab. III order.
+    pub const ALL: [Preset; 5] = [
+        Preset::Wn18Like,
+        Preset::Fb15kLike,
+        Preset::Wn18rrLike,
+        Preset::Fb15k237Like,
+        Preset::Yago310Like,
+    ];
+
+    /// The dataset name used in tables and file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Wn18Like => "wn18-like",
+            Preset::Fb15kLike => "fb15k-like",
+            Preset::Wn18rrLike => "wn18rr-like",
+            Preset::Fb15k237Like => "fb15k237-like",
+            Preset::Yago310Like => "yago310-like",
+        }
+    }
+
+    /// Parse from [`Preset::name`] output (case-insensitive).
+    pub fn parse(s: &str) -> Option<Preset> {
+        let s = s.to_ascii_lowercase();
+        Preset::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+/// Generation scale: multiplies entity counts and triples-per-relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// Unit-test scale — trains in well under a second.
+    Tiny,
+    /// Default experiment scale — a search run takes minutes.
+    Quick,
+    /// Closer-to-paper scale — experiments take hours.
+    Full,
+}
+
+impl Scale {
+    fn ent_mul(self) -> f64 {
+        match self {
+            Scale::Tiny => 0.35,
+            Scale::Quick => 1.0,
+            Scale::Full => 3.0,
+        }
+    }
+
+    fn triple_mul(self) -> f64 {
+        match self {
+            Scale::Tiny => 0.25,
+            Scale::Quick => 1.0,
+            Scale::Full => 4.0,
+        }
+    }
+
+    /// Read from the `SCALE` environment variable (`tiny`/`quick`/`full`),
+    /// defaulting to `Quick`.
+    pub fn from_env() -> Scale {
+        match std::env::var("SCALE").unwrap_or_default().to_ascii_lowercase().as_str() {
+            "tiny" => Scale::Tiny,
+            "full" => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+}
+
+fn scaled(base: usize, mul: f64) -> usize {
+    ((base as f64 * mul).round() as usize).max(8)
+}
+
+/// Generate a preset dataset at the given scale, deterministically in
+/// `seed`.
+///
+/// ```
+/// use kg_datagen::{preset, Preset, Scale};
+/// use kg_core::DatasetStats;
+///
+/// let ds = preset(Preset::Wn18Like, Scale::Tiny, 42);
+/// let stats = DatasetStats::of(&ds);
+/// // the WN18 relation census of Tab. III
+/// assert_eq!(stats.n_relations, 18);
+/// assert_eq!(stats.n_symmetric, 4);
+/// assert_eq!(stats.n_anti_symmetric, 7);
+/// assert_eq!(stats.n_inverse, 7);
+/// ```
+pub fn preset(which: Preset, scale: Scale, seed: u64) -> Dataset {
+    let em = scale.ent_mul();
+    let tm = scale.triple_mul();
+    let split = SplitSpec { valid_fraction: 0.05, test_fraction: 0.05 };
+    match which {
+        Preset::Wn18Like => {
+            // 4 sym + 7 anti + 7 mirrors-of-anti = 18 relations.
+            let mut b = KgBuilder::new(scaled(700, em), 8, 6, seed);
+            for _ in 0..4 {
+                b.add_symmetric(scaled(180, tm), 0.97);
+            }
+            let antis: Vec<u32> =
+                (0..7).map(|_| b.add_anti_symmetric(scaled(330, tm))).collect();
+            for a in antis {
+                b.add_inverse_of(a, 0.97);
+            }
+            b.build(which.name(), split)
+        }
+        Preset::Fb15kLike => {
+            // 3 sym + 2 anti + 22 (general base + mirror) + 5 general = 54;
+            // census 3 / 2 / 22 / 27 (the 27 general = 22 bases + 5 plain),
+            // matching FB15k's inverse-heavy profile.
+            let mut b = KgBuilder::new(scaled(550, em), 8, 8, seed);
+            for _ in 0..3 {
+                b.add_symmetric(scaled(110, tm), 0.95);
+            }
+            for _ in 0..2 {
+                b.add_anti_symmetric(scaled(200, tm));
+            }
+            for _ in 0..22 {
+                let g = b.add_general(scaled(180, tm));
+                b.add_inverse_of(g, 0.97);
+            }
+            for _ in 0..5 {
+                b.add_general(scaled(180, tm));
+            }
+            b.build(which.name(), split)
+        }
+        Preset::Wn18rrLike => {
+            // 4 sym + 3 anti (one mirrored) + 3 general = 11 relations.
+            let mut b = KgBuilder::new(scaled(700, em), 8, 6, seed);
+            for _ in 0..4 {
+                b.add_symmetric(scaled(140, tm), 0.97);
+            }
+            let a0 = b.add_anti_symmetric(scaled(300, tm));
+            for _ in 0..2 {
+                b.add_anti_symmetric(scaled(300, tm));
+            }
+            b.add_inverse_of(a0, 0.97);
+            for _ in 0..3 {
+                b.add_general(scaled(250, tm));
+            }
+            b.build(which.name(), split)
+        }
+        Preset::Fb15k237Like => {
+            // 3 sym + 1 anti + 2×(general base + mirror) + 16 general = 24;
+            // census 3 / 1 / 2 / 18.
+            let mut b = KgBuilder::new(scaled(550, em), 8, 8, seed);
+            for _ in 0..3 {
+                b.add_symmetric(scaled(120, tm), 0.95);
+            }
+            b.add_anti_symmetric(scaled(250, tm));
+            for _ in 0..2 {
+                let g = b.add_general(scaled(250, tm));
+                b.add_inverse_of(g, 0.97);
+            }
+            for _ in 0..16 {
+                b.add_general(scaled(280, tm));
+            }
+            b.build(which.name(), split)
+        }
+        Preset::Yago310Like => {
+            // 8 sym + (1 general with a half-fidelity mirror → 1 inverse)
+            // + 27 general = 37 relations.
+            let mut b = KgBuilder::new(scaled(1200, em), 8, 10, seed);
+            for _ in 0..8 {
+                b.add_symmetric(scaled(150, tm), 0.95);
+            }
+            let g = b.add_general(scaled(320, tm));
+            b.add_inverse_of(g, 0.5);
+            for _ in 0..27 {
+                b.add_general(scaled(350, tm));
+            }
+            b.build(which.name(), split)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::DatasetStats;
+
+    fn census(p: Preset) -> DatasetStats {
+        DatasetStats::of(&preset(p, Scale::Tiny, 11))
+    }
+
+    #[test]
+    fn wn18_like_census() {
+        let s = census(Preset::Wn18Like);
+        assert_eq!(s.n_relations, 18);
+        assert_eq!(s.n_symmetric, 4, "{s:?}");
+        assert_eq!(s.n_anti_symmetric, 7, "{s:?}");
+        assert_eq!(s.n_inverse, 7, "{s:?}");
+        assert_eq!(s.n_general, 0, "{s:?}");
+    }
+
+    #[test]
+    fn wn18rr_like_census() {
+        let s = census(Preset::Wn18rrLike);
+        assert_eq!(s.n_relations, 11);
+        assert_eq!(s.n_symmetric, 4, "{s:?}");
+        assert_eq!(s.n_anti_symmetric, 3, "{s:?}");
+        assert_eq!(s.n_inverse, 1, "{s:?}");
+        assert_eq!(s.n_general, 3, "{s:?}");
+    }
+
+    #[test]
+    fn fb15k_like_census() {
+        let s = census(Preset::Fb15kLike);
+        assert_eq!(s.n_relations, 54);
+        assert_eq!(s.n_symmetric, 3, "{s:?}");
+        assert_eq!(s.n_inverse, 22, "{s:?}");
+        assert!(s.n_general >= 25, "{s:?}");
+    }
+
+    #[test]
+    fn fb15k237_like_census() {
+        let s = census(Preset::Fb15k237Like);
+        assert_eq!(s.n_relations, 24);
+        assert_eq!(s.n_symmetric, 3, "{s:?}");
+        assert_eq!(s.n_inverse, 2, "{s:?}");
+        assert!(s.n_general >= 17, "{s:?}");
+    }
+
+    #[test]
+    fn yago310_like_census() {
+        let s = census(Preset::Yago310Like);
+        assert_eq!(s.n_relations, 37);
+        assert_eq!(s.n_symmetric, 8, "{s:?}");
+        assert_eq!(s.n_anti_symmetric, 0, "{s:?}");
+        assert_eq!(s.n_inverse, 1, "{s:?}");
+        assert_eq!(s.n_general, 28, "{s:?}");
+    }
+
+    #[test]
+    fn yago_is_largest() {
+        let y = census(Preset::Yago310Like);
+        let w = census(Preset::Wn18Like);
+        assert!(y.n_entities > w.n_entities);
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        let a = preset(Preset::Wn18rrLike, Scale::Tiny, 5);
+        let b = preset(Preset::Wn18rrLike, Scale::Tiny, 5);
+        assert_eq!(a.train, b.train);
+        let c = preset(Preset::Wn18rrLike, Scale::Tiny, 6);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for p in Preset::ALL {
+            assert_eq!(Preset::parse(p.name()), Some(p));
+        }
+        assert_eq!(Preset::parse("nope"), None);
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for p in Preset::ALL {
+            let ds = preset(p, Scale::Tiny, 1);
+            assert!(ds.validate().is_ok(), "{}", p.name());
+            assert!(!ds.valid.is_empty(), "{} has no validation split", p.name());
+            assert!(!ds.test.is_empty(), "{} has no test split", p.name());
+        }
+    }
+}

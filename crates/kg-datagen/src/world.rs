@@ -1,0 +1,183 @@
+//! The latent bilinear world model behind all generated KGs.
+//!
+//! Entities live in a latent space `z_e ∈ R^k`; a relation is a latent
+//! matrix `W_r ∈ R^{k×k}` and the ground-truth plausibility of `(h, r, t)`
+//! is `z_hᵀ W_r z_t`. Relation patterns are algebraic properties of `W_r`:
+//!
+//! * `W_r = W_rᵀ`  (symmetric part only)  → symmetric relation,
+//! * `W_r = -W_rᵀ` (skew part only)       → anti-symmetric relation,
+//! * `W_{r'} = W_rᵀ`                      → `(r, r')` inverse pair.
+//!
+//! This mirrors exactly the expressiveness argument of the paper's
+//! Proposition 1, so the generated data exercises the same mechanics the
+//! searched scoring functions must capture.
+
+use kg_linalg::{Mat, SeededRng};
+
+/// Latent entity representation shared by all relations of one KG.
+#[derive(Debug, Clone)]
+pub struct LatentWorld {
+    /// `n_entities × k` latent entity matrix.
+    z: Mat,
+    /// Latent dimensionality `k`.
+    k: usize,
+}
+
+/// A latent relation matrix with a named algebraic shape.
+#[derive(Debug, Clone)]
+pub struct LatentRelation {
+    /// `k × k` ground-truth relation matrix.
+    pub w: Mat,
+}
+
+impl LatentWorld {
+    /// Sample a world of `n_entities` latent vectors of dimension `k`.
+    /// Entities are drawn from a small number of soft clusters so that the
+    /// generated KGs have the community structure real KGs show.
+    pub fn generate(n_entities: usize, k: usize, n_clusters: usize, rng: &mut SeededRng) -> Self {
+        assert!(k >= 2, "latent dimension must be at least 2");
+        assert!(n_clusters >= 1, "need at least one cluster");
+        let mut centers = Mat::zeros(n_clusters, k);
+        rng.fill_normal(1.0, centers.as_mut_slice());
+        let mut z = Mat::zeros(n_entities, k);
+        for e in 0..n_entities {
+            let c = rng.below(n_clusters);
+            let row = z.row_mut(e);
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = centers.get(c, i) + rng.normal_ms(0.0, 0.5) as f32;
+            }
+        }
+        LatentWorld { z, k }
+    }
+
+    /// Number of entities.
+    pub fn n_entities(&self) -> usize {
+        self.z.rows()
+    }
+
+    /// Latent dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Latent vector of entity `e`.
+    pub fn latent(&self, e: usize) -> &[f32] {
+        self.z.row(e)
+    }
+
+    /// Ground-truth score `z_hᵀ W z_t`.
+    pub fn score(&self, h: usize, rel: &LatentRelation, t: usize) -> f32 {
+        let zh = self.z.row(h);
+        let zt = self.z.row(t);
+        let mut acc = 0.0f32;
+        for i in 0..self.k {
+            let mut wi = 0.0f32;
+            for j in 0..self.k {
+                wi += rel.w.get(i, j) * zt[j];
+            }
+            acc += zh[i] * wi;
+        }
+        acc
+    }
+
+    /// Sample a relation with no structural constraint (general asymmetric).
+    pub fn general_relation(&self, rng: &mut SeededRng) -> LatentRelation {
+        let mut w = Mat::zeros(self.k, self.k);
+        rng.fill_normal(1.0, w.as_mut_slice());
+        LatentRelation { w }
+    }
+
+    /// Sample a symmetric relation: `W = (A + Aᵀ)/2`.
+    pub fn symmetric_relation(&self, rng: &mut SeededRng) -> LatentRelation {
+        let a = self.general_relation(rng).w;
+        let mut w = Mat::zeros(self.k, self.k);
+        for i in 0..self.k {
+            for j in 0..self.k {
+                w.set(i, j, 0.5 * (a.get(i, j) + a.get(j, i)));
+            }
+        }
+        LatentRelation { w }
+    }
+
+    /// Sample an anti-symmetric relation: `W = (A - Aᵀ)/2`, so
+    /// `score(h, t) = -score(t, h)` exactly.
+    pub fn anti_symmetric_relation(&self, rng: &mut SeededRng) -> LatentRelation {
+        let a = self.general_relation(rng).w;
+        let mut w = Mat::zeros(self.k, self.k);
+        for i in 0..self.k {
+            for j in 0..self.k {
+                w.set(i, j, 0.5 * (a.get(i, j) - a.get(j, i)));
+            }
+        }
+        LatentRelation { w }
+    }
+
+    /// The inverse of an existing relation: `W' = Wᵀ`, so
+    /// `score'(h, t) = score(t, h)`.
+    pub fn inverse_of(&self, rel: &LatentRelation) -> LatentRelation {
+        LatentRelation { w: rel.w.transposed() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> (LatentWorld, SeededRng) {
+        let mut rng = SeededRng::new(99);
+        let w = LatentWorld::generate(50, 6, 4, &mut rng);
+        (w, rng)
+    }
+
+    #[test]
+    fn symmetric_relation_scores_symmetrically() {
+        let (w, mut rng) = world();
+        let r = w.symmetric_relation(&mut rng);
+        for (h, t) in [(0, 1), (5, 9), (20, 49)] {
+            let a = w.score(h, &r, t);
+            let b = w.score(t, &r, h);
+            assert!((a - b).abs() < 1e-5, "score({h},{t})={a} vs score({t},{h})={b}");
+        }
+    }
+
+    #[test]
+    fn anti_symmetric_relation_flips_sign() {
+        let (w, mut rng) = world();
+        let r = w.anti_symmetric_relation(&mut rng);
+        for (h, t) in [(0, 1), (5, 9), (20, 49)] {
+            let a = w.score(h, &r, t);
+            let b = w.score(t, &r, h);
+            assert!((a + b).abs() < 1e-5);
+        }
+        // self-score is zero for skew matrices
+        assert!(w.score(3, &r, 3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inverse_relation_transposes_scores() {
+        let (w, mut rng) = world();
+        let r = w.general_relation(&mut rng);
+        let ri = w.inverse_of(&r);
+        for (h, t) in [(0, 1), (7, 31)] {
+            assert!((w.score(h, &ri, t) - w.score(t, &r, h)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn worlds_are_deterministic() {
+        let mut r1 = SeededRng::new(5);
+        let mut r2 = SeededRng::new(5);
+        let a = LatentWorld::generate(10, 4, 2, &mut r1);
+        let b = LatentWorld::generate(10, 4, 2, &mut r2);
+        assert_eq!(a.latent(3), b.latent(3));
+    }
+
+    #[test]
+    fn general_relation_is_usually_asymmetric() {
+        let (w, mut rng) = world();
+        let r = w.general_relation(&mut rng);
+        let a = w.score(0, &r, 1);
+        let b = w.score(1, &r, 0);
+        assert!((a - b).abs() > 1e-6, "a general latent relation should not be symmetric");
+    }
+}

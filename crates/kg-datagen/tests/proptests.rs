@@ -1,0 +1,86 @@
+//! Property-based tests for the generators: whatever the seed and size,
+//! the pattern guarantees the presets rely on must hold.
+
+use kg_core::fxhash::FxHashSet;
+use kg_core::reltype::{RelationKind, RelationProfile};
+use kg_core::Triple;
+use kg_datagen::{patterns, LatentWorld};
+use kg_linalg::SeededRng;
+use proptest::prelude::*;
+
+const N_ENT: usize = 80;
+
+fn world(seed: u64) -> (LatentWorld, SeededRng) {
+    let mut rng = SeededRng::new(seed);
+    let w = LatentWorld::generate(N_ENT, 6, 4, &mut rng);
+    (w, rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Anti-symmetric generators never emit both directions of a pair.
+    #[test]
+    fn anti_symmetric_never_reversed(seed in 0u64..5000, n in 30usize..120) {
+        let (w, mut rng) = world(seed);
+        let rel = w.anti_symmetric_relation(&mut rng);
+        let ts = patterns::anti_symmetric(&w, &rel, 0, n, 0..N_ENT, &mut rng);
+        let set: FxHashSet<Triple> = ts.iter().copied().collect();
+        for t in &ts {
+            prop_assert!(!set.contains(&t.reversed()), "both directions of {t}");
+        }
+    }
+
+    /// Fully-complete symmetric generators classify symmetric.
+    #[test]
+    fn symmetric_classifies_symmetric(seed in 0u64..5000, n in 30usize..100) {
+        let (w, mut rng) = world(seed);
+        let rel = w.symmetric_relation(&mut rng);
+        let ts = patterns::symmetric(&w, &rel, 0, n, 0..N_ENT, 1.0, &mut rng);
+        let p = RelationProfile::classify(&ts, 1);
+        prop_assert_eq!(p.kind(kg_core::RelationId(0)), RelationKind::Symmetric);
+    }
+
+    /// Bipartite general relations respect their pools and never classify
+    /// symmetric or anti-symmetric.
+    #[test]
+    fn general_respects_pools(seed in 0u64..5000, n in 40usize..120) {
+        let (w, mut rng) = world(seed);
+        let rel = w.general_relation(&mut rng);
+        let ts = patterns::general(&w, &rel, 0, n, 0..40, 40..N_ENT, &mut rng);
+        prop_assert!(!ts.is_empty());
+        for t in &ts {
+            prop_assert!((t.h.0 as usize) < 40 && (t.t.0 as usize) >= 40);
+        }
+        let p = RelationProfile::classify(&ts, 1);
+        let k = p.kind(kg_core::RelationId(0));
+        prop_assert!(k == RelationKind::General, "classified {k:?}");
+    }
+
+    /// Full-fidelity mirrors always classify as an inverse pair with the
+    /// base keeping its class.
+    #[test]
+    fn mirror_classifies_inverse(seed in 0u64..5000) {
+        let (w, mut rng) = world(seed);
+        let rel = w.general_relation(&mut rng);
+        let base = patterns::general(&w, &rel, 0, 80, 0..40, 40..N_ENT, &mut rng);
+        prop_assume!(base.len() >= 20);
+        let mirror = patterns::inverse_of(&base, 1, 1.0, &mut rng);
+        let mut all = base;
+        all.extend(mirror);
+        let p = RelationProfile::classify(&all, 2);
+        prop_assert_eq!(p.kind(kg_core::RelationId(1)), RelationKind::Inverse);
+        prop_assert_eq!(p.partner(kg_core::RelationId(1)), Some(kg_core::RelationId(0)));
+    }
+
+    /// No generator emits self-loops or duplicate triples.
+    #[test]
+    fn no_loops_no_duplicates(seed in 0u64..5000) {
+        let (w, mut rng) = world(seed);
+        let rel = w.general_relation(&mut rng);
+        let ts = patterns::general(&w, &rel, 0, 100, 0..N_ENT, 0..N_ENT, &mut rng);
+        let set: FxHashSet<Triple> = ts.iter().copied().collect();
+        prop_assert_eq!(set.len(), ts.len());
+        prop_assert!(ts.iter().all(|t| !t.is_loop()));
+    }
+}

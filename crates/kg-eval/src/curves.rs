@@ -1,0 +1,91 @@
+//! Learning-curve capture (Fig. 4: test MRR vs wall-clock; Fig. 6-9:
+//! best-so-far MRR vs models trained).
+
+use serde::{Deserialize, Serialize};
+
+/// One measurement on a curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// X-axis: wall-clock seconds (Fig. 4) or models trained (Fig. 6-9).
+    pub x: f64,
+    /// Y-axis: the tracked metric (MRR in all the paper's figures).
+    pub y: f64,
+}
+
+/// A labelled series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Curve {
+    /// Legend label, e.g. "AutoSF" or "DistMult".
+    pub label: String,
+    /// Measurements in x order.
+    pub points: Vec<CurvePoint>,
+}
+
+impl Curve {
+    /// New empty curve.
+    pub fn new(label: impl Into<String>) -> Self {
+        Curve { label: label.into(), points: Vec::new() }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push(CurvePoint { x, y });
+    }
+
+    /// Convert to a running best (monotone non-decreasing y) — the
+    /// "best MRR so far" presentation of Fig. 6-9.
+    pub fn running_best(&self) -> Curve {
+        let mut best = f64::NEG_INFINITY;
+        let mut out = Curve::new(self.label.clone());
+        for p in &self.points {
+            best = best.max(p.y);
+            out.push(p.x, best);
+        }
+        out
+    }
+
+    /// Final y value (0.0 when empty).
+    pub fn final_y(&self) -> f64 {
+        self.points.last().map(|p| p.y).unwrap_or(0.0)
+    }
+
+    /// Render as a gnuplot-ready two-column block with a `# label` header.
+    pub fn to_text(&self) -> String {
+        let mut s = format!("# {}\n", self.label);
+        for p in &self.points {
+            s.push_str(&format!("{:.4}\t{:.5}\n", p.x, p.y));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_best_is_monotone() {
+        let mut c = Curve::new("x");
+        for (x, y) in [(0.0, 0.3), (1.0, 0.2), (2.0, 0.5), (3.0, 0.4)] {
+            c.push(x, y);
+        }
+        let rb = c.running_best();
+        let ys: Vec<f64> = rb.points.iter().map(|p| p.y).collect();
+        assert_eq!(ys, vec![0.3, 0.3, 0.5, 0.5]);
+        assert_eq!(rb.final_y(), 0.5);
+    }
+
+    #[test]
+    fn text_rendering() {
+        let mut c = Curve::new("test");
+        c.push(1.0, 0.5);
+        let t = c.to_text();
+        assert!(t.starts_with("# test\n"));
+        assert!(t.contains("1.0000\t0.50000"));
+    }
+
+    #[test]
+    fn empty_curve_final_is_zero() {
+        assert_eq!(Curve::new("e").final_y(), 0.0);
+    }
+}

@@ -1,0 +1,15 @@
+//! Evaluation substrate.
+//!
+//! * [`ranking`] — filtered link-prediction ranking (MRR, MR, Hits@k over
+//!   head and tail queries), the protocol of Sec. V-B.
+//! * [`classification`] — triplet classification with per-relation
+//!   thresholds σ_r tuned on validation (Sec. V-C / Tab. VI).
+//! * [`curves`] — learning-curve capture for Fig. 4 / Fig. 6-9.
+
+pub mod classification;
+pub mod curves;
+pub mod ranking;
+
+pub use classification::{accuracy, make_negatives, tune_thresholds, Thresholds};
+pub use curves::{Curve, CurvePoint};
+pub use ranking::{evaluate, evaluate_parallel, RankMetrics};

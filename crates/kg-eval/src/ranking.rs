@@ -1,0 +1,338 @@
+//! Filtered link-prediction ranking (Sec. V-B).
+//!
+//! For each test triple `(h, r, t)` the model scores `(h, r, e)` for every
+//! entity `e` and we compute the rank of `t` — and symmetrically the rank
+//! of `h` over `(e, r, t)` — in the **filtered** setting: candidates that
+//! form a *different* known positive are excluded from the count. Ties
+//! count half (the unbiased convention), so constant scorers get the random
+//! expectation instead of a free rank 1.
+
+use kg_core::{FilterIndex, Triple};
+use kg_models::LinkPredictor;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate ranking metrics over a triple set (head + tail queries).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankMetrics {
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Mean rank.
+    pub mr: f64,
+    /// Fraction with rank ≤ 1.
+    pub hits1: f64,
+    /// Fraction with rank ≤ 3.
+    pub hits3: f64,
+    /// Fraction with rank ≤ 10.
+    pub hits10: f64,
+    /// Number of ranked queries (2 per triple).
+    pub n_queries: usize,
+}
+
+impl RankMetrics {
+    /// The all-zero metrics (identity for [`RankMetrics::merge`]).
+    pub fn zero() -> Self {
+        RankMetrics { mrr: 0.0, mr: 0.0, hits1: 0.0, hits3: 0.0, hits10: 0.0, n_queries: 0 }
+    }
+
+    fn accumulate(&mut self, rank: f64) {
+        self.mrr += 1.0 / rank;
+        self.mr += rank;
+        if rank <= 1.0 {
+            self.hits1 += 1.0;
+        }
+        if rank <= 3.0 {
+            self.hits3 += 1.0;
+        }
+        if rank <= 10.0 {
+            self.hits10 += 1.0;
+        }
+        self.n_queries += 1;
+    }
+
+    /// Merge partial sums (both sides must still be un-normalised).
+    pub fn merge(mut self, other: RankMetrics) -> RankMetrics {
+        self.mrr += other.mrr;
+        self.mr += other.mr;
+        self.hits1 += other.hits1;
+        self.hits3 += other.hits3;
+        self.hits10 += other.hits10;
+        self.n_queries += other.n_queries;
+        self
+    }
+
+    fn normalised(mut self) -> RankMetrics {
+        let n = self.n_queries.max(1) as f64;
+        self.mrr /= n;
+        self.mr /= n;
+        self.hits1 /= n;
+        self.hits3 /= n;
+        self.hits10 /= n;
+        self
+    }
+
+    /// Render as a compact `MRR/H@1/H@10` cell.
+    pub fn cell(&self) -> String {
+        format!("{:.3}/{:.1}/{:.1}", self.mrr, self.hits1 * 100.0, self.hits10 * 100.0)
+    }
+}
+
+/// Rank of the target given raw scores, filtered by `is_known_other`.
+/// `rank = 1 + #better + #ties/2` over non-filtered candidates.
+fn filtered_rank<F: Fn(usize) -> bool>(
+    scores: &[f32],
+    target: usize,
+    is_known_other: F,
+) -> f64 {
+    let s_t = scores[target];
+    let mut better = 0usize;
+    let mut ties = 0usize;
+    for (e, &s) in scores.iter().enumerate() {
+        if e == target || is_known_other(e) {
+            continue;
+        }
+        if s > s_t {
+            better += 1;
+        } else if s == s_t {
+            ties += 1;
+        }
+    }
+    1.0 + better as f64 + ties as f64 / 2.0
+}
+
+/// Evaluate sequentially over `triples`.
+pub fn evaluate(model: &dyn LinkPredictor, triples: &[Triple], filter: &FilterIndex) -> RankMetrics {
+    let mut metrics = RankMetrics::zero();
+    let mut scores = vec![0.0f32; model.n_entities()];
+    for tr in triples {
+        rank_triple(model, *tr, filter, &mut scores, &mut metrics);
+    }
+    metrics.normalised()
+}
+
+fn rank_triple(
+    model: &dyn LinkPredictor,
+    tr: Triple,
+    filter: &FilterIndex,
+    scores: &mut [f32],
+    metrics: &mut RankMetrics,
+) {
+    let (h, r, t) = (tr.h, tr.r, tr.t);
+    // tail query
+    model.score_tails(h.idx(), r.idx(), scores);
+    let rank = filtered_rank(scores, t.idx(), |e| {
+        filter.known(h, r, kg_core::EntityId(e as u32))
+    });
+    metrics.accumulate(rank);
+    // head query
+    model.score_heads(r.idx(), t.idx(), scores);
+    let rank = filtered_rank(scores, h.idx(), |e| {
+        filter.known(kg_core::EntityId(e as u32), r, t)
+    });
+    metrics.accumulate(rank);
+}
+
+/// Evaluate with a per-relation breakdown (used by case-study analysis à la
+/// Sec. V-B2: which relation patterns a scoring function handles well).
+/// Returns normalised metrics per relation id; relations with no test
+/// triples get zeroed metrics.
+pub fn evaluate_per_relation(
+    model: &dyn LinkPredictor,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    n_relations: usize,
+) -> Vec<RankMetrics> {
+    let mut per: Vec<RankMetrics> = vec![RankMetrics::zero(); n_relations];
+    let mut scores = vec![0.0f32; model.n_entities()];
+    for tr in triples {
+        rank_triple(model, *tr, filter, &mut scores, &mut per[tr.r.idx()]);
+    }
+    per.into_iter().map(|m| if m.n_queries > 0 { m.normalised() } else { m }).collect()
+}
+
+/// Evaluate with `n_threads` workers (the model is shared read-only).
+pub fn evaluate_parallel<M: LinkPredictor + Sync>(
+    model: &M,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    n_threads: usize,
+) -> RankMetrics {
+    assert!(n_threads > 0, "need at least one thread");
+    if triples.is_empty() {
+        return RankMetrics::zero();
+    }
+    let n_threads = n_threads.min(triples.len());
+    let chunk = triples.len().div_ceil(n_threads);
+    let partials = crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in triples.chunks(chunk) {
+            handles.push(scope.spawn(move |_| {
+                let mut metrics = RankMetrics::zero();
+                let mut scores = vec![0.0f32; model.n_entities()];
+                for tr in part {
+                    rank_triple(model, *tr, filter, &mut scores, &mut metrics);
+                }
+                metrics
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("eval worker panicked"))
+            .fold(RankMetrics::zero(), RankMetrics::merge)
+    })
+    .expect("crossbeam scope failed");
+    partials.normalised()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An oracle that scores entity `t` highest for every `(h, r)` query by
+    /// looking up a fixed mapping.
+    struct Oracle {
+        n: usize,
+        target: usize,
+    }
+
+    impl LinkPredictor for Oracle {
+        fn n_entities(&self) -> usize {
+            self.n
+        }
+        fn score_triple(&self, _h: usize, _r: usize, t: usize) -> f32 {
+            if t == self.target {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        fn score_tails(&self, _h: usize, _r: usize, out: &mut [f32]) {
+            for (e, o) in out.iter_mut().enumerate() {
+                *o = if e == self.target { 1.0 } else { 0.0 };
+            }
+        }
+        fn score_heads(&self, _r: usize, _t: usize, out: &mut [f32]) {
+            for (e, o) in out.iter_mut().enumerate() {
+                *o = if e == self.target { 1.0 } else { 0.0 };
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_tail_prediction_gets_rank_one() {
+        let m = Oracle { n: 10, target: 3 };
+        let triples = vec![Triple::new(0, 0, 3)];
+        let filter = FilterIndex::build(&triples);
+        let r = evaluate(&m, &triples, &filter);
+        // tail query: rank 1. head query: the true head 0 scores 0, entity 3
+        // scores 1 (1 better), the other 8 tie at 0 → rank = 1 + 1 + 8/2 = 6
+        assert_eq!(r.n_queries, 2);
+        assert!((r.mrr - (1.0 + 1.0 / 6.0) / 2.0).abs() < 1e-9, "mrr {}", r.mrr);
+    }
+
+    #[test]
+    fn filtering_excludes_other_positives() {
+        // entity 1 scores higher than true target 3, but (0,0,1) is a known
+        // positive → filtered out → rank stays 1.
+        struct TwoPeaks;
+        impl LinkPredictor for TwoPeaks {
+            fn n_entities(&self) -> usize {
+                5
+            }
+            fn score_triple(&self, _: usize, _: usize, t: usize) -> f32 {
+                [0.0, 2.0, 0.0, 1.0, 0.0][t]
+            }
+            fn score_tails(&self, _: usize, _: usize, out: &mut [f32]) {
+                out.copy_from_slice(&[0.0, 2.0, 0.0, 1.0, 0.0]);
+            }
+            fn score_heads(&self, _: usize, _: usize, out: &mut [f32]) {
+                out.copy_from_slice(&[0.0, 2.0, 0.0, 1.0, 0.0]);
+            }
+        }
+        let known = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 3)];
+        let filter = FilterIndex::build(&known);
+        let r = evaluate(&TwoPeaks, &[Triple::new(0, 0, 3)], &filter);
+        // tail rank of 3: entity 1 filtered → rank 1
+        // head rank of 0: head filtering only removes (e,0,3) positives, so
+        // entities 1 (score 2) and 3 (score 1) rank above, {2,4} tie at 0
+        // → rank = 1 + 2 + 2/2 = 4
+        let expect = (1.0 + 1.0 / 4.0) / 2.0;
+        assert!((r.mrr - expect).abs() < 1e-9, "mrr {} expect {expect}", r.mrr);
+    }
+
+    #[test]
+    fn constant_scorer_gets_random_expectation() {
+        struct Flat;
+        impl LinkPredictor for Flat {
+            fn n_entities(&self) -> usize {
+                11
+            }
+            fn score_triple(&self, _: usize, _: usize, _: usize) -> f32 {
+                0.5
+            }
+            fn score_tails(&self, _: usize, _: usize, out: &mut [f32]) {
+                out.fill(0.5);
+            }
+            fn score_heads(&self, _: usize, _: usize, out: &mut [f32]) {
+                out.fill(0.5);
+            }
+        }
+        let triples = vec![Triple::new(0, 0, 1)];
+        let filter = FilterIndex::build(&triples);
+        let r = evaluate(&Flat, &triples, &filter);
+        // 10 non-target candidates all tied → rank = 1 + 5 = 6 (the mean
+        // rank of a uniformly random ordering over 11 entities)
+        assert!((r.mr - 6.0).abs() < 1e-9, "mr {}", r.mr);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let m = Oracle { n: 20, target: 7 };
+        let triples: Vec<Triple> = (0..12).map(|i| Triple::new(i, 0, 7)).collect();
+        let filter = FilterIndex::build(&triples);
+        let seq = evaluate(&m, &triples, &filter);
+        for threads in [1, 2, 3, 7] {
+            let par = evaluate_parallel(&m, &triples, &filter, threads);
+            assert!((par.mrr - seq.mrr).abs() < 1e-12, "threads={threads}");
+            assert_eq!(par.n_queries, seq.n_queries);
+        }
+    }
+
+    #[test]
+    fn empty_triples_are_safe() {
+        let m = Oracle { n: 4, target: 0 };
+        let filter = FilterIndex::default();
+        let r = evaluate(&m, &[], &filter);
+        assert_eq!(r.n_queries, 0);
+        assert_eq!(r.mrr, 0.0);
+        let rp = evaluate_parallel(&m, &[], &filter, 4);
+        assert_eq!(rp.n_queries, 0);
+    }
+
+    #[test]
+    fn per_relation_breakdown_partitions_queries() {
+        let m = Oracle { n: 10, target: 3 };
+        let triples =
+            vec![Triple::new(0, 0, 3), Triple::new(1, 1, 3), Triple::new(2, 1, 3)];
+        let filter = FilterIndex::build(&triples);
+        let per = evaluate_per_relation(&m, &triples, &filter, 3);
+        assert_eq!(per.len(), 3);
+        assert_eq!(per[0].n_queries, 2);
+        assert_eq!(per[1].n_queries, 4);
+        assert_eq!(per[2].n_queries, 0);
+        // aggregate matches the flat evaluation on per-query counts
+        let total: usize = per.iter().map(|m| m.n_queries).sum();
+        assert_eq!(total, evaluate(&m, &triples, &filter).n_queries);
+    }
+
+    #[test]
+    fn metrics_cell_formats() {
+        let mut m = RankMetrics::zero();
+        m.accumulate(1.0);
+        m.accumulate(2.0);
+        let n = m.normalised();
+        assert_eq!(n.n_queries, 2);
+        assert!(n.cell().contains('/'));
+        assert!((n.mrr - 0.75).abs() < 1e-9);
+        assert!((n.hits1 - 0.5).abs() < 1e-9);
+    }
+}

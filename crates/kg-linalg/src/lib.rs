@@ -1,0 +1,30 @@
+//! Dense math substrate for the AutoSF reproduction.
+//!
+//! The paper trains knowledge-graph embeddings with PyTorch on GPUs; every
+//! scoring function in the AutoSF search space is a sum of triple dot
+//! products, so all gradients are closed-form and a small, allocation-free
+//! set of dense kernels is enough to reproduce the system on CPU:
+//!
+//! * [`vecops`] — vector primitives (dot, axpy, Hadamard, softmax).
+//! * [`matrix`] — row-major [`matrix::Mat`] with GEMV/GEMM used for
+//!   score-all-entities ranking.
+//! * [`rng`] — seeded random initialisation (uniform, Box-Muller normal,
+//!   Xavier/Glorot).
+//! * [`optim`] — SGD / Adagrad / Adam with sparse row updates (Adagrad is the
+//!   paper's optimizer, Sec. V-A2).
+//! * [`mlp`] — a minimal multilayer perceptron with backprop, used by the
+//!   SRF performance predictor (22-2-1), the one-hot predictor (96-8-1,
+//!   Fig. 8) and the Gen-Approx baseline (Appendix D).
+
+// Index loops mirror the paper's subscript notation in numeric kernels.
+#![allow(clippy::needless_range_loop)]
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+pub mod rng;
+pub mod vecops;
+
+pub use matrix::Mat;
+pub use mlp::{Activation, Mlp};
+pub use optim::{Adagrad, Adam, Optimizer, Sgd};
+pub use rng::SeededRng;

@@ -1,0 +1,318 @@
+//! Vector primitives used throughout the training and search code.
+//!
+//! All functions operate on `f32` slices, panic on length mismatch (length
+//! mismatches are programming errors, never data errors), and avoid
+//! allocation so they can sit in the innermost training loops.
+
+/// Dot product `a · b`.
+///
+/// # Panics
+/// Panics if `a.len() != b.len()`.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Triple dot product `⟨a, b, c⟩ = Σ_i a_i·b_i·c_i` — the basic building
+/// block of every bilinear scoring function (paper, Notations).
+#[inline]
+pub fn triple_dot(a: &[f32], b: &[f32], c: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "triple_dot: length mismatch");
+    assert_eq!(a.len(), c.len(), "triple_dot: length mismatch");
+    let mut acc = 0.0f32;
+    for i in 0..a.len() {
+        acc += a[i] * b[i] * c[i];
+    }
+    acc
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y += alpha * (a ∘ b)` (Hadamard product accumulate) — the gradient of a
+/// triple dot product with respect to its third argument.
+#[inline]
+pub fn hadamard_axpy(alpha: f32, a: &[f32], b: &[f32], y: &mut [f32]) {
+    assert_eq!(a.len(), y.len(), "hadamard_axpy: length mismatch");
+    assert_eq!(b.len(), y.len(), "hadamard_axpy: length mismatch");
+    for i in 0..y.len() {
+        y[i] += alpha * a[i] * b[i];
+    }
+}
+
+/// Element-wise product written into `out`: `out = a ∘ b`.
+#[inline]
+pub fn hadamard(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "hadamard: length mismatch");
+    assert_eq!(a.len(), out.len(), "hadamard: length mismatch");
+    for i in 0..out.len() {
+        out[i] = a[i] * b[i];
+    }
+}
+
+/// Scale in place: `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Squared L2 norm.
+#[inline]
+pub fn norm2_sq(x: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for xi in x {
+        acc += xi * xi;
+    }
+    acc
+}
+
+/// L2 norm.
+#[inline]
+pub fn norm2(x: &[f32]) -> f32 {
+    norm2_sq(x).sqrt()
+}
+
+/// L1 norm.
+#[inline]
+pub fn norm1(x: &[f32]) -> f32 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Fill with zeros.
+#[inline]
+pub fn zero(x: &mut [f32]) {
+    for xi in x.iter_mut() {
+        *xi = 0.0;
+    }
+}
+
+/// Numerically-stable in-place softmax. Returns the log-sum-exp so callers
+/// can compute a cross-entropy loss without a second pass.
+pub fn softmax_inplace(x: &mut [f32]) -> f32 {
+    assert!(!x.is_empty(), "softmax of empty slice");
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for xi in x.iter_mut() {
+        *xi = (*xi - max).exp();
+        sum += *xi;
+    }
+    let inv = 1.0 / sum;
+    for xi in x.iter_mut() {
+        *xi *= inv;
+    }
+    max + sum.ln()
+}
+
+/// Log-sum-exp of a slice without mutating it.
+pub fn log_sum_exp(x: &[f32]) -> f32 {
+    assert!(!x.is_empty(), "log_sum_exp of empty slice");
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let sum: f32 = x.iter().map(|v| (v - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// `log(1 + exp(x))` computed without overflow — the softplus used by the
+/// logistic loss.
+#[inline]
+pub fn softplus(x: f32) -> f32 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Mean of a slice; 0.0 for the empty slice.
+pub fn mean(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f32>() / x.len() as f32
+    }
+}
+
+/// Pearson correlation between two equally-long slices (used to validate the
+/// performance predictor, Principle (P1)). Returns 0.0 when either side has
+/// zero variance.
+pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    let mut cov = 0.0f32;
+    let mut va = 0.0f32;
+    let mut vb = 0.0f32;
+    for i in 0..a.len() {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va <= f32::EPSILON || vb <= f32::EPSILON {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Spearman rank correlation — the predictor only needs to *rank* candidates
+/// correctly (Principle (P1)), so rank correlation is the metric we report.
+pub fn spearman(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "spearman: length mismatch");
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Fractional ranks (average rank for ties), 1-based.
+pub fn ranks(x: &[f32]) -> Vec<f32> {
+    let n = x.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| x[i].partial_cmp(&x[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0f32; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && x[idx[j + 1]] == x[idx[i]] {
+            j += 1;
+        }
+        // average 1-based rank over the tie group [i, j]
+        let avg = (i + j) as f32 / 2.0 + 1.0;
+        for k in i..=j {
+            out[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn triple_dot_matches_manual() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let c = [5.0, 6.0];
+        assert_eq!(triple_dot(&a, &b, &c), 1.0 * 3.0 * 5.0 + 2.0 * 4.0 * 6.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, [7.0, 9.0]);
+    }
+
+    #[test]
+    fn hadamard_axpy_matches_triple_dot_gradient() {
+        // d/dc ⟨a,b,c⟩ = a∘b
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        let mut g = [0.0; 3];
+        hadamard_axpy(1.0, &a, &b, &mut g);
+        assert_eq!(g, [4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let mut x = [1000.0, 1000.0, 1000.0];
+        softmax_inplace(&mut x);
+        let s: f32 = x.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        for v in x {
+            assert!((v - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_returns_logsumexp() {
+        let mut x = [0.0, 1.0, 2.0];
+        let lse = softmax_inplace(&mut x);
+        let expect = (0f32.exp() + 1f32.exp() + 2f32.exp()).ln();
+        assert!((lse - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_extremes() {
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn softplus_no_overflow() {
+        assert!((softplus(100.0) - 100.0).abs() < 1e-4);
+        assert!(softplus(-100.0) < 1e-4);
+        assert!((softplus(0.0) - 2f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-6);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // monotone but non-linear mapping still gives rho = 1
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 10.0, 100.0, 1000.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2_sq(&[3.0, 4.0]), 25.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm1(&[-3.0, 4.0]), 7.0);
+    }
+}

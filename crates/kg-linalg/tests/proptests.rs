@@ -1,0 +1,125 @@
+//! Property-based tests for the math substrate.
+
+use kg_linalg::vecops;
+use proptest::prelude::*;
+
+fn small_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, n..=n)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(a in small_vec(16), b in small_vec(16)) {
+        let ab = vecops::dot(&a, &b);
+        let ba = vecops::dot(&b, &a);
+        prop_assert!((ab - ba).abs() <= 1e-3 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn triple_dot_is_fully_symmetric(a in small_vec(8), b in small_vec(8), c in small_vec(8)) {
+        let abc = vecops::triple_dot(&a, &b, &c);
+        let bca = vecops::triple_dot(&b, &c, &a);
+        let cab = vecops::triple_dot(&c, &a, &b);
+        prop_assert!((abc - bca).abs() <= 1e-2 * (1.0 + abc.abs()));
+        prop_assert!((abc - cab).abs() <= 1e-2 * (1.0 + abc.abs()));
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(mut x in small_vec(12)) {
+        vecops::softmax_inplace(&mut x);
+        let sum: f32 = x.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(x in small_vec(8), shift in -50.0f32..50.0) {
+        let mut a = x.clone();
+        let mut b: Vec<f32> = x.iter().map(|v| v + shift).collect();
+        vecops::softmax_inplace(&mut a);
+        vecops::softmax_inplace(&mut b);
+        for (p, q) in a.iter().zip(b.iter()) {
+            prop_assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sigmoid_complements(x in -80.0f32..80.0) {
+        let s = vecops::sigmoid(x) + vecops::sigmoid(-x);
+        prop_assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softplus_dominates_relu(x in -80.0f32..80.0) {
+        let sp = vecops::softplus(x);
+        prop_assert!(sp >= x.max(0.0) - 1e-4);
+        prop_assert!(sp <= x.max(0.0) + 0.6932); // gap is ln 2 at x=0
+    }
+
+    #[test]
+    fn ranks_are_a_valid_assignment(x in small_vec(10)) {
+        let r = vecops::ranks(&x);
+        let sum: f32 = r.iter().sum();
+        // ranks always sum to n(n+1)/2 regardless of ties
+        prop_assert!((sum - 55.0).abs() < 1e-3);
+        prop_assert!(r.iter().all(|&v| (1.0..=10.0).contains(&v)));
+    }
+
+    #[test]
+    fn pearson_is_bounded(a in small_vec(12), b in small_vec(12)) {
+        let rho = vecops::pearson(&a, &b);
+        prop_assert!((-1.0001..=1.0001).contains(&rho));
+    }
+
+    #[test]
+    fn axpy_matches_reference(alpha in -10.0f32..10.0, x in small_vec(8), y0 in small_vec(8)) {
+        let mut y = y0.clone();
+        vecops::axpy(alpha, &x, &mut y);
+        for i in 0..8 {
+            prop_assert!((y[i] - (y0[i] + alpha * x[i])).abs() < 1e-2);
+        }
+    }
+}
+
+mod matrix_props {
+    use super::*;
+    use kg_linalg::Mat;
+
+    fn small_mat(r: usize, c: usize) -> impl Strategy<Value = Mat> {
+        prop::collection::vec(-10.0f32..10.0, r * c..=r * c)
+            .prop_map(move |v| Mat::from_vec(r, c, v))
+    }
+
+    proptest! {
+        #[test]
+        fn transpose_is_involutive(m in small_mat(3, 5)) {
+            prop_assert_eq!(m.transposed().transposed(), m);
+        }
+
+        #[test]
+        fn gemv_t_equals_transpose_gemv(m in small_mat(4, 6), x in small_vec(4)) {
+            let mut a = vec![0.0f32; 6];
+            let mut b = vec![0.0f32; 6];
+            m.gemv_t(&x, &mut a);
+            m.transposed().gemv(&x, &mut b);
+            for i in 0..6 {
+                prop_assert!((a[i] - b[i]).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn matmul_is_associative_with_vector(m in small_mat(3, 4), n in small_mat(4, 2), x in small_vec(2)) {
+            // (M N) x == M (N x)
+            let mn = m.matmul(&n);
+            let mut lhs = vec![0.0f32; 3];
+            mn.gemv(&x, &mut lhs);
+            let mut nx = vec![0.0f32; 4];
+            n.gemv(&x, &mut nx);
+            let mut rhs = vec![0.0f32; 3];
+            m.gemv(&nx, &mut rhs);
+            for i in 0..3 {
+                prop_assert!((lhs[i] - rhs[i]).abs() < 1e-1, "{} vs {}", lhs[i], rhs[i]);
+            }
+        }
+    }
+}

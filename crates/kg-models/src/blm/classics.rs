@@ -1,0 +1,208 @@
+//! The human-designed BLMs of Tab. I as [`BlockSpec`]s — exactly the
+//! transformations listed in Sec. III-B3 (components 1-indexed in the paper,
+//! 0-indexed here).
+
+use super::spec::{Block, BlockSpec};
+
+/// DistMult: `Σ_c ⟨h_c, r_c, t_c⟩` — the plain diagonal (Fig. 1a).
+pub fn distmult() -> BlockSpec {
+    BlockSpec::new((0..4).map(|c| Block::new(c, c, c, 1)).collect())
+}
+
+/// ComplEx (and HolE, which is equivalent): the paper's 8-term expansion of
+/// `Re(⟨h, r, conj(t)⟩)` into 4 components (Fig. 1b).
+pub fn complex() -> BlockSpec {
+    BlockSpec::new(vec![
+        Block::new(0, 0, 0, 1),
+        Block::new(0, 2, 2, 1),
+        Block::new(2, 0, 2, 1),
+        Block::new(2, 2, 0, -1),
+        Block::new(1, 1, 1, 1),
+        Block::new(1, 3, 3, 1),
+        Block::new(3, 1, 3, 1),
+        Block::new(3, 3, 1, -1),
+    ])
+}
+
+/// Analogy: one real (DistMult-like) half plus one complex half (Fig. 1c).
+pub fn analogy() -> BlockSpec {
+    BlockSpec::new(vec![
+        Block::new(0, 0, 0, 1),
+        Block::new(1, 1, 1, 1),
+        Block::new(2, 2, 2, 1),
+        Block::new(2, 3, 3, 1),
+        Block::new(3, 2, 3, 1),
+        Block::new(3, 3, 2, -1),
+    ])
+}
+
+/// SimplE / CP: two coupled halves `⟨ĥ, r̂, t̆⟩ + ⟨h̆, r̆, t̂⟩` (Fig. 1d).
+pub fn simple() -> BlockSpec {
+    BlockSpec::new(vec![
+        Block::new(0, 0, 2, 1),
+        Block::new(1, 1, 3, 1),
+        Block::new(2, 2, 0, 1),
+        Block::new(3, 3, 1, 1),
+    ])
+}
+
+/// All four named baselines with their paper names.
+pub fn all() -> Vec<(&'static str, BlockSpec)> {
+    vec![
+        ("DistMult", distmult()),
+        ("ComplEx", complex()),
+        ("Analogy", analogy()),
+        ("SimplE", simple()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_linalg::SeededRng;
+
+    fn rand_vec(rng: &mut SeededRng, n: usize) -> Vec<f32> {
+        let mut v = vec![0.0f32; n];
+        rng.fill_normal(1.0, &mut v);
+        v
+    }
+
+    /// ComplEx reference: Re(⟨h, r, conj(t)⟩) with re = components {0,1},
+    /// im = components {2,3} (the `[v_re, v_im]` encoding of Sec. III-B1).
+    fn complex_reference(h: &[f32], r: &[f32], t: &[f32], dsub: usize) -> f32 {
+        let half = 2 * dsub;
+        let (hre, him) = (&h[..half], &h[half..]);
+        let (rre, rim) = (&r[..half], &r[half..]);
+        let (tre, tim) = (&t[..half], &t[half..]);
+        let mut acc = 0.0f32;
+        for i in 0..half {
+            acc += hre[i] * rre[i] * tre[i]
+                + him[i] * rre[i] * tim[i]
+                + hre[i] * rim[i] * tim[i]
+                - him[i] * rim[i] * tre[i];
+        }
+        acc
+    }
+
+    /// SimplE reference: ⟨ĥ, r̂, t̆⟩ + ⟨h̆, r̆, t̂⟩ with hat = {0,1},
+    /// breve = {2,3}.
+    fn simple_reference(h: &[f32], r: &[f32], t: &[f32], dsub: usize) -> f32 {
+        let half = 2 * dsub;
+        let mut acc = 0.0f32;
+        for i in 0..half {
+            acc += h[i] * r[i] * t[half + i]; // ⟨ĥ, r̂, t̆⟩
+            acc += h[half + i] * r[half + i] * t[i]; // ⟨h̆, r̆, t̂⟩
+        }
+        acc
+    }
+
+    /// DistMult reference: plain triple dot over the full vector.
+    fn distmult_reference(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+        kg_linalg::vecops::triple_dot(h, r, t)
+    }
+
+    /// Analogy reference: DistMult on the real half {0,1} plus ComplEx on
+    /// the complex half {2,3}.
+    fn analogy_reference(h: &[f32], r: &[f32], t: &[f32], dsub: usize) -> f32 {
+        let half = 2 * dsub;
+        let mut acc = 0.0f32;
+        for i in 0..half {
+            acc += h[i] * r[i] * t[i];
+        }
+        let (hre, him) = (&h[half..half + dsub], &h[half + dsub..]);
+        let (rre, rim) = (&r[half..half + dsub], &r[half + dsub..]);
+        let (tre, tim) = (&t[half..half + dsub], &t[half + dsub..]);
+        for i in 0..dsub {
+            acc += hre[i] * rre[i] * tre[i] + him[i] * rre[i] * tim[i] + hre[i] * rim[i] * tim[i]
+                - him[i] * rim[i] * tre[i];
+        }
+        acc
+    }
+
+    #[test]
+    fn distmult_matches_reference() {
+        let mut rng = SeededRng::new(10);
+        let dsub = 4;
+        for _ in 0..5 {
+            let h = rand_vec(&mut rng, 4 * dsub);
+            let r = rand_vec(&mut rng, 4 * dsub);
+            let t = rand_vec(&mut rng, 4 * dsub);
+            let got = distmult().score(&h, &r, &t, dsub);
+            assert!((got - distmult_reference(&h, &r, &t)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn complex_matches_reference() {
+        let mut rng = SeededRng::new(11);
+        let dsub = 4;
+        for _ in 0..5 {
+            let h = rand_vec(&mut rng, 4 * dsub);
+            let r = rand_vec(&mut rng, 4 * dsub);
+            let t = rand_vec(&mut rng, 4 * dsub);
+            let got = complex().score(&h, &r, &t, dsub);
+            let want = complex_reference(&h, &r, &t, dsub);
+            assert!((got - want).abs() < 1e-3, "got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn simple_matches_reference() {
+        let mut rng = SeededRng::new(12);
+        let dsub = 4;
+        for _ in 0..5 {
+            let h = rand_vec(&mut rng, 4 * dsub);
+            let r = rand_vec(&mut rng, 4 * dsub);
+            let t = rand_vec(&mut rng, 4 * dsub);
+            let got = simple().score(&h, &r, &t, dsub);
+            let want = simple_reference(&h, &r, &t, dsub);
+            assert!((got - want).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn analogy_matches_reference() {
+        let mut rng = SeededRng::new(13);
+        let dsub = 4;
+        for _ in 0..5 {
+            let h = rand_vec(&mut rng, 4 * dsub);
+            let r = rand_vec(&mut rng, 4 * dsub);
+            let t = rand_vec(&mut rng, 4 * dsub);
+            let got = analogy().score(&h, &r, &t, dsub);
+            let want = analogy_reference(&h, &r, &t, dsub);
+            assert!((got - want).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn distmult_is_symmetric_complex_is_not() {
+        let mut rng = SeededRng::new(14);
+        let dsub = 4;
+        let h = rand_vec(&mut rng, 4 * dsub);
+        let r = rand_vec(&mut rng, 4 * dsub);
+        let t = rand_vec(&mut rng, 4 * dsub);
+        let dm = distmult();
+        assert!((dm.score(&h, &r, &t, dsub) - dm.score(&t, &r, &h, dsub)).abs() < 1e-4);
+        let cx = complex();
+        assert!((cx.score(&h, &r, &t, dsub) - cx.score(&t, &r, &h, dsub)).abs() > 1e-3);
+    }
+
+    #[test]
+    fn block_counts_match_figure_1() {
+        assert_eq!(distmult().n_blocks(), 4);
+        assert_eq!(complex().n_blocks(), 8);
+        assert_eq!(analogy().n_blocks(), 6);
+        assert_eq!(simple().n_blocks(), 4);
+    }
+
+    #[test]
+    fn all_returns_four_distinct_models() {
+        let models = all();
+        assert_eq!(models.len(), 4);
+        for i in 0..models.len() {
+            for j in i + 1..models.len() {
+                assert_ne!(models[i].1, models[j].1, "{} == {}", models[i].0, models[j].0);
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Bilinear models under the paper's unified representation.
+//!
+//! * [`spec`] — [`BlockSpec`]: the 4×4 signed-diagonal-block structure
+//!   `g(r)` of Definition 2, with scoring, ranking queries and closed-form
+//!   gradients.
+//! * [`classics`] — DistMult / ComplEx / Analogy / SimplE expressed as
+//!   `BlockSpec`s (the transformations of Sec. III-B3).
+//! * [`model`] — [`BlmModel`]: a `BlockSpec` bound to trained
+//!   [`crate::Embeddings`], implementing [`crate::LinkPredictor`].
+
+pub mod classics;
+pub mod model;
+pub mod spec;
+
+pub use model::BlmModel;
+pub use spec::{Block, BlockSpec};

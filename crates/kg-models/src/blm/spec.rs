@@ -1,0 +1,481 @@
+//! The unified block structure `g(r)` (paper, Definition 2).
+//!
+//! A scoring function is a set of *blocks*: entry `(h_c, t_c)` of the 4×4
+//! block matrix holds `± diag(r_{r_c})`, contributing
+//! `sign · ⟨h_{h_c}, r_{r_c}, t_{t_c}⟩` to the score. The struct stores only
+//! the non-zero blocks, so `f^{b+1} = f^b + s·⟨h_i, r_j, t_k⟩` (Eq. 7) is an
+//! O(1) push.
+//!
+//! Everything the trainer needs is closed-form:
+//!
+//! * `score(h, r, t) = Σ_b s_b ⟨h_{i_b}, r_{k_b}, t_{j_b}⟩`
+//! * tail ranking uses `q` with `q_{j_b} += s_b · h_{i_b} ∘ r_{k_b}` so that
+//!   `score(h, r, e) = ⟨q, e⟩` for every candidate entity `e` — one GEMV
+//!   against the entity table scores all tails;
+//! * head ranking symmetrically with `p_{i_b} += s_b · r_{k_b} ∘ t_{j_b}`;
+//! * gradients of `q` and `p` w.r.t. the inputs are Hadamard products.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of embedding components in the unified representation (`k = 4`,
+/// Sec. III-B3: any even `k ≥ 4` covers Tab. I; the paper fixes 4 for a
+/// tractable space).
+pub const K: usize = 4;
+
+/// One non-zero block: `sign · ⟨h_{hc}, r_{rc}, t_{tc}⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Block {
+    /// Head component index (block-matrix row), `0..4`.
+    pub hc: u8,
+    /// Relation component index (which `r_i` fills the cell), `0..4`.
+    pub rc: u8,
+    /// Tail component index (block-matrix column), `0..4`.
+    pub tc: u8,
+    /// `+1` or `-1`.
+    pub sign: i8,
+}
+
+impl Block {
+    /// Construct, checking ranges.
+    pub fn new(hc: u8, rc: u8, tc: u8, sign: i8) -> Self {
+        assert!(hc < K as u8 && rc < K as u8 && tc < K as u8, "component index out of range");
+        assert!(sign == 1 || sign == -1, "sign must be ±1");
+        Block { hc, rc, tc, sign }
+    }
+}
+
+/// A scoring-function structure: the non-zero blocks of `g(r)`.
+///
+/// ```
+/// use kg_models::{Block, BlockSpec};
+///
+/// // DistMult's diagonal structure, built by hand
+/// let spec = BlockSpec::new((0..4).map(|c| Block::new(c, c, c, 1)).collect());
+/// let dsub = 2; // component size; full dimension is 4 * dsub
+/// let h = [1.0; 8];
+/// let r = [0.5; 8];
+/// let t = [2.0; 8];
+/// assert_eq!(spec.score(&h, &r, &t, dsub), 8.0);
+/// assert_eq!(spec.formula(), "+<h1,r1,t1> +<h2,r2,t2> +<h3,r3,t3> +<h4,r4,t4>");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockSpec {
+    blocks: Vec<Block>,
+}
+
+impl BlockSpec {
+    /// Build from blocks.
+    ///
+    /// # Panics
+    /// Panics if two blocks occupy the same `(hc, tc)` cell — Definition 2
+    /// allows a single `a_ij` per cell.
+    pub fn new(blocks: Vec<Block>) -> Self {
+        let mut cells = [[false; K]; K];
+        for b in &blocks {
+            let cell = &mut cells[b.hc as usize][b.tc as usize];
+            assert!(!*cell, "duplicate block at cell ({}, {})", b.hc, b.tc);
+            *cell = true;
+        }
+        let mut blocks = blocks;
+        blocks.sort_unstable();
+        BlockSpec { blocks }
+    }
+
+    /// Like [`BlockSpec::new`] but returns `None` on a duplicate cell
+    /// (used by the random generators in the search).
+    pub fn try_new(blocks: Vec<Block>) -> Option<Self> {
+        let mut cells = [[false; K]; K];
+        for b in &blocks {
+            let cell = &mut cells[b.hc as usize][b.tc as usize];
+            if *cell {
+                return None;
+            }
+            *cell = true;
+        }
+        let mut blocks = blocks;
+        blocks.sort_unstable();
+        Some(BlockSpec { blocks })
+    }
+
+    /// The blocks, sorted canonically.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of non-zero blocks (`b` in Alg. 2).
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Extend with one more multiplicative term (Eq. 7). Returns `None` when
+    /// the target cell is already occupied.
+    pub fn extended(&self, b: Block) -> Option<Self> {
+        if self.blocks.iter().any(|x| x.hc == b.hc && x.tc == b.tc) {
+            return None;
+        }
+        let mut blocks = self.blocks.clone();
+        blocks.push(b);
+        blocks.sort_unstable();
+        Some(BlockSpec { blocks })
+    }
+
+    /// The 4×4 *substitute matrix* (Sec. IV-B2): entry `(i, j)` is
+    /// `sign · (rc + 1)` for the block at cell `(i, j)`, else 0. Used by the
+    /// filter and the SRF feature generator.
+    pub fn substitute_matrix(&self) -> [[i8; K]; K] {
+        let mut m = [[0i8; K]; K];
+        for b in &self.blocks {
+            m[b.hc as usize][b.tc as usize] = b.sign * (b.rc as i8 + 1);
+        }
+        m
+    }
+
+    /// Score one triple given component sub-dimension `dsub`
+    /// (`h`, `r`, `t` are full `4·dsub`-long embedding rows).
+    pub fn score(&self, h: &[f32], r: &[f32], t: &[f32], dsub: usize) -> f32 {
+        debug_assert_eq!(h.len(), K * dsub);
+        let mut acc = 0.0f32;
+        for b in &self.blocks {
+            let hs = &h[b.hc as usize * dsub..(b.hc as usize + 1) * dsub];
+            let rs = &r[b.rc as usize * dsub..(b.rc as usize + 1) * dsub];
+            let ts = &t[b.tc as usize * dsub..(b.tc as usize + 1) * dsub];
+            let v = kg_linalg::vecops::triple_dot(hs, rs, ts);
+            acc += b.sign as f32 * v;
+        }
+        acc
+    }
+
+    /// Tail-ranking query: fill `q` (length `4·dsub`) so that
+    /// `score(h, r, e) = ⟨q, e⟩` for any entity embedding `e`.
+    pub fn tail_query(&self, h: &[f32], r: &[f32], q: &mut [f32], dsub: usize) {
+        debug_assert_eq!(q.len(), K * dsub);
+        kg_linalg::vecops::zero(q);
+        for b in &self.blocks {
+            let hs = &h[b.hc as usize * dsub..(b.hc as usize + 1) * dsub];
+            let rs = &r[b.rc as usize * dsub..(b.rc as usize + 1) * dsub];
+            let qs = &mut q[b.tc as usize * dsub..(b.tc as usize + 1) * dsub];
+            kg_linalg::vecops::hadamard_axpy(b.sign as f32, hs, rs, qs);
+        }
+    }
+
+    /// Head-ranking query: fill `p` so that `score(e, r, t) = ⟨p, e⟩`.
+    pub fn head_query(&self, t: &[f32], r: &[f32], p: &mut [f32], dsub: usize) {
+        debug_assert_eq!(p.len(), K * dsub);
+        kg_linalg::vecops::zero(p);
+        for b in &self.blocks {
+            let ts = &t[b.tc as usize * dsub..(b.tc as usize + 1) * dsub];
+            let rs = &r[b.rc as usize * dsub..(b.rc as usize + 1) * dsub];
+            let ps = &mut p[b.hc as usize * dsub..(b.hc as usize + 1) * dsub];
+            kg_linalg::vecops::hadamard_axpy(b.sign as f32, ts, rs, ps);
+        }
+    }
+
+    /// Backward through [`BlockSpec::tail_query`]: given `dL/dq`, accumulate
+    /// `dL/dh` and `dL/dr`.
+    pub fn tail_query_backward(
+        &self,
+        h: &[f32],
+        r: &[f32],
+        dq: &[f32],
+        dh: &mut [f32],
+        dr: &mut [f32],
+        dsub: usize,
+    ) {
+        for b in &self.blocks {
+            let hi = b.hc as usize * dsub;
+            let ri = b.rc as usize * dsub;
+            let qi = b.tc as usize * dsub;
+            let s = b.sign as f32;
+            // q_j = s · h_i ∘ r_k  ⇒  dh_i += s · dq_j ∘ r_k,  dr_k += s · dq_j ∘ h_i
+            kg_linalg::vecops::hadamard_axpy(
+                s,
+                &dq[qi..qi + dsub],
+                &r[ri..ri + dsub],
+                &mut dh[hi..hi + dsub],
+            );
+            kg_linalg::vecops::hadamard_axpy(
+                s,
+                &dq[qi..qi + dsub],
+                &h[hi..hi + dsub],
+                &mut dr[ri..ri + dsub],
+            );
+        }
+    }
+
+    /// Backward through [`BlockSpec::head_query`]: given `dL/dp`, accumulate
+    /// `dL/dt` and `dL/dr`.
+    pub fn head_query_backward(
+        &self,
+        t: &[f32],
+        r: &[f32],
+        dp: &[f32],
+        dt: &mut [f32],
+        dr: &mut [f32],
+        dsub: usize,
+    ) {
+        for b in &self.blocks {
+            let ti = b.tc as usize * dsub;
+            let ri = b.rc as usize * dsub;
+            let pi = b.hc as usize * dsub;
+            let s = b.sign as f32;
+            kg_linalg::vecops::hadamard_axpy(
+                s,
+                &dp[pi..pi + dsub],
+                &r[ri..ri + dsub],
+                &mut dt[ti..ti + dsub],
+            );
+            kg_linalg::vecops::hadamard_axpy(
+                s,
+                &dp[pi..pi + dsub],
+                &t[ti..ti + dsub],
+                &mut dr[ri..ri + dsub],
+            );
+        }
+    }
+
+    /// Materialise the dense `d × d` relation matrix `R = g(r)` for a
+    /// concrete relation embedding — test/debug only, the hot paths never
+    /// build it.
+    pub fn dense_relation_matrix(&self, r: &[f32], dsub: usize) -> kg_linalg::Mat {
+        let d = K * dsub;
+        let mut m = kg_linalg::Mat::zeros(d, d);
+        for b in &self.blocks {
+            let rs = &r[b.rc as usize * dsub..(b.rc as usize + 1) * dsub];
+            for x in 0..dsub {
+                let row = b.hc as usize * dsub + x;
+                let col = b.tc as usize * dsub + x;
+                m.set(row, col, b.sign as f32 * rs[x]);
+            }
+        }
+        m
+    }
+
+    /// Render the block matrix the way Fig. 1 / Fig. 5 draw it.
+    pub fn render(&self) -> String {
+        let m = self.substitute_matrix();
+        let mut out = String::new();
+        for row in &m {
+            out.push('[');
+            for (c, v) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push(' ');
+                }
+                let cell = match v {
+                    0 => "   0".to_string(),
+                    v => format!("{}r{}", if *v > 0 { " +" } else { " -" }, v.abs()),
+                };
+                out.push_str(&cell);
+            }
+            out.push_str(" ]\n");
+        }
+        out
+    }
+
+    /// Compact one-line form, e.g. `+<h1,r1,t1> -<h3,r3,t1>` (1-indexed to
+    /// match the paper's notation).
+    pub fn formula(&self) -> String {
+        self.blocks
+            .iter()
+            .map(|b| {
+                format!(
+                    "{}<h{},r{},t{}>",
+                    if b.sign > 0 { "+" } else { "-" },
+                    b.hc + 1,
+                    b.rc + 1,
+                    b.tc + 1
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_linalg::SeededRng;
+
+    fn rand_vec(rng: &mut SeededRng, n: usize) -> Vec<f32> {
+        let mut v = vec![0.0f32; n];
+        rng.fill_normal(1.0, &mut v);
+        v
+    }
+
+    fn sample_spec() -> BlockSpec {
+        BlockSpec::new(vec![
+            Block::new(0, 0, 0, 1),
+            Block::new(1, 2, 3, -1),
+            Block::new(3, 1, 2, 1),
+        ])
+    }
+
+    #[test]
+    fn score_matches_dense_matrix() {
+        let mut rng = SeededRng::new(3);
+        let dsub = 5;
+        let spec = sample_spec();
+        let h = rand_vec(&mut rng, 4 * dsub);
+        let r = rand_vec(&mut rng, 4 * dsub);
+        let t = rand_vec(&mut rng, 4 * dsub);
+        let dense = spec.dense_relation_matrix(&r, dsub);
+        // hᵀ R t
+        let mut rt = vec![0.0f32; 4 * dsub];
+        dense.gemv(&t, &mut rt);
+        let expect = kg_linalg::vecops::dot(&h, &rt);
+        let got = spec.score(&h, &r, &t, dsub);
+        assert!((expect - got).abs() < 1e-4, "dense {expect} vs blocked {got}");
+    }
+
+    #[test]
+    fn tail_query_scores_all_entities() {
+        let mut rng = SeededRng::new(4);
+        let dsub = 3;
+        let spec = sample_spec();
+        let h = rand_vec(&mut rng, 4 * dsub);
+        let r = rand_vec(&mut rng, 4 * dsub);
+        let mut q = vec![0.0f32; 4 * dsub];
+        spec.tail_query(&h, &r, &mut q, dsub);
+        for _ in 0..5 {
+            let e = rand_vec(&mut rng, 4 * dsub);
+            let via_q = kg_linalg::vecops::dot(&q, &e);
+            let direct = spec.score(&h, &r, &e, dsub);
+            assert!((via_q - direct).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn head_query_scores_all_entities() {
+        let mut rng = SeededRng::new(5);
+        let dsub = 3;
+        let spec = sample_spec();
+        let t = rand_vec(&mut rng, 4 * dsub);
+        let r = rand_vec(&mut rng, 4 * dsub);
+        let mut p = vec![0.0f32; 4 * dsub];
+        spec.head_query(&t, &r, &mut p, dsub);
+        for _ in 0..5 {
+            let e = rand_vec(&mut rng, 4 * dsub);
+            let via_p = kg_linalg::vecops::dot(&p, &e);
+            let direct = spec.score(&e, &r, &t, dsub);
+            assert!((via_p - direct).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn tail_backward_matches_finite_differences() {
+        let mut rng = SeededRng::new(6);
+        let dsub = 3;
+        let d = 4 * dsub;
+        let spec = sample_spec();
+        let h = rand_vec(&mut rng, d);
+        let r = rand_vec(&mut rng, d);
+        let dq = rand_vec(&mut rng, d); // arbitrary upstream gradient
+        let mut dh = vec![0.0f32; d];
+        let mut dr = vec![0.0f32; d];
+        spec.tail_query_backward(&h, &r, &dq, &mut dh, &mut dr, dsub);
+
+        // loss = dq · q(h, r)
+        let loss = |h: &[f32], r: &[f32]| {
+            let mut q = vec![0.0f32; d];
+            spec.tail_query(h, r, &mut q, dsub);
+            kg_linalg::vecops::dot(&dq, &q)
+        };
+        let eps = 1e-3f32;
+        for i in 0..d {
+            let mut hp = h.clone();
+            hp[i] += eps;
+            let mut hm = h.clone();
+            hm[i] -= eps;
+            let num = (loss(&hp, &r) - loss(&hm, &r)) / (2.0 * eps);
+            assert!((num - dh[i]).abs() < 2e-2, "dh[{i}]: fd {num} vs bp {}", dh[i]);
+            let mut rp = r.clone();
+            rp[i] += eps;
+            let mut rm = r.clone();
+            rm[i] -= eps;
+            let num = (loss(&h, &rp) - loss(&h, &rm)) / (2.0 * eps);
+            assert!((num - dr[i]).abs() < 2e-2, "dr[{i}]: fd {num} vs bp {}", dr[i]);
+        }
+    }
+
+    #[test]
+    fn head_backward_matches_finite_differences() {
+        let mut rng = SeededRng::new(7);
+        let dsub = 2;
+        let d = 4 * dsub;
+        let spec = sample_spec();
+        let t = rand_vec(&mut rng, d);
+        let r = rand_vec(&mut rng, d);
+        let dp = rand_vec(&mut rng, d);
+        let mut dt = vec![0.0f32; d];
+        let mut dr = vec![0.0f32; d];
+        spec.head_query_backward(&t, &r, &dp, &mut dt, &mut dr, dsub);
+
+        let loss = |t: &[f32], r: &[f32]| {
+            let mut p = vec![0.0f32; d];
+            spec.head_query(t, r, &mut p, dsub);
+            kg_linalg::vecops::dot(&dp, &p)
+        };
+        let eps = 1e-3f32;
+        for i in 0..d {
+            let mut tp = t.clone();
+            tp[i] += eps;
+            let mut tm = t.clone();
+            tm[i] -= eps;
+            let num = (loss(&tp, &r) - loss(&tm, &r)) / (2.0 * eps);
+            assert!((num - dt[i]).abs() < 2e-2, "dt[{i}]");
+            let mut rp = r.clone();
+            rp[i] += eps;
+            let mut rm = r.clone();
+            rm[i] -= eps;
+            let num = (loss(&t, &rp) - loss(&t, &rm)) / (2.0 * eps);
+            assert!((num - dr[i]).abs() < 2e-2, "dr[{i}]");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate block")]
+    fn duplicate_cell_panics() {
+        BlockSpec::new(vec![Block::new(0, 0, 0, 1), Block::new(0, 1, 0, 1)]);
+    }
+
+    #[test]
+    fn try_new_rejects_duplicates() {
+        assert!(BlockSpec::try_new(vec![Block::new(0, 0, 0, 1), Block::new(0, 1, 0, 1)])
+            .is_none());
+        assert!(BlockSpec::try_new(vec![Block::new(0, 0, 0, 1)]).is_some());
+    }
+
+    #[test]
+    fn extended_respects_cells() {
+        let s = BlockSpec::new(vec![Block::new(0, 0, 0, 1)]);
+        assert!(s.extended(Block::new(0, 3, 0, -1)).is_none());
+        let s2 = s.extended(Block::new(1, 1, 1, 1)).expect("free cell");
+        assert_eq!(s2.n_blocks(), 2);
+        // the original is unchanged (persistent style)
+        assert_eq!(s.n_blocks(), 1);
+    }
+
+    #[test]
+    fn substitute_matrix_layout() {
+        let s = BlockSpec::new(vec![Block::new(1, 2, 3, -1)]);
+        let m = s.substitute_matrix();
+        assert_eq!(m[1][3], -3);
+        assert_eq!(m[0][0], 0);
+    }
+
+    #[test]
+    fn formula_and_render_are_stable() {
+        let s = sample_spec();
+        assert_eq!(s.formula(), "+<h1,r1,t1> -<h2,r3,t4> +<h4,r2,t3>");
+        let r = s.render();
+        assert_eq!(r.lines().count(), 4);
+        assert!(r.contains("+r1"));
+        assert!(r.contains("-r3"));
+    }
+
+    #[test]
+    fn blocks_are_canonically_sorted() {
+        let a = BlockSpec::new(vec![Block::new(3, 1, 2, 1), Block::new(0, 0, 0, 1)]);
+        let b = BlockSpec::new(vec![Block::new(0, 0, 0, 1), Block::new(3, 1, 2, 1)]);
+        assert_eq!(a, b);
+    }
+}

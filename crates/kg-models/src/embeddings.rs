@@ -1,0 +1,113 @@
+//! Entity and relation embedding tables.
+//!
+//! Head and tail entities share one table (paper, Notations: "h, t share
+//! the same set of embedding parameters e"); relation embeddings have the
+//! same dimension as entity embeddings (Sec. III-B constrains them equal).
+
+use kg_linalg::{Mat, SeededRng};
+use serde::{Deserialize, Serialize};
+
+/// Shared entity table + relation table, both `? × dim`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embeddings {
+    /// `n_entities × dim` entity embeddings.
+    pub ent: Mat,
+    /// `n_relations × dim` relation embeddings.
+    pub rel: Mat,
+}
+
+impl Embeddings {
+    /// Xavier-initialised embeddings.
+    ///
+    /// # Panics
+    /// Panics unless `dim` is a positive multiple of 4 — the unified
+    /// representation splits every embedding into 4 components.
+    pub fn init(n_entities: usize, n_relations: usize, dim: usize, rng: &mut SeededRng) -> Self {
+        assert!(dim > 0 && dim.is_multiple_of(4), "embedding dim must be a positive multiple of 4");
+        let mut ent = Mat::zeros(n_entities, dim);
+        let mut rel = Mat::zeros(n_relations, dim);
+        rng.xavier_uniform(dim, ent.as_mut_slice());
+        rng.xavier_uniform(dim, rel.as_mut_slice());
+        Embeddings { ent, rel }
+    }
+
+    /// Embedding dimension `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.ent.cols()
+    }
+
+    /// Component sub-dimension `d/4`.
+    #[inline]
+    pub fn dsub(&self) -> usize {
+        self.dim() / 4
+    }
+
+    /// Number of entities.
+    #[inline]
+    pub fn n_entities(&self) -> usize {
+        self.ent.rows()
+    }
+
+    /// Number of relations.
+    #[inline]
+    pub fn n_relations(&self) -> usize {
+        self.rel.rows()
+    }
+
+    /// Total parameter count.
+    pub fn n_params(&self) -> usize {
+        self.ent.rows() * self.ent.cols() + self.rel.rows() * self.rel.cols()
+    }
+}
+
+/// Slice out component `c ∈ {0..4}` of a `dim`-long embedding row.
+#[inline]
+pub fn component(row: &[f32], c: usize, dsub: usize) -> &[f32] {
+    &row[c * dsub..(c + 1) * dsub]
+}
+
+/// Mutable variant of [`component`].
+#[inline]
+pub fn component_mut(row: &mut [f32], c: usize, dsub: usize) -> &mut [f32] {
+    &mut row[c * dsub..(c + 1) * dsub]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_shapes() {
+        let mut rng = SeededRng::new(1);
+        let e = Embeddings::init(10, 3, 16, &mut rng);
+        assert_eq!(e.dim(), 16);
+        assert_eq!(e.dsub(), 4);
+        assert_eq!(e.n_entities(), 10);
+        assert_eq!(e.n_relations(), 3);
+        assert_eq!(e.n_params(), 10 * 16 + 3 * 16);
+        // initialised, not all zero
+        assert!(e.ent.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn dim_must_be_multiple_of_four() {
+        let mut rng = SeededRng::new(1);
+        Embeddings::init(2, 1, 6, &mut rng);
+    }
+
+    #[test]
+    fn components_partition_the_row() {
+        let row: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        assert_eq!(component(&row, 0, 2), &[0.0, 1.0]);
+        assert_eq!(component(&row, 3, 2), &[6.0, 7.0]);
+    }
+
+    #[test]
+    fn component_mut_writes_through() {
+        let mut row = vec![0.0f32; 8];
+        component_mut(&mut row, 2, 2)[0] = 5.0;
+        assert_eq!(row[4], 5.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! The interface every rankable model exposes to evaluation.
+
+/// A trained model that can score triples and rank entities — the contract
+/// consumed by `kg-eval`'s filtered ranking and triplet classification.
+pub trait LinkPredictor {
+    /// Number of entities the model ranks over.
+    fn n_entities(&self) -> usize;
+
+    /// Plausibility score of one triple (higher = more plausible).
+    fn score_triple(&self, h: usize, r: usize, t: usize) -> f32;
+
+    /// Scores of `(h, r, e)` for every entity `e`; `out.len()` must equal
+    /// [`LinkPredictor::n_entities`].
+    fn score_tails(&self, h: usize, r: usize, out: &mut [f32]);
+
+    /// Scores of `(e, r, t)` for every entity `e`.
+    fn score_heads(&self, r: usize, t: usize, out: &mut [f32]);
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::LinkPredictor;
+
+    /// Check the two ranking paths agree with the triple scorer — shared by
+    /// every model's test module.
+    pub fn assert_consistent_scoring(m: &dyn LinkPredictor, h: usize, r: usize, t: usize) {
+        let n = m.n_entities();
+        let mut tails = vec![0.0f32; n];
+        let mut heads = vec![0.0f32; n];
+        m.score_tails(h, r, &mut tails);
+        m.score_heads(r, t, &mut heads);
+        let direct = m.score_triple(h, r, t);
+        assert!(
+            (tails[t] - direct).abs() < 1e-3,
+            "tail path {} vs direct {}",
+            tails[t],
+            direct
+        );
+        assert!(
+            (heads[h] - direct).abs() < 1e-3,
+            "head path {} vs direct {}",
+            heads[h],
+            direct
+        );
+    }
+}

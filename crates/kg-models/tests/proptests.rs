@@ -1,0 +1,133 @@
+//! Property-based tests for the unified block representation.
+
+use kg_linalg::SeededRng;
+use kg_models::{Block, BlockSpec};
+use proptest::prelude::*;
+
+/// Strategy: a random valid structure with 1..=8 blocks on distinct cells.
+fn arb_spec() -> impl Strategy<Value = BlockSpec> {
+    prop::collection::vec((0u8..4, 0u8..4, 0u8..4, prop::bool::ANY), 1..8).prop_map(|raw| {
+        let mut spec = BlockSpec::new(vec![]);
+        for (hc, rc, tc, pos) in raw {
+            let b = Block { hc, rc, tc, sign: if pos { 1 } else { -1 } };
+            if let Some(next) = spec.extended(b) {
+                spec = next;
+            }
+        }
+        if spec.n_blocks() == 0 {
+            spec.extended(Block::new(0, 0, 0, 1)).expect("empty spec accepts any block")
+        } else {
+            spec
+        }
+    })
+}
+
+fn rand_vec(seed: u64, n: usize) -> Vec<f32> {
+    let mut rng = SeededRng::new(seed);
+    let mut v = vec![0.0f32; n];
+    rng.fill_normal(1.0, &mut v);
+    v
+}
+
+proptest! {
+    /// Blocked scoring equals the dense `hᵀ g(r) t` for any structure.
+    #[test]
+    fn score_equals_dense_matrix(spec in arb_spec(), seed in 0u64..1000) {
+        let dsub = 3;
+        let d = 4 * dsub;
+        let h = rand_vec(seed, d);
+        let r = rand_vec(seed ^ 1, d);
+        let t = rand_vec(seed ^ 2, d);
+        let dense = spec.dense_relation_matrix(&r, dsub);
+        let mut rt = vec![0.0f32; d];
+        dense.gemv(&t, &mut rt);
+        let expect = kg_linalg::vecops::dot(&h, &rt);
+        let got = spec.score(&h, &r, &t, dsub);
+        prop_assert!((expect - got).abs() < 1e-3 * (1.0 + expect.abs()),
+            "dense {expect} vs blocked {got}");
+    }
+
+    /// The tail query vector satisfies `score(h, r, e) = ⟨q, e⟩` for all e.
+    #[test]
+    fn tail_query_is_linear_form(spec in arb_spec(), seed in 0u64..1000) {
+        let dsub = 2;
+        let d = 4 * dsub;
+        let h = rand_vec(seed, d);
+        let r = rand_vec(seed ^ 3, d);
+        let e = rand_vec(seed ^ 4, d);
+        let mut q = vec![0.0f32; d];
+        spec.tail_query(&h, &r, &mut q, dsub);
+        let via_q = kg_linalg::vecops::dot(&q, &e);
+        let direct = spec.score(&h, &r, &e, dsub);
+        prop_assert!((via_q - direct).abs() < 1e-3 * (1.0 + direct.abs()));
+    }
+
+    /// Head query symmetrically.
+    #[test]
+    fn head_query_is_linear_form(spec in arb_spec(), seed in 0u64..1000) {
+        let dsub = 2;
+        let d = 4 * dsub;
+        let t = rand_vec(seed, d);
+        let r = rand_vec(seed ^ 5, d);
+        let e = rand_vec(seed ^ 6, d);
+        let mut p = vec![0.0f32; d];
+        spec.head_query(&t, &r, &mut p, dsub);
+        let via_p = kg_linalg::vecops::dot(&p, &e);
+        let direct = spec.score(&e, &r, &t, dsub);
+        prop_assert!((via_p - direct).abs() < 1e-3 * (1.0 + direct.abs()));
+    }
+
+    /// Scoring is linear in the relation embedding (the property behind
+    /// Proposition 1's general-asymmetric construction).
+    #[test]
+    fn score_is_linear_in_relation(spec in arb_spec(), seed in 0u64..500, a in -3.0f32..3.0, b in -3.0f32..3.0) {
+        let dsub = 2;
+        let d = 4 * dsub;
+        let h = rand_vec(seed, d);
+        let r1 = rand_vec(seed ^ 7, d);
+        let r2 = rand_vec(seed ^ 8, d);
+        let t = rand_vec(seed ^ 9, d);
+        let combo: Vec<f32> = r1.iter().zip(&r2).map(|(x, y)| a * x + b * y).collect();
+        let lhs = spec.score(&h, &combo, &t, dsub);
+        let rhs = a * spec.score(&h, &r1, &t, dsub) + b * spec.score(&h, &r2, &t, dsub);
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    /// The substitute matrix round-trips the block list.
+    #[test]
+    fn substitute_matrix_roundtrip(spec in arb_spec()) {
+        let m = spec.substitute_matrix();
+        let mut rebuilt = Vec::new();
+        for (i, row) in m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0 {
+                    rebuilt.push(Block {
+                        hc: i as u8,
+                        rc: (v.unsigned_abs() - 1),
+                        tc: j as u8,
+                        sign: v.signum(),
+                    });
+                }
+            }
+        }
+        prop_assert_eq!(BlockSpec::new(rebuilt), spec);
+    }
+
+    /// `extended` never clobbers existing cells and adds exactly one block.
+    #[test]
+    fn extended_preserves_blocks(spec in arb_spec(), hc in 0u8..4, rc in 0u8..4, tc in 0u8..4) {
+        let b = Block::new(hc, rc, tc, 1);
+        match spec.extended(b) {
+            Some(bigger) => {
+                prop_assert_eq!(bigger.n_blocks(), spec.n_blocks() + 1);
+                for blk in spec.blocks() {
+                    prop_assert!(bigger.blocks().contains(blk));
+                }
+            }
+            None => {
+                // the cell must have been occupied
+                prop_assert!(spec.blocks().iter().any(|x| x.hc == hc && x.tc == tc));
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Training substrate for bilinear KGE models.
+//!
+//! Implements Alg. 1 (stochastic training of KGE) with the paper's choices:
+//! Adagrad (Sec. V-A2), the multi-class loss ("we use the multi-class loss
+//! [19] since it currently achieves the best performance", Sec. II-A) and
+//! mini-batches. A negative-sampling logistic loss is provided for the loss
+//! ablation.
+//!
+//! * [`config`] — [`config::TrainConfig`], the hyper-parameters of Sec. V-A2.
+//! * [`loss`] — loss functions over [`kg_models::BlockSpec`] scores.
+//! * [`trainer`] — the mini-batch trainer, with an epoch callback for
+//!   learning-curve capture (Fig. 4).
+//! * [`parallel`] — crossbeam fan-out training of many candidate structures
+//!   (the paper trains "8 models in parallel", Sec. V-A3).
+//! * [`tpe`] — a Tree-structured Parzen Estimator: the stand-in for
+//!   HyperOpt (hyper-parameter tuning, Sec. V-A2) and the "Bayes" search
+//!   baseline of Fig. 6.
+
+pub mod config;
+pub mod loss;
+pub mod parallel;
+pub mod tpe;
+pub mod trainer;
+
+pub use config::{LossKind, TrainConfig};
+pub use trainer::{train, train_with_callback, ControlFlow, EpochCallback, EpochInfo};

@@ -1,0 +1,311 @@
+//! Loss computations for one triple, shared by the trainer.
+//!
+//! Both losses produce gradients through the same three hooks of
+//! [`kg_models::BlockSpec`]: the ranking queries (`q`, `p`) and their
+//! backward passes — everything else is dense accumulation handled by the
+//! trainer.
+
+use kg_linalg::Mat;
+use kg_models::BlockSpec;
+
+/// Scratch buffers reused across triples (no allocation in the hot loop).
+pub struct LossScratch {
+    /// Ranking query vector.
+    pub q: Vec<f32>,
+    /// Gradient of the loss w.r.t. `q`.
+    pub dq: Vec<f32>,
+    /// Per-entity scores / probabilities.
+    pub scores: Vec<f32>,
+}
+
+impl LossScratch {
+    /// Allocate for `n_entities` candidates and dimension `dim`.
+    pub fn new(n_entities: usize, dim: usize) -> Self {
+        LossScratch {
+            q: vec![0.0; dim],
+            dq: vec![0.0; dim],
+            scores: vec![0.0; n_entities],
+        }
+    }
+}
+
+/// One direction (tail- or head-prediction) of the multi-class loss.
+///
+/// Computes softmax cross-entropy of the `target` entity against all
+/// entities, and accumulates:
+/// * `d_cond` — gradient w.r.t. the conditioning entity row (head for
+///   tail-prediction),
+/// * `d_rel` — gradient w.r.t. the relation row,
+/// * `d_ent` — dense gradient w.r.t. the whole entity table (the softmax
+///   couples every entity; this is the rank-1 `p qᵀ` term of Lacroix et
+///   al.'s full-softmax training).
+///
+/// Returns the cross-entropy.
+#[allow(clippy::too_many_arguments)]
+pub fn multiclass_direction(
+    spec: &BlockSpec,
+    tail_direction: bool,
+    cond_row: &[f32],
+    rel_row: &[f32],
+    target: usize,
+    ent: &Mat,
+    d_cond: &mut [f32],
+    d_rel: &mut [f32],
+    d_ent: &mut Mat,
+    scratch: &mut LossScratch,
+) -> f32 {
+    let dsub = cond_row.len() / 4;
+    if tail_direction {
+        spec.tail_query(cond_row, rel_row, &mut scratch.q, dsub);
+    } else {
+        spec.head_query(cond_row, rel_row, &mut scratch.q, dsub);
+    }
+    ent.gemv(&scratch.q, &mut scratch.scores);
+    kg_linalg::vecops::softmax_inplace(&mut scratch.scores);
+    let ce = -(scratch.scores[target].max(1e-12)).ln();
+    // dL/dscores = p - onehot(target)
+    scratch.scores[target] -= 1.0;
+    // dL/dq = entᵀ (p - onehot)
+    ent.gemv_t(&scratch.scores, &mut scratch.dq);
+    // dL/dE += (p - onehot) ⊗ q
+    d_ent.ger(1.0, &scratch.scores, &scratch.q);
+    if tail_direction {
+        spec.tail_query_backward(cond_row, rel_row, &scratch.dq, d_cond, d_rel, dsub);
+    } else {
+        spec.head_query_backward(cond_row, rel_row, &scratch.dq, d_cond, d_rel, dsub);
+    }
+    ce
+}
+
+/// Negative-sampling logistic loss for one triple: `softplus(-f(pos)) +
+/// Σ_neg softplus(f(neg))`, gradients accumulated *sparsely* into rows of
+/// `d_ent`/`d_rel` (no dense coupling — this is what makes the loss cheap).
+///
+/// `negatives` are (h, t) pairs sharing the positive's relation.
+#[allow(clippy::too_many_arguments)]
+pub fn neg_sampling_triple(
+    spec: &BlockSpec,
+    h: usize,
+    r: usize,
+    t: usize,
+    negatives: &[(usize, usize)],
+    ent: &Mat,
+    rel: &Mat,
+    d_ent: &mut Mat,
+    d_rel: &mut Mat,
+    scratch: &mut LossScratch,
+) -> f32 {
+    let dsub = ent.cols() / 4;
+    let mut total = 0.0f32;
+    let one = |hh: usize, tt: usize, label: f32,
+                   d_ent: &mut Mat,
+                   d_rel: &mut Mat,
+                   scratch: &mut LossScratch| {
+        let h_row = ent.row(hh);
+        let r_row = rel.row(r);
+        let t_row = ent.row(tt);
+        let f = spec.score(h_row, r_row, t_row, dsub);
+        // L = softplus(-label · f);  dL/df = -label · σ(-label · f)
+        let loss = kg_linalg::vecops::softplus(-label * f);
+        let upstream = -label * kg_linalg::vecops::sigmoid(-label * f);
+        // dL/dt = upstream · q(h, r)
+        spec.tail_query(h_row, r_row, &mut scratch.q, dsub);
+        kg_linalg::vecops::axpy(upstream, &scratch.q, d_ent.row_mut(tt));
+        // dL/dh, dL/dr via the backward hook with dq = upstream · t
+        for (dqi, ti) in scratch.dq.iter_mut().zip(t_row.iter()) {
+            *dqi = upstream * ti;
+        }
+        // borrow dance: split disjoint rows through raw indexing
+        let mut dh = vec![0.0f32; h_row.len()];
+        let mut dr = vec![0.0f32; h_row.len()];
+        spec.tail_query_backward(h_row, r_row, &scratch.dq, &mut dh, &mut dr, dsub);
+        kg_linalg::vecops::axpy(1.0, &dh, d_ent.row_mut(hh));
+        kg_linalg::vecops::axpy(1.0, &dr, d_rel.row_mut(r));
+        loss
+    };
+    total += one(h, t, 1.0, d_ent, d_rel, scratch);
+    for &(nh, nt) in negatives {
+        total += one(nh, nt, -1.0, d_ent, d_rel, scratch);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_linalg::SeededRng;
+    use kg_models::blm::classics;
+    use kg_models::Embeddings;
+
+    fn setup() -> (Embeddings, BlockSpec) {
+        let mut rng = SeededRng::new(31);
+        (Embeddings::init(8, 2, 8, &mut rng), classics::simple())
+    }
+
+    #[test]
+    fn multiclass_ce_is_positive_and_finite() {
+        let (emb, spec) = setup();
+        let mut scratch = LossScratch::new(8, 8);
+        let mut d_cond = vec![0.0f32; 8];
+        let mut d_rel = vec![0.0f32; 8];
+        let mut d_ent = Mat::zeros(8, 8);
+        let ce = multiclass_direction(
+            &spec,
+            true,
+            emb.ent.row(0),
+            emb.rel.row(0),
+            3,
+            &emb.ent,
+            &mut d_cond,
+            &mut d_rel,
+            &mut d_ent,
+            &mut scratch,
+        );
+        assert!(ce.is_finite() && ce > 0.0);
+        // gradients flowed
+        assert!(d_cond.iter().any(|&v| v != 0.0));
+        assert!(d_ent.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    /// Full finite-difference check of the multiclass gradient w.r.t. the
+    /// conditioning row and the relation row.
+    #[test]
+    fn multiclass_gradient_matches_finite_differences() {
+        let (emb, spec) = setup();
+        let mut scratch = LossScratch::new(8, 8);
+        let target = 5usize;
+        let ce_of = |cond: &[f32], rel: &[f32]| {
+            let mut s = LossScratch::new(8, 8);
+            spec.tail_query(cond, rel, &mut s.q, 2);
+            emb.ent.gemv(&s.q, &mut s.scores);
+            kg_linalg::vecops::softmax_inplace(&mut s.scores);
+            -(s.scores[target].max(1e-12)).ln()
+        };
+        let cond: Vec<f32> = emb.ent.row(2).to_vec();
+        let rel: Vec<f32> = emb.rel.row(1).to_vec();
+        let mut d_cond = vec![0.0f32; 8];
+        let mut d_rel = vec![0.0f32; 8];
+        let mut d_ent = Mat::zeros(8, 8);
+        multiclass_direction(
+            &spec, true, &cond, &rel, target, &emb.ent, &mut d_cond, &mut d_rel, &mut d_ent,
+            &mut scratch,
+        );
+        let eps = 1e-2f32;
+        for i in 0..8 {
+            let mut cp = cond.clone();
+            cp[i] += eps;
+            let mut cm = cond.clone();
+            cm[i] -= eps;
+            let num = (ce_of(&cp, &rel) - ce_of(&cm, &rel)) / (2.0 * eps);
+            assert!(
+                (num - d_cond[i]).abs() < 2e-2,
+                "d_cond[{i}]: fd {num} vs bp {}",
+                d_cond[i]
+            );
+            let mut rp = rel.clone();
+            rp[i] += eps;
+            let mut rm = rel.clone();
+            rm[i] -= eps;
+            let num = (ce_of(&cond, &rp) - ce_of(&cond, &rm)) / (2.0 * eps);
+            assert!((num - d_rel[i]).abs() < 2e-2, "d_rel[{i}]: fd {num} vs bp {}", d_rel[i]);
+        }
+    }
+
+    /// The dense entity gradient must also match finite differences —
+    /// this exercises the rank-1 `p qᵀ` term. Note for the conditioning
+    /// entity the total derivative adds the `d_cond` contribution.
+    #[test]
+    fn multiclass_entity_table_gradient_matches() {
+        let (emb, spec) = setup();
+        let mut scratch = LossScratch::new(8, 8);
+        let target = 4usize;
+        let cond_idx = 2usize;
+        let ce_of = |ent: &Mat| {
+            let mut s = LossScratch::new(8, 8);
+            spec.tail_query(ent.row(cond_idx), emb.rel.row(0), &mut s.q, 2);
+            ent.gemv(&s.q, &mut s.scores);
+            kg_linalg::vecops::softmax_inplace(&mut s.scores);
+            -(s.scores[target].max(1e-12)).ln()
+        };
+        let mut d_cond = vec![0.0f32; 8];
+        let mut d_rel = vec![0.0f32; 8];
+        let mut d_ent = Mat::zeros(8, 8);
+        multiclass_direction(
+            &spec,
+            true,
+            emb.ent.row(cond_idx),
+            emb.rel.row(0),
+            target,
+            &emb.ent,
+            &mut d_cond,
+            &mut d_rel,
+            &mut d_ent,
+            &mut scratch,
+        );
+        let eps = 1e-2f32;
+        for e in [0usize, 4, 7, 2] {
+            for i in [0usize, 3, 7] {
+                let mut ep = emb.ent.clone();
+                ep.set(e, i, ep.get(e, i) + eps);
+                let mut em = emb.ent.clone();
+                em.set(e, i, em.get(e, i) - eps);
+                let num = (ce_of(&ep) - ce_of(&em)) / (2.0 * eps);
+                let mut bp = d_ent.get(e, i);
+                if e == cond_idx {
+                    bp += d_cond[i];
+                }
+                assert!((num - bp).abs() < 3e-2, "d_ent[{e},{i}]: fd {num} vs bp {bp}");
+            }
+        }
+    }
+
+    #[test]
+    fn neg_sampling_loss_positive_and_grads_flow() {
+        let (emb, spec) = setup();
+        let mut scratch = LossScratch::new(8, 8);
+        let mut d_ent = Mat::zeros(8, 8);
+        let mut d_rel = Mat::zeros(2, 8);
+        let loss = neg_sampling_triple(
+            &spec,
+            0,
+            1,
+            3,
+            &[(0, 5), (6, 3)],
+            &emb.ent,
+            &emb.rel,
+            &mut d_ent,
+            &mut d_rel,
+            &mut scratch,
+        );
+        assert!(loss.is_finite() && loss > 0.0);
+        assert!(d_ent.as_slice().iter().any(|&v| v != 0.0));
+        assert!(d_rel.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn neg_sampling_gradient_matches_finite_differences() {
+        let (emb, spec) = setup();
+        let dsub = 2;
+        // single positive, no negatives: L = softplus(-f(h, r, t))
+        let loss_of = |ent: &Mat| {
+            let f = spec.score(ent.row(0), emb.rel.row(1), ent.row(3), dsub);
+            kg_linalg::vecops::softplus(-f)
+        };
+        let mut scratch = LossScratch::new(8, 8);
+        let mut d_ent = Mat::zeros(8, 8);
+        let mut d_rel = Mat::zeros(2, 8);
+        neg_sampling_triple(
+            &spec, 0, 1, 3, &[], &emb.ent, &emb.rel, &mut d_ent, &mut d_rel, &mut scratch,
+        );
+        let eps = 1e-2f32;
+        for (e, i) in [(0usize, 1usize), (3, 6), (0, 7)] {
+            let mut ep = emb.ent.clone();
+            ep.set(e, i, ep.get(e, i) + eps);
+            let mut em = emb.ent.clone();
+            em.set(e, i, em.get(e, i) - eps);
+            let num = (loss_of(&ep) - loss_of(&em)) / (2.0 * eps);
+            let bp = d_ent.get(e, i);
+            assert!((num - bp).abs() < 1e-2, "d_ent[{e},{i}]: fd {num} vs bp {bp}");
+        }
+    }
+}

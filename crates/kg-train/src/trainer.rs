@@ -1,0 +1,385 @@
+//! The mini-batch trainer (Alg. 1 with the paper's choices).
+//!
+//! Per batch: accumulate dense entity/relation gradients (the multi-class
+//! loss couples every entity through the softmax), fold in the L2 penalty,
+//! take one Adagrad step, decay the learning rate per epoch. An optional
+//! per-epoch callback receives the current model so callers can record
+//! validation curves (Fig. 4) without this crate depending on evaluation.
+
+use crate::config::{LossKind, TrainConfig};
+use crate::loss::{multiclass_direction, neg_sampling_triple, LossScratch};
+use kg_core::{Dataset, Triple};
+use kg_linalg::{Adagrad, Mat, Optimizer, SeededRng};
+use kg_models::{BlmModel, BlockSpec, Embeddings};
+
+/// Information handed to the per-epoch callback.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochInfo {
+    /// 0-based epoch that just finished.
+    pub epoch: usize,
+    /// Mean training loss of that epoch.
+    pub loss: f32,
+    /// Wall-clock seconds since training started.
+    pub seconds: f64,
+}
+
+/// Train `spec` on `ds.train`; convenience wrapper without callback.
+pub fn train(spec: &BlockSpec, ds: &Dataset, cfg: &TrainConfig) -> BlmModel {
+    train_with_callback(spec, ds, cfg, |_m: &BlmModel, _i: EpochInfo| ControlFlow::Continue)
+}
+
+/// Whether to keep training after an epoch callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlFlow {
+    /// Run the next epoch.
+    Continue,
+    /// Stop now and return the current model (early stopping — the paper
+    /// trains "until converge", Sec. V-A2; callers implement the
+    /// convergence criterion, e.g. patience on validation MRR).
+    Stop,
+}
+
+/// Adapter so plain `()`-returning closures keep working as callbacks.
+pub trait EpochCallback {
+    /// Observe the epoch; decide whether to continue.
+    fn on_epoch(&mut self, model: &BlmModel, info: EpochInfo) -> ControlFlow;
+}
+
+impl<F: FnMut(&BlmModel, EpochInfo) -> ControlFlow> EpochCallback for F {
+    fn on_epoch(&mut self, model: &BlmModel, info: EpochInfo) -> ControlFlow {
+        self(model, info)
+    }
+}
+
+/// Train with a per-epoch callback `(model_so_far, info) -> ControlFlow`;
+/// returning [`ControlFlow::Stop`] ends training early.
+///
+/// # Panics
+/// Panics if `cfg` fails validation or the dataset has no training triples.
+pub fn train_with_callback<F>(
+    spec: &BlockSpec,
+    ds: &Dataset,
+    cfg: &TrainConfig,
+    mut on_epoch: F,
+) -> BlmModel
+where
+    F: EpochCallback,
+{
+    cfg.validate().expect("invalid training configuration");
+    assert!(!ds.train.is_empty(), "cannot train on an empty training set");
+    let mut rng = SeededRng::new(cfg.seed ^ 0xEE55_11AA_77CC_33BB);
+    let emb = Embeddings::init(ds.n_entities, ds.n_relations, cfg.dim, &mut rng);
+    let mut model = BlmModel::new(spec.clone(), emb);
+
+    let n_ent = ds.n_entities;
+    let n_rel = ds.n_relations;
+    let dim = cfg.dim;
+    let mut opt = Adagrad::new(n_ent * dim + n_rel * dim, cfg.lr, cfg.decay);
+    let mut d_ent = Mat::zeros(n_ent, dim);
+    let mut d_rel = Mat::zeros(n_rel, dim);
+    let mut scratch = LossScratch::new(n_ent, dim);
+    let mut order: Vec<usize> = (0..ds.train.len()).collect();
+    let start = std::time::Instant::now();
+
+    for epoch in 0..cfg.epochs {
+        rng.shuffle(&mut order);
+        let mut epoch_loss = 0.0f64;
+        let mut n_terms = 0usize;
+        for batch in order.chunks(cfg.batch_size) {
+            d_ent.clear();
+            d_rel.clear();
+            for &i in batch {
+                let tr = ds.train[i];
+                match cfg.loss {
+                    LossKind::MultiClass => {
+                        epoch_loss += step_multiclass(&model, tr, &mut d_ent, &mut d_rel, &mut scratch)
+                            as f64;
+                        n_terms += 2;
+                    }
+                    LossKind::NegSampling { m } => {
+                        let negatives: Vec<(usize, usize)> = (0..m)
+                            .map(|_| {
+                                let e = rng.below(n_ent);
+                                if rng.coin() {
+                                    (e, tr.t.idx())
+                                } else {
+                                    (tr.h.idx(), e)
+                                }
+                            })
+                            .collect();
+                        epoch_loss += neg_sampling_triple(
+                            &model.spec,
+                            tr.h.idx(),
+                            tr.r.idx(),
+                            tr.t.idx(),
+                            &negatives,
+                            &model.emb.ent,
+                            &model.emb.rel,
+                            &mut d_ent,
+                            &mut d_rel,
+                            &mut scratch,
+                        ) as f64;
+                        n_terms += 1 + m;
+                    }
+                }
+            }
+            // N3 regularisation on the rows this batch touched (Lacroix et
+            // al.: d|v|³/dv = 3·sign(v)·v²), weighted per appearance.
+            if cfg.n3 > 0.0 {
+                for &i in batch {
+                    let tr = ds.train[i];
+                    for row in [tr.h.idx(), tr.t.idx()] {
+                        n3_grad(cfg.n3, model.emb.ent.row(row), d_ent.row_mut(row));
+                    }
+                    n3_grad(cfg.n3, model.emb.rel.row(tr.r.idx()), d_rel.row_mut(tr.r.idx()));
+                }
+            }
+            // mean over the batch + L2 weight decay, then one Adagrad step
+            let inv = 1.0 / batch.len() as f32;
+            kg_linalg::vecops::scale(inv, d_ent.as_mut_slice());
+            kg_linalg::vecops::scale(inv, d_rel.as_mut_slice());
+            if cfg.l2 > 0.0 {
+                kg_linalg::vecops::axpy(cfg.l2, model.emb.ent.as_slice(), d_ent.as_mut_slice());
+                kg_linalg::vecops::axpy(cfg.l2, model.emb.rel.as_slice(), d_rel.as_mut_slice());
+            }
+            opt.update(0, model.emb.ent.as_mut_slice(), d_ent.as_slice());
+            opt.update(n_ent * dim, model.emb.rel.as_mut_slice(), d_rel.as_slice());
+        }
+        opt.end_epoch();
+        let info = EpochInfo {
+            epoch,
+            loss: (epoch_loss / n_terms.max(1) as f64) as f32,
+            seconds: start.elapsed().as_secs_f64(),
+        };
+        if on_epoch.on_epoch(&model, info) == ControlFlow::Stop {
+            break;
+        }
+    }
+    model
+}
+
+/// Accumulate the N3 gradient `3·w·sign(v)·v²` of one embedding row.
+fn n3_grad(weight: f32, row: &[f32], grad: &mut [f32]) {
+    for (g, &v) in grad.iter_mut().zip(row.iter()) {
+        *g += 3.0 * weight * v.signum() * v * v;
+    }
+}
+
+fn step_multiclass(
+    model: &BlmModel,
+    tr: Triple,
+    d_ent: &mut Mat,
+    d_rel: &mut Mat,
+    scratch: &mut LossScratch,
+) -> f32 {
+    let (h, r, t) = (tr.h.idx(), tr.r.idx(), tr.t.idx());
+    let mut loss = 0.0f32;
+    // The conditioning row's gradient lands in the same dense d_ent/d_rel
+    // buffers; copy the rows out to avoid aliasing the table borrow.
+    let dim = model.emb.dim();
+    let mut d_cond = vec![0.0f32; dim];
+    let mut d_relrow = vec![0.0f32; dim];
+    // tail direction: predict t from (h, r)
+    loss += multiclass_direction(
+        &model.spec,
+        true,
+        model.emb.ent.row(h),
+        model.emb.rel.row(r),
+        t,
+        &model.emb.ent,
+        &mut d_cond,
+        &mut d_relrow,
+        d_ent,
+        scratch,
+    );
+    kg_linalg::vecops::axpy(1.0, &d_cond, d_ent.row_mut(h));
+    kg_linalg::vecops::axpy(1.0, &d_relrow, d_rel.row_mut(r));
+    // head direction: predict h from (t, r)
+    kg_linalg::vecops::zero(&mut d_cond);
+    kg_linalg::vecops::zero(&mut d_relrow);
+    loss += multiclass_direction(
+        &model.spec,
+        false,
+        model.emb.ent.row(t),
+        model.emb.rel.row(r),
+        h,
+        &model.emb.ent,
+        &mut d_cond,
+        &mut d_relrow,
+        d_ent,
+        scratch,
+    );
+    kg_linalg::vecops::axpy(1.0, &d_cond, d_ent.row_mut(t));
+    kg_linalg::vecops::axpy(1.0, &d_relrow, d_rel.row_mut(r));
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_models::blm::classics;
+    use kg_models::LinkPredictor;
+
+    fn toy_dataset() -> Dataset {
+        // deterministic ring + a symmetric relation
+        let mut train = Vec::new();
+        for i in 0..20u32 {
+            train.push(Triple::new(i, 0, (i + 1) % 20));
+        }
+        for i in 0..10u32 {
+            train.push(Triple::new(2 * i, 1, 2 * i + 1));
+            train.push(Triple::new(2 * i + 1, 1, 2 * i));
+        }
+        Dataset::new("toy", train, vec![Triple::new(0, 0, 1)], vec![Triple::new(1, 0, 2)])
+    }
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig { dim: 16, epochs: 25, lr: 0.5, l2: 1e-5, batch_size: 16, ..Default::default() }
+    }
+
+    #[test]
+    fn multiclass_loss_decreases() {
+        let ds = toy_dataset();
+        let mut losses = Vec::new();
+        train_with_callback(&classics::simple(), &ds, &quick_cfg(), |_: &_, info: EpochInfo| {
+            losses.push(info.loss);
+            ControlFlow::Continue
+        });
+        assert_eq!(losses.len(), 25);
+        assert!(
+            losses.last().unwrap() < &losses[0],
+            "loss did not decrease: {} -> {}",
+            losses[0],
+            losses.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn trained_model_ranks_training_tails_highly() {
+        let ds = toy_dataset();
+        let model = train(&classics::complex(), &ds, &quick_cfg());
+        let mut scores = vec![0.0f32; 20];
+        let mut hits = 0;
+        for i in 0..20usize {
+            model.score_tails(i, 0, &mut scores);
+            let target = (i + 1) % 20;
+            let better = scores.iter().filter(|&&s| s > scores[target]).count();
+            if better < 3 {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 15, "only {hits}/20 training edges ranked in top 3");
+    }
+
+    #[test]
+    fn neg_sampling_loss_decreases() {
+        let ds = toy_dataset();
+        let cfg = TrainConfig {
+            loss: LossKind::NegSampling { m: 4 },
+            lr: 0.1,
+            ..quick_cfg()
+        };
+        let mut losses = Vec::new();
+        train_with_callback(&classics::simple(), &ds, &cfg, |_: &_, info: EpochInfo| {
+            losses.push(info.loss);
+            ControlFlow::Continue
+        });
+        assert!(losses.last().unwrap() < &losses[0]);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let ds = toy_dataset();
+        let a = train(&classics::distmult(), &ds, &quick_cfg());
+        let b = train(&classics::distmult(), &ds, &quick_cfg());
+        assert_eq!(a.emb.ent, b.emb.ent);
+        let c = train(&classics::distmult(), &ds, &quick_cfg().with_seed(99));
+        assert_ne!(c.emb.ent, a.emb.ent);
+    }
+
+    #[test]
+    fn callback_sees_monotone_time() {
+        let ds = toy_dataset();
+        let mut last = -1.0f64;
+        let cfg = TrainConfig { epochs: 5, ..quick_cfg() };
+        train_with_callback(&classics::simple(), &ds, &cfg, |_: &_, info: EpochInfo| {
+            assert!(info.seconds >= last);
+            last = info.seconds;
+            ControlFlow::Continue
+        });
+    }
+
+    #[test]
+    fn early_stopping_halts_training() {
+        let ds = toy_dataset();
+        let mut seen = 0usize;
+        train_with_callback(&classics::simple(), &ds, &quick_cfg(), |_: &_, info: EpochInfo| {
+            seen += 1;
+            if info.epoch >= 4 {
+                ControlFlow::Stop
+            } else {
+                ControlFlow::Continue
+            }
+        });
+        assert_eq!(seen, 5, "training should stop after epoch index 4");
+    }
+
+    #[test]
+    fn n3_regulariser_shrinks_embeddings() {
+        let ds = toy_dataset();
+        let plain = train(&classics::simple(), &ds, &TrainConfig { l2: 0.0, ..quick_cfg() });
+        let reg = train(
+            &classics::simple(),
+            &ds,
+            &TrainConfig { l2: 0.0, n3: 0.05, ..quick_cfg() },
+        );
+        let norm = |m: &BlmModel| kg_linalg::vecops::norm2(m.emb.ent.as_slice());
+        assert!(
+            norm(&reg) < norm(&plain),
+            "N3 should shrink embeddings: {} vs {}",
+            norm(&reg),
+            norm(&plain)
+        );
+        // and training still works
+        let mut scores = vec![0.0f32; 20];
+        reg.score_tails(0, 0, &mut scores);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_train_panics() {
+        let ds = Dataset::new("empty", vec![], vec![], vec![]);
+        train(&classics::simple(), &ds, &quick_cfg());
+    }
+
+    /// The headline semantic guarantee behind Tab. I: DistMult, whose g(r)
+    /// is always symmetric, cannot distinguish (h, r, t) from (t, r, h),
+    /// while ComplEx can — on an anti-symmetric relation ComplEx must win.
+    #[test]
+    fn complex_beats_distmult_on_antisymmetric_data() {
+        // strictly one-directional chain relation
+        let train: Vec<Triple> = (0..30u32).map(|i| Triple::new(i, 0, (i + 1) % 31)).collect();
+        let ds = Dataset::new("anti", train.clone(), vec![], vec![]);
+        let cfg = quick_cfg();
+        let dm = train_fn(&classics::distmult(), &ds, &cfg);
+        let cx = train_fn(&classics::complex(), &ds, &cfg);
+        // Compare mean margin between the true direction and the reverse.
+        let margin = |m: &BlmModel| {
+            let mut acc = 0.0f32;
+            for tr in &train {
+                acc += m.score_triple(tr.h.idx(), tr.r.idx(), tr.t.idx())
+                    - m.score_triple(tr.t.idx(), tr.r.idx(), tr.h.idx());
+            }
+            acc / train.len() as f32
+        };
+        let dm_margin = margin(&dm);
+        let cx_margin = margin(&cx);
+        assert!(dm_margin.abs() < 1e-3, "DistMult cannot have directional margin: {dm_margin}");
+        assert!(cx_margin > 0.1, "ComplEx should learn direction: {cx_margin}");
+    }
+
+    fn train_fn(spec: &BlockSpec, ds: &Dataset, cfg: &TrainConfig) -> BlmModel {
+        train(spec, ds, cfg)
+    }
+}

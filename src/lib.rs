@@ -1,0 +1,17 @@
+//! Umbrella crate re-exporting the AutoSF reproduction workspace.
+//!
+//! The interesting code lives in the member crates:
+//! [`autosf`] (the search), [`kg_models`] (scoring functions), [`kg_train`]
+//! (training), [`kg_eval`] (metrics), [`kg_datagen`] (synthetic benchmarks),
+//! [`kg_core`] (the KG data model) and [`kg_linalg`] (dense math).
+//!
+//! This crate exists to host the runnable `examples/` and the cross-crate
+//! integration tests in `tests/`.
+
+pub use autosf;
+pub use kg_core;
+pub use kg_datagen;
+pub use kg_eval;
+pub use kg_linalg;
+pub use kg_models;
+pub use kg_train;
