@@ -1,119 +1,137 @@
-//! Criterion micro-benchmarks for the per-component costs behind Tab. VII:
-//! scoring, ranking queries, SRF extraction, canonicalization / filtering,
-//! predictor fit+rank, one training epoch and one evaluation pass.
+//! Self-harnessed micro-benchmarks (no external bench framework — the
+//! build runs offline), focused on the batched scoring engine.
+//!
+//! The headline case compares filtered-ranking throughput of the per-query
+//! GEMV path (`evaluate_sequential`) against the batched GEMM path
+//! (`evaluate`) at the paper's search dimension (d = 64) on a 10k-entity
+//! table — the workload the engine was built for. Results are printed and
+//! written to `BENCH_microbench.json` so speedups are tracked run to run.
+//!
+//! Run with `cargo bench -p bench`.
 
-use autosf::filter::DedupFilter;
-use autosf::invariance::canonical;
-use autosf::predictor::{FeatureKind, PerformancePredictor};
-use autosf::space::random_spec;
-use autosf::srf::srf;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use kg_core::FilterIndex;
-use kg_datagen::{preset, Preset, Scale};
-use kg_eval::ranking::evaluate;
-use kg_linalg::SeededRng;
+use kg_core::{FilterIndex, Triple};
+use kg_eval::ranking::{evaluate, evaluate_sequential};
+use kg_linalg::{gemm, Mat, SeededRng};
 use kg_models::blm::classics;
-use kg_models::LinkPredictor;
-use kg_train::{train, TrainConfig};
+use kg_models::{BatchScorer, BatchScratch, BlmModel, Embeddings, LinkPredictor};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_scoring(c: &mut Criterion) {
-    let mut rng = SeededRng::new(1);
-    let dsub = 16; // d = 64, the paper's search dimension
-    let d = 4 * dsub;
-    let spec = classics::complex();
-    let mut h = vec![0.0f32; d];
-    let mut r = vec![0.0f32; d];
-    let mut t = vec![0.0f32; d];
-    rng.fill_normal(1.0, &mut h);
-    rng.fill_normal(1.0, &mut r);
-    rng.fill_normal(1.0, &mut t);
-    c.bench_function("blockspec_score_d64", |b| {
-        b.iter(|| black_box(spec.score(&h, &r, &t, dsub)))
-    });
-    let mut q = vec![0.0f32; d];
-    c.bench_function("blockspec_tail_query_d64", |b| {
-        b.iter(|| {
-            spec.tail_query(&h, &r, &mut q, dsub);
-            black_box(q[0])
-        })
-    });
+/// One benchmark row of the JSON artefact.
+#[derive(Debug, Serialize)]
+struct BenchRow {
+    name: String,
+    iters: usize,
+    secs_per_iter: f64,
+    throughput: Option<f64>,
+    throughput_unit: Option<String>,
 }
 
-fn bench_srf_and_filter(c: &mut Criterion) {
-    let mut rng = SeededRng::new(2);
-    let specs: Vec<_> = (0..32)
-        .map(|_| random_spec(6, &mut rng, 500).expect("valid f6"))
+/// Best-of-5 wall-clock seconds per iteration of `f` — best-of smooths
+/// scheduler noise on shared CI runners, where the 2× speedup gate runs.
+fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+fn main() {
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let mut record = |name: &str, iters: usize, secs: f64, thr: Option<(f64, &str)>| {
+        println!(
+            "{name:<42} {:>12.3} µs/iter{}",
+            secs * 1e6,
+            thr.map(|(v, u)| format!("  ({v:.0} {u})")).unwrap_or_default()
+        );
+        rows.push(BenchRow {
+            name: name.to_string(),
+            iters,
+            secs_per_iter: secs,
+            throughput: thr.map(|(v, _)| v),
+            throughput_unit: thr.map(|(_, u)| u.to_string()),
+        });
+    };
+
+    // ---- headline: filtered ranking, per-query GEMV vs batched GEMM ----
+    // 10k entities at the paper's search dimension d = 64.
+    let n_entities = 10_000;
+    let dim = 64;
+    let n_triples = 256;
+    let mut rng = SeededRng::new(2020);
+    let emb = Embeddings::init(n_entities, 4, dim, &mut rng);
+    let model = BlmModel::new(classics::complex(), emb);
+    let triples: Vec<Triple> = (0..n_triples)
+        .map(|_| {
+            Triple::new(
+                rng.below(n_entities) as u32,
+                rng.below(4) as u32,
+                rng.below(n_entities) as u32,
+            )
+        })
         .collect();
-    c.bench_function("srf_f6", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % specs.len();
-            black_box(srf(&specs[i]))
-        })
-    });
-    c.bench_function("canonicalize_f6", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % specs.len();
-            black_box(canonical(&specs[i]))
-        })
-    });
-    c.bench_function("filter_admit_f6", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let mut f = DedupFilter::new();
-            i = (i + 1) % specs.len();
-            black_box(f.admit(&specs[i]))
-        })
-    });
-}
+    let filter = FilterIndex::build(&triples);
+    let queries_per_iter = (2 * n_triples) as f64;
 
-fn bench_predictor(c: &mut Criterion) {
-    let mut rng = SeededRng::new(3);
-    let data: Vec<_> = (0..24)
-        .map(|i| {
-            let s = random_spec(6, &mut rng, 500).expect("valid");
-            (s, 0.3 + 0.01 * i as f64)
-        })
-        .collect();
-    c.bench_function("predictor_fit_srf_24pts", |b| {
-        b.iter(|| {
-            let mut p = PerformancePredictor::new(FeatureKind::Srf, 9);
-            p.fit_epochs = 100;
-            p.fit(&data);
-            black_box(p.predict(&data[0].0))
-        })
-    });
-    let mut p = PerformancePredictor::new(FeatureKind::Srf, 9);
-    p.fit(&data);
-    c.bench_function("predictor_predict_srf", |b| {
-        b.iter(|| black_box(p.predict(&data[0].0)))
-    });
-}
+    let seq = time_best(1, || evaluate_sequential(&model, &triples, &filter));
+    record("rank_10k_d64_per_query_gemv", 1, seq, Some((queries_per_iter / seq, "queries/s")));
+    let bat = time_best(1, || evaluate(&model, &triples, &filter));
+    record("rank_10k_d64_batched_gemm", 1, bat, Some((queries_per_iter / bat, "queries/s")));
+    let speedup = seq / bat;
+    println!("{:<42} {speedup:>11.2}x", "batched ranking speedup");
+    assert_eq!(
+        evaluate(&model, &triples, &filter),
+        evaluate_sequential(&model, &triples, &filter),
+        "batched and per-query ranking diverged"
+    );
 
-fn bench_train_eval(c: &mut Criterion) {
-    let ds = preset(Preset::Wn18rrLike, Scale::Tiny, 4);
-    let cfg = TrainConfig { dim: 16, epochs: 1, batch_size: 256, ..Default::default() };
-    c.bench_function("train_one_epoch_tiny", |b| {
-        b.iter(|| black_box(train(&classics::simple(), &ds, &cfg)))
+    // ---- raw kernels: 64-query block against the 10k × 64 table ----
+    let block = 64usize;
+    let mut q = Mat::zeros(block, dim);
+    rng.fill_normal(1.0, q.as_mut_slice());
+    let mut scores = vec![0.0f32; block * n_entities];
+    let kernel_gemv = time_best(4, || {
+        for i in 0..block {
+            model.emb.ent.gemv(q.row(i), &mut scores[i * n_entities..(i + 1) * n_entities]);
+        }
+        scores[0]
     });
-    let model = train(&classics::simple(), &ds, &TrainConfig { epochs: 5, ..cfg });
-    let filter = FilterIndex::from_dataset(&ds);
-    c.bench_function("evaluate_valid_tiny", |b| {
-        b.iter(|| black_box(evaluate(&model, &ds.valid, &filter)))
+    record("kernel_64q_gemv_loop", 4, kernel_gemv, None);
+    let kernel_gemm = time_best(4, || {
+        gemm::gemm_nt(q.as_slice(), block, dim, &model.emb.ent, &mut scores);
+        scores[0]
     });
-    let mut scores = vec![0.0f32; model.n_entities()];
-    c.bench_function("score_all_tails_tiny", |b| {
-        b.iter(|| {
-            model.score_tails(0, 0, &mut scores);
-            black_box(scores[0])
-        })
-    });
-}
+    record("kernel_64q_gemm_nt", 4, kernel_gemm, None);
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_scoring, bench_srf_and_filter, bench_predictor, bench_train_eval
+    // ---- batch adapter overhead: one 64-query block through BatchScorer ----
+    let mut scratch = BatchScratch::new();
+    let tail_queries: Vec<(usize, usize)> =
+        (0..block).map(|i| (i * 131 % n_entities, i % 4)).collect();
+    let batch_call = time_best(4, || {
+        model.score_tails_batch(&tail_queries, &mut scores, &mut scratch);
+        scores[0]
+    });
+    record("score_tails_batch_64q", 4, batch_call, None);
+
+    // ---- single-triple scoring stays cheap (per-query adapter path) ----
+    let mut one = vec![0.0f32; n_entities];
+    let single = time_best(16, || {
+        model.score_tails(7, 1, &mut one);
+        one[0]
+    });
+    record("score_tails_single_query", 16, single, None);
+
+    let json = serde_json::to_string_pretty(&rows).expect("serialise bench rows");
+    // Anchor to the workspace root whatever cwd cargo hands the bench.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_microbench.json");
+    std::fs::write(path, &json).expect("write BENCH_microbench.json");
+    println!("(wrote {path})");
+
+    assert!(speedup >= 2.0, "batched ranking speedup regressed below 2x: {speedup:.2}x");
 }
-criterion_main!(benches);

@@ -29,7 +29,7 @@ fn main() {
         for (name, spec) in entries {
             let mut curve = Curve::new(format!("{}/{}", ds.name, name));
             train_with_callback(&spec, &ds, &cfg, |model: &_, info: kg_train::EpochInfo| {
-                if info.epoch % stride == 0 || info.epoch + 1 == cfg.epochs {
+                if info.epoch.is_multiple_of(stride) || info.epoch + 1 == cfg.epochs {
                     let m = evaluate_parallel(model, &ds.test, &filter, ctx.threads);
                     curve.push(info.seconds, m.mrr);
                 }

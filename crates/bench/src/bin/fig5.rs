@@ -25,7 +25,9 @@ fn main() {
         println!("SRF skew bits S1..S11:  {skew_bits}");
         match classics::all().into_iter().find(|(_, c)| equivalent(c, &sf.spec)) {
             Some((name, _)) => println!("equivalent to human baseline: {name}"),
-            None => println!("not equivalent to any human-designed baseline (new to the literature)"),
+            None => {
+                println!("not equivalent to any human-designed baseline (new to the literature)")
+            }
         }
         found.push(sf);
     }

@@ -28,7 +28,11 @@ fn main() {
         let gcfg = GreedyConfig { seed: ctx.seed, ..ctx.greedy_cfg() };
         GreedySearch::new(gcfg).run(&mut driver);
         let autosf_curve = driver.trace.best_so_far_curve(&format!("{}/AutoSF", ds.name));
-        println!("AutoSF   best {:.3} ({} models)", autosf_curve.final_y(), driver.models_trained());
+        println!(
+            "AutoSF   best {:.3} ({} models)",
+            autosf_curve.final_y(),
+            driver.models_trained()
+        );
 
         // Random search over f6
         let mut driver = SearchDriver::new(&ds, ctx.search_train_cfg(), ctx.threads);
@@ -45,8 +49,7 @@ fn main() {
         // Gen-Approx: one MLP model trained once (a flat reference line)
         let mut rng = SeededRng::new(ctx.seed);
         let scfg = ctx.search_train_cfg();
-        let ncfg =
-            NnmConfig { dim: scfg.dim, epochs: scfg.epochs, lr: 0.1, l2: 1e-4 };
+        let ncfg = NnmConfig { dim: scfg.dim, epochs: scfg.epochs, lr: 0.1, l2: 1e-4 };
         let mut nnm = GenApprox::init(ds.n_entities, ds.n_relations, ncfg, &mut rng);
         nnm.train(&ds.train, &mut rng);
         let mut filter = FilterIndex::build(&ds.train);

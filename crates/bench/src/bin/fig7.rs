@@ -23,12 +23,8 @@ fn main() {
         ];
         for (label, use_filter, use_predictor) in variants {
             let mut driver = SearchDriver::new(&ds, ctx.search_train_cfg(), ctx.threads);
-            let gcfg = GreedyConfig {
-                use_filter,
-                use_predictor,
-                seed: ctx.seed,
-                ..ctx.greedy_cfg()
-            };
+            let gcfg =
+                GreedyConfig { use_filter, use_predictor, seed: ctx.seed, ..ctx.greedy_cfg() };
             GreedySearch::new(gcfg).run(&mut driver);
             let curve = driver.trace.best_so_far_curve(&format!("{}/{}", ds.name, label));
             println!(

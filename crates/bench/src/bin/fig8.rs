@@ -21,12 +21,7 @@ fn main() {
         ];
         for (label, feature, use_predictor) in variants {
             let mut driver = SearchDriver::new(&ds, ctx.search_train_cfg(), ctx.threads);
-            let gcfg = GreedyConfig {
-                feature,
-                use_predictor,
-                seed: ctx.seed,
-                ..ctx.greedy_cfg()
-            };
+            let gcfg = GreedyConfig { feature, use_predictor, seed: ctx.seed, ..ctx.greedy_cfg() };
             GreedySearch::new(gcfg).run(&mut driver);
             let curve = driver.trace.best_so_far_curve(&format!("{}/{}", ds.name, label));
             println!("{:<18} best {:.3}", label, curve.final_y());

@@ -16,12 +16,28 @@ fn main() {
     let mut curves: Vec<Curve> = Vec::new();
 
     let variants: Vec<(String, GreedyConfig)> = vec![
-        (format!("N={}", base.n_candidates / 2), GreedyConfig { n_candidates: (base.n_candidates / 2).max(base.k2), ..base }),
+        (
+            format!("N={}", base.n_candidates / 2),
+            GreedyConfig { n_candidates: (base.n_candidates / 2).max(base.k2), ..base },
+        ),
         (format!("N={} (default)", base.n_candidates), base),
-        (format!("N={}", base.n_candidates * 2), GreedyConfig { n_candidates: base.n_candidates * 2, ..base }),
+        (
+            format!("N={}", base.n_candidates * 2),
+            GreedyConfig { n_candidates: base.n_candidates * 2, ..base },
+        ),
         (format!("K2={}", (base.k2 / 2).max(1)), GreedyConfig { k2: (base.k2 / 2).max(1), ..base }),
-        (format!("K2={}", base.k2 * 2), GreedyConfig { k2: base.k2 * 2, n_candidates: base.n_candidates.max(base.k2 * 2), ..base }),
-        ("greedy (no filter/predictor)".to_string(), GreedyConfig { use_filter: false, use_predictor: false, ..base }),
+        (
+            format!("K2={}", base.k2 * 2),
+            GreedyConfig {
+                k2: base.k2 * 2,
+                n_candidates: base.n_candidates.max(base.k2 * 2),
+                ..base
+            },
+        ),
+        (
+            "greedy (no filter/predictor)".to_string(),
+            GreedyConfig { use_filter: false, use_predictor: false, ..base },
+        ),
     ];
 
     for (label, mut gcfg) in variants {

@@ -30,13 +30,22 @@ fn main() {
         for (name, spec) in classics::all() {
             let base = ctx.final_train_cfg();
             let mc_cfg = TrainConfig { loss: LossKind::MultiClass, ..base };
-            let ns_cfg =
-                TrainConfig { loss: LossKind::NegSampling { m: 8 }, lr: 0.1, ..base };
+            let ns_cfg = TrainConfig { loss: LossKind::NegSampling { m: 8 }, lr: 0.1, ..base };
             let mc = evaluate_parallel(&train(&spec, &ds, &mc_cfg), &ds.test, &filter, ctx.threads);
             let ns = evaluate_parallel(&train(&spec, &ds, &ns_cfg), &ds.test, &filter, ctx.threads);
             println!("{:<12} {:>14.3} {:>14.3}", name, mc.mrr, ns.mrr);
-            rows.push(Row { dataset: ds.name.clone(), model: name.into(), loss: "multi-class".into(), mrr: mc.mrr });
-            rows.push(Row { dataset: ds.name.clone(), model: name.into(), loss: "neg-sampling".into(), mrr: ns.mrr });
+            rows.push(Row {
+                dataset: ds.name.clone(),
+                model: name.into(),
+                loss: "multi-class".into(),
+                mrr: mc.mrr,
+            });
+            rows.push(Row {
+                dataset: ds.name.clone(),
+                model: name.into(),
+                loss: "neg-sampling".into(),
+                mrr: ns.mrr,
+            });
         }
     }
     ctx.write_json("loss_ablation", &rows);

@@ -29,7 +29,11 @@ fn main() {
         let (sf, _) = ctx.search_best(p);
         println!(
             "\nsearch on {}: {} models, {:.1}s, val MRR {:.3}, best = {}",
-            ds.name, sf.models_trained, sf.seconds, sf.valid_mrr, sf.spec.formula()
+            ds.name,
+            sf.models_trained,
+            sf.seconds,
+            sf.valid_mrr,
+            sf.spec.formula()
         );
         let results = run_zoo(&ds, &ctx.final_train_cfg(), Some(&sf.spec), ctx.threads, true);
         print_zoo(&ds.name, &results);

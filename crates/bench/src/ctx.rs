@@ -49,9 +49,7 @@ impl ExpCtx {
         let threads = std::env::var("THREADS")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-            });
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
         let out_dir = PathBuf::from("target/experiments");
         std::fs::create_dir_all(&out_dir).expect("create experiment output dir");
         ExpCtx { scale, seed: 2020, threads, out_dir }
@@ -77,9 +75,30 @@ impl ExpCtx {
     /// epoch count, is what converges the multi-class loss.
     pub fn search_train_cfg(&self) -> TrainConfig {
         match self.scale {
-            Scale::Tiny => TrainConfig { dim: 32, epochs: 35, lr: 0.3, l2: 1e-5, batch_size: 32, ..Default::default() },
-            Scale::Quick => TrainConfig { dim: 32, epochs: 30, lr: 0.3, l2: 1e-5, batch_size: 64, ..Default::default() },
-            Scale::Full => TrainConfig { dim: 64, epochs: 50, lr: 0.3, l2: 1e-5, batch_size: 128, ..Default::default() },
+            Scale::Tiny => TrainConfig {
+                dim: 32,
+                epochs: 35,
+                lr: 0.3,
+                l2: 1e-5,
+                batch_size: 32,
+                ..Default::default()
+            },
+            Scale::Quick => TrainConfig {
+                dim: 32,
+                epochs: 30,
+                lr: 0.3,
+                l2: 1e-5,
+                batch_size: 64,
+                ..Default::default()
+            },
+            Scale::Full => TrainConfig {
+                dim: 64,
+                epochs: 50,
+                lr: 0.3,
+                l2: 1e-5,
+                batch_size: 128,
+                ..Default::default()
+            },
         }
     }
 
@@ -97,9 +116,30 @@ impl ExpCtx {
     /// Greedy meta hyper-parameters at this scale (paper: N=256, K1=K2=8).
     pub fn greedy_cfg(&self) -> GreedyConfig {
         match self.scale {
-            Scale::Tiny => GreedyConfig { b_max: 8, n_candidates: 24, k1: 4, k2: 6, rounds: 2, ..Default::default() },
-            Scale::Quick => GreedyConfig { b_max: 8, n_candidates: 64, k1: 8, k2: 8, rounds: 2, ..Default::default() },
-            Scale::Full => GreedyConfig { b_max: 10, n_candidates: 256, k1: 8, k2: 8, rounds: 4, ..Default::default() },
+            Scale::Tiny => GreedyConfig {
+                b_max: 8,
+                n_candidates: 24,
+                k1: 4,
+                k2: 6,
+                rounds: 2,
+                ..Default::default()
+            },
+            Scale::Quick => GreedyConfig {
+                b_max: 8,
+                n_candidates: 64,
+                k1: 8,
+                k2: 8,
+                rounds: 2,
+                ..Default::default()
+            },
+            Scale::Full => GreedyConfig {
+                b_max: 10,
+                n_candidates: 256,
+                k1: 8,
+                k2: 8,
+                rounds: 4,
+                ..Default::default()
+            },
         }
     }
 
@@ -115,9 +155,7 @@ impl ExpCtx {
     /// Run (or load from cache) the AutoSF search on a preset. Returns the
     /// cached structure and the trace when freshly searched.
     pub fn search_best(&self, p: Preset) -> (SearchedSf, Option<SearchTrace>) {
-        let cache = self
-            .out_dir
-            .join(format!("searched_{}_{}.json", p.name(), self.scale_tag()));
+        let cache = self.out_dir.join(format!("searched_{}_{}.json", p.name(), self.scale_tag()));
         if let Ok(text) = std::fs::read_to_string(&cache) {
             if let Ok(sf) = serde_json::from_str::<SearchedSf>(&text) {
                 return (sf, None);
@@ -127,10 +165,10 @@ impl ExpCtx {
         let mut driver = SearchDriver::new(&ds, self.search_train_cfg(), self.threads);
         // independent exploration per dataset (searches are separate runs
         // in the paper): derive the search seed from the dataset name
-        let name_salt: u64 =
-            p.name().bytes().fold(0xCBF2_9CE4_8422_2325, |acc, b| {
-                (acc ^ b as u64).wrapping_mul(0x1000_0000_01B3)
-            });
+        let name_salt: u64 = p
+            .name()
+            .bytes()
+            .fold(0xCBF2_9CE4_8422_2325, |acc, b| (acc ^ b as u64).wrapping_mul(0x1000_0000_01B3));
         let gcfg = GreedyConfig { seed: self.seed ^ name_salt, ..self.greedy_cfg() };
         let outcome = GreedySearch::new(gcfg).run(&mut driver);
         let sf = SearchedSf {

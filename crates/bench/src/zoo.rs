@@ -8,7 +8,7 @@ use kg_models::blm::classics;
 use kg_models::nnm::{GenApprox, NnmConfig};
 use kg_models::rules::{RuleConfig, RuleModel};
 use kg_models::tdm::{RotatE, TdmConfig, TransE, TransH};
-use kg_models::{BlockSpec, LinkPredictor};
+use kg_models::{BatchScorer, BlockSpec};
 use kg_train::{train, TrainConfig};
 
 /// Which baseline family a zoo entry belongs to (Tab. IV's "type" column).
@@ -100,12 +100,8 @@ pub fn run_zoo(
             metrics: eval_seq(&rotate, ds, &filter, threads),
         });
 
-        let ncfg = NnmConfig {
-            dim: cfg.dim.min(32),
-            epochs: (cfg.epochs / 2).max(5),
-            lr: 0.1,
-            l2: 1e-4,
-        };
+        let ncfg =
+            NnmConfig { dim: cfg.dim.min(32), epochs: (cfg.epochs / 2).max(5), lr: 0.1, l2: 1e-4 };
         let mut nnm = GenApprox::init(ds.n_entities, ds.n_relations, ncfg, &mut rng);
         nnm.train(&ds.train, &mut rng);
         out.push(ZooResult {
@@ -141,7 +137,7 @@ pub fn run_zoo(
     out
 }
 
-fn eval_seq<M: LinkPredictor + Sync>(
+fn eval_seq<M: BatchScorer + Sync>(
     model: &M,
     ds: &Dataset,
     filter: &FilterIndex,

@@ -11,12 +11,7 @@ use kg_train::tpe::{Param, Tpe};
 
 /// Random search: sample C2-valid structures with `b` blocks, train up to
 /// `budget` models. Returns the best validation MRR.
-pub fn random_search(
-    driver: &mut SearchDriver<'_>,
-    b: usize,
-    budget: usize,
-    seed: u64,
-) -> f64 {
+pub fn random_search(driver: &mut SearchDriver<'_>, b: usize, budget: usize, seed: u64) -> f64 {
     let mut rng = SeededRng::new(seed ^ 0x7A5D_0000_1111_2222);
     let mut best = 0.0f64;
     while driver.models_trained() < budget {

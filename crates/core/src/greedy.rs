@@ -120,11 +120,8 @@ impl GreedySearch {
             train_eval_secs: t0.elapsed().as_secs_f64(),
         });
         // per-stage record of (spec, mrr)
-        let mut tiers: Vec<Vec<(BlockSpec, f64)>> = vec![b4
-            .iter()
-            .cloned()
-            .zip(scores4.iter().copied())
-            .collect()];
+        let mut tiers: Vec<Vec<(BlockSpec, f64)>> =
+            vec![b4.iter().cloned().zip(scores4.iter().copied()).collect()];
         let mut all_records: Vec<(BlockSpec, f64)> = tiers[0].clone();
         let mut dedup = DedupFilter::new();
         if cfg.use_filter {
@@ -156,8 +153,7 @@ impl GreedySearch {
                     } else {
                         // no-filter ablation: only structural validity and
                         // exact-duplicate suppression within this batch
-                        satisfies_c2_weakly(&child)
-                            && !candidates.contains(&child)
+                        satisfies_c2_weakly(&child) && !candidates.contains(&child)
                     };
                     if admit {
                         candidates.push(child);
@@ -172,11 +168,7 @@ impl GreedySearch {
                 let t0 = std::time::Instant::now();
                 let chosen: Vec<BlockSpec> = if cfg.use_predictor {
                     let ranked = self.predictor.rank(&candidates);
-                    ranked
-                        .into_iter()
-                        .take(cfg.k2)
-                        .map(|i| candidates[i].clone())
-                        .collect()
+                    ranked.into_iter().take(cfg.k2).map(|i| candidates[i].clone()).collect()
                 } else {
                     let picks = rng.sample_distinct(candidates.len(), cfg.k2.min(candidates.len()));
                     picks.into_iter().map(|i| candidates[i].clone()).collect()
@@ -258,13 +250,8 @@ mod tests {
         assert!(outcome.best_mrr > 0.0);
         // evaluated the 5 f4 structures plus one round of K2 at b=6
         assert!(driver.models_trained() >= 5 + 4, "{} models", driver.models_trained());
-        let worst_f4 = driver
-            .trace
-            .records
-            .iter()
-            .take(5)
-            .map(|r| r.mrr)
-            .fold(f64::INFINITY, f64::min);
+        let worst_f4 =
+            driver.trace.records.iter().take(5).map(|r| r.mrr).fold(f64::INFINITY, f64::min);
         assert!(outcome.best_mrr >= worst_f4);
         assert_eq!(outcome.best_spec.n_blocks() % 2, 0);
     }

@@ -113,12 +113,7 @@ impl Transform {
                 (0..16u8).map(move |mask| Transform {
                     ent_perm,
                     rel_perm,
-                    flips: [
-                        mask & 1 != 0,
-                        mask & 2 != 0,
-                        mask & 4 != 0,
-                        mask & 8 != 0,
-                    ],
+                    flips: [mask & 1 != 0, mask & 2 != 0, mask & 4 != 0, mask & 8 != 0],
                 })
             })
         })
@@ -228,11 +223,7 @@ mod tests {
     fn equivalent_detects_permuted_simple() {
         // Fig. 2d: permute entity components of SimplE
         let spec = classics::simple();
-        let t = Transform {
-            ent_perm: [0, 2, 1, 3],
-            rel_perm: [0, 1, 2, 3],
-            flips: [false; 4],
-        };
+        let t = Transform { ent_perm: [0, 2, 1, 3], rel_perm: [0, 1, 2, 3], flips: [false; 4] };
         let permuted = t.apply(&spec);
         assert_ne!(permuted, spec, "the raw block lists differ");
         assert!(equivalent(&permuted, &spec), "but they are in the same orbit");

@@ -125,8 +125,7 @@ mod tests {
     fn predictor_learns_to_rank_srf_separable_data() {
         // targets depend on the SRF "can be skew" bits — learnable from SRF
         let mut pred = PerformancePredictor::new(FeatureKind::Srf, 3);
-        let specs: Vec<BlockSpec> =
-            classics::all().into_iter().map(|(_, s)| s).collect();
+        let specs: Vec<BlockSpec> = classics::all().into_iter().map(|(_, s)| s).collect();
         let data: Vec<(BlockSpec, f64)> = specs
             .iter()
             .map(|s| {

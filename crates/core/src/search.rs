@@ -116,8 +116,7 @@ impl<'a> SearchDriver<'a> {
     /// Evaluate a batch of structures; returns their validation MRRs in
     /// order. Uncached structures are trained in parallel.
     pub fn evaluate_batch(&mut self, specs: &[BlockSpec]) -> Vec<f64> {
-        let keys: Vec<Vec<Block>> =
-            specs.iter().map(|s| canonical(s).blocks().to_vec()).collect();
+        let keys: Vec<Vec<Block>> = specs.iter().map(|s| canonical(s).blocks().to_vec()).collect();
         let mut todo: Vec<usize> = Vec::new();
         for (i, key) in keys.iter().enumerate() {
             if !(self.use_cache && self.cache.contains_key(key)) {

@@ -10,9 +10,8 @@ use kg_models::BlockSpec;
 use proptest::prelude::*;
 
 fn arb_transform() -> impl Strategy<Value = Transform> {
-    (0usize..24, 0usize..24, prop::array::uniform4(prop::bool::ANY)).prop_map(
-        |(e, r, flips)| Transform { ent_perm: PERMS[e], rel_perm: PERMS[r], flips },
-    )
+    (0usize..24, 0usize..24, prop::array::uniform4(prop::bool::ANY))
+        .prop_map(|(e, r, flips)| Transform { ent_perm: PERMS[e], rel_perm: PERMS[r], flips })
 }
 
 /// A random C2-valid structure of size 4, 6 or 8.

@@ -81,9 +81,7 @@ impl Dataset {
 
     /// Check id bounds of every triple against the vocabulary.
     pub fn validate(&self) -> Result<(), String> {
-        for (split, ts) in
-            [("train", &self.train), ("valid", &self.valid), ("test", &self.test)]
-        {
+        for (split, ts) in [("train", &self.train), ("valid", &self.valid), ("test", &self.test)] {
             for t in ts.iter() {
                 if t.h.idx() >= self.n_entities || t.t.idx() >= self.n_entities {
                     return Err(format!("{split}: entity id out of range in {t}"));

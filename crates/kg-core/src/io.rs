@@ -115,14 +115,8 @@ pub fn load_dir(dir: &Path, name: &str) -> Result<(Dataset, Vocab), String> {
     let train = split("train.txt")?;
     let valid = split("valid.txt")?;
     let test = split("test.txt")?;
-    let ds = Dataset::with_vocab(
-        name,
-        vocab.entities.len(),
-        vocab.relations.len(),
-        train,
-        valid,
-        test,
-    );
+    let ds =
+        Dataset::with_vocab(name, vocab.entities.len(), vocab.relations.len(), train, valid, test);
     Ok((ds, vocab))
 }
 
@@ -221,8 +215,7 @@ mod tests {
     #[test]
     fn write_uses_vocab_names() {
         let mut vocab = Vocab::default();
-        let ts =
-            read_triples("sun\tshines_on\tearth\n".as_bytes(), &mut vocab).expect("parses");
+        let ts = read_triples("sun\tshines_on\tearth\n".as_bytes(), &mut vocab).expect("parses");
         let mut buf = Vec::new();
         write_triples(&mut buf, &ts, Some(&vocab)).expect("write");
         assert_eq!(String::from_utf8(buf).expect("utf8"), "sun\tshines_on\tearth\n");

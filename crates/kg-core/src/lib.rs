@@ -20,8 +20,8 @@
 pub mod fxhash;
 pub mod graph;
 pub mod ids;
-pub mod io;
 pub mod index;
+pub mod io;
 pub mod reltype;
 pub mod split;
 pub mod stats;

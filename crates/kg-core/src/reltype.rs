@@ -80,8 +80,7 @@ impl RelationProfile {
     pub fn classify_with(triples: &[Triple], n_relations: usize, cfg: RelTypeConfig) -> Self {
         // Group triples by relation and index ordered pairs.
         let mut by_rel: Vec<Vec<(EntityId, EntityId)>> = vec![Vec::new(); n_relations];
-        let mut pair_rels: FxHashMap<(EntityId, EntityId), Vec<RelationId>> =
-            FxHashMap::default();
+        let mut pair_rels: FxHashMap<(EntityId, EntityId), Vec<RelationId>> = FxHashMap::default();
         for t in triples {
             by_rel[t.r.idx()].push((t.h, t.t));
             pair_rels.entry((t.h, t.t)).or_default().push(t.r);
@@ -314,10 +313,7 @@ mod tests {
             ts.push(Triple::new(i + 50, 3, i));
         }
         let p = RelationProfile::classify(&ts, 4);
-        assert_eq!(
-            p.n_symmetric() + p.n_anti_symmetric() + p.n_inverse() + p.n_general(),
-            4
-        );
+        assert_eq!(p.n_symmetric() + p.n_anti_symmetric() + p.n_inverse() + p.n_general(), 4);
         assert_eq!(p.n_symmetric(), 1);
         // relation 2 is a bipartite base (general), relation 3 its mirror
         assert_eq!(p.n_inverse(), 1);

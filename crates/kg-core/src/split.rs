@@ -156,8 +156,11 @@ mod tests {
         let mut ts = dense_triples(20, 5);
         ts.push(Triple::new(999, 0, 1));
         for seed in 0..10 {
-            let (train, valid, test) =
-                split_triples(ts.clone(), SplitSpec { valid_fraction: 0.2, test_fraction: 0.2 }, seed);
+            let (train, valid, test) = split_triples(
+                ts.clone(),
+                SplitSpec { valid_fraction: 0.2, test_fraction: 0.2 },
+                seed,
+            );
             let in_train = train.iter().any(|t| t.h.0 == 999);
             assert!(in_train, "seed {seed}");
             assert!(!valid.iter().chain(test.iter()).any(|t| t.h.0 == 999));

@@ -70,8 +70,16 @@ impl DatasetStats {
     pub fn header() -> String {
         format!(
             "{:<14} {:>8} {:>6} {:>9} {:>7} {:>7} {:>5} {:>9} {:>8} {:>8}",
-            "data set", "#entity", "#rel", "#train", "#valid", "#test", "#sym", "#anti-sym",
-            "#inverse", "#general"
+            "data set",
+            "#entity",
+            "#rel",
+            "#train",
+            "#valid",
+            "#test",
+            "#sym",
+            "#anti-sym",
+            "#inverse",
+            "#general"
         )
     }
 }

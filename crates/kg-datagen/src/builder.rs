@@ -114,10 +114,8 @@ impl KgBuilder {
         let ne = self.world.n_entities();
         // split somewhere in the middle half, orientation random
         let s = ne / 4 + self.rng.below((ne / 2).max(1));
-        let (head_pool, tail_pool) =
-            if self.rng.coin() { (0..s, s..ne) } else { (s..ne, 0..s) };
-        let ts =
-            patterns::general(&self.world, &rel, r, n, head_pool, tail_pool, &mut self.rng);
+        let (head_pool, tail_pool) = if self.rng.coin() { (0..s, s..ne) } else { (s..ne, 0..s) };
+        let ts = patterns::general(&self.world, &rel, r, n, head_pool, tail_pool, &mut self.rng);
         self.push_relation(GeneratedKind::General, Some(rel), ts)
     }
 
@@ -127,10 +125,7 @@ impl KgBuilder {
     /// # Panics
     /// Panics if `base` does not exist yet.
     pub fn add_inverse_of(&mut self, base: u32, fidelity: f64) -> u32 {
-        assert!(
-            (base as usize) < self.per_relation.len(),
-            "relation {base} does not exist yet"
-        );
+        assert!((base as usize) < self.per_relation.len(), "relation {base} does not exist yet");
         let r = self.kinds.len() as u32;
         let ts =
             patterns::inverse_of(&self.per_relation[base as usize], r, fidelity, &mut self.rng);
@@ -150,14 +145,7 @@ impl KgBuilder {
         let triples = dedup_preserving_order(std::mem::take(&mut self.triples));
         let seed = self.rng.next_u64();
         let (train, valid, test) = split_triples(triples, spec, seed);
-        Dataset::with_vocab(
-            name,
-            self.world.n_entities(),
-            self.kinds.len(),
-            train,
-            valid,
-            test,
-        )
+        Dataset::with_vocab(name, self.world.n_entities(), self.kinds.len(), train, valid, test)
     }
 }
 

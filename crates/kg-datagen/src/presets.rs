@@ -133,8 +133,7 @@ pub fn preset(which: Preset, scale: Scale, seed: u64) -> Dataset {
             for _ in 0..4 {
                 b.add_symmetric(scaled(180, tm), 0.97);
             }
-            let antis: Vec<u32> =
-                (0..7).map(|_| b.add_anti_symmetric(scaled(330, tm))).collect();
+            let antis: Vec<u32> = (0..7).map(|_| b.add_anti_symmetric(scaled(330, tm))).collect();
             for a in antis {
                 b.add_inverse_of(a, 0.97);
             }

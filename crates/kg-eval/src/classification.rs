@@ -56,10 +56,7 @@ pub fn make_negatives(
 
 /// Scores for a triple set under a model.
 fn score_all(model: &dyn LinkPredictor, triples: &[Triple]) -> Vec<f32> {
-    triples
-        .iter()
-        .map(|t| model.score_triple(t.h.idx(), t.r.idx(), t.t.idx()))
-        .collect()
+    triples.iter().map(|t| model.score_triple(t.h.idx(), t.r.idx(), t.t.idx())).collect()
 }
 
 /// Find the threshold maximising accuracy over (score, label) pairs.
@@ -193,10 +190,7 @@ mod tests {
     }
 
     fn golden(pos: &[Triple]) -> Golden {
-        Golden {
-            set: pos.iter().map(|t| (t.h.idx(), t.r.idx(), t.t.idx())).collect(),
-            n: 20,
-        }
+        Golden { set: pos.iter().map(|t| (t.h.idx(), t.r.idx(), t.t.idx())).collect(), n: 20 }
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Evaluation substrate.
 //!
 //! * [`ranking`] — filtered link-prediction ranking (MRR, MR, Hits@k over
-//!   head and tail queries), the protocol of Sec. V-B.
+//!   head and tail queries), the protocol of Sec. V-B. Since the batched
+//!   scoring engine, triples are ranked in blocks (one GEMM per block for
+//!   factorising models) with bit-identical metrics to the per-query
+//!   reference path ([`ranking::evaluate_sequential`]).
 //! * [`classification`] — triplet classification with per-relation
 //!   thresholds σ_r tuned on validation (Sec. V-C / Tab. VI).
 //! * [`curves`] — learning-curve capture for Fig. 4 / Fig. 6-9.

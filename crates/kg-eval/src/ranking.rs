@@ -1,4 +1,4 @@
-//! Filtered link-prediction ranking (Sec. V-B).
+//! Filtered link-prediction ranking (Sec. V-B), batched.
 //!
 //! For each test triple `(h, r, t)` the model scores `(h, r, e)` for every
 //! entity `e` and we compute the rank of `t` — and symmetrically the rank
@@ -6,10 +6,27 @@
 //! form a *different* known positive are excluded from the count. Ties
 //! count half (the unbiased convention), so constant scorers get the random
 //! expectation instead of a free rank 1.
+//!
+//! Since the batched-scoring-engine refactor, triples are ranked in blocks:
+//! one [`kg_models::BatchScorer`] call scores a whole block of queries
+//! (one GEMM against the entity table for factorising models) and each
+//! score row is then filtered-ranked. Metrics are accumulated in the
+//! original per-triple order (tail query then head query, triple by
+//! triple), and the block kernels are bit-identical per element to the
+//! per-query kernels, so [`evaluate`] reproduces the sequential reference
+//! [`evaluate_sequential`] **bit for bit** — the equivalence suite in
+//! `tests/batch_equivalence.rs` pins this down for every shipped model.
 
 use kg_core::{FilterIndex, Triple};
-use kg_models::LinkPredictor;
+use kg_models::{BatchScorer, BatchScratch, LinkPredictor};
 use serde::{Deserialize, Serialize};
+
+/// Triples ranked per scoring block — each block issues two 64-row GEMMs
+/// (tail queries, then head queries, reusing one `64 × n_entities` score
+/// buffer): small enough that a block's score rows stay cache-resident for
+/// the ranking sweep, large enough to amortise each streaming pass over
+/// the entity table across many queries.
+const EVAL_BLOCK: usize = 64;
 
 /// Aggregate ranking metrics over a triple set (head + tail queries).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -76,18 +93,21 @@ impl RankMetrics {
     }
 }
 
-/// Rank of the target given raw scores, filtered by `is_known_other`.
-/// `rank = 1 + #better + #ties/2` over non-filtered candidates.
-fn filtered_rank<F: Fn(usize) -> bool>(
-    scores: &[f32],
-    target: usize,
-    is_known_other: F,
-) -> f64 {
+/// Rank of the target given raw scores in the filtered setting:
+/// `rank = 1 + #better + #ties/2` over candidates that are neither the
+/// target nor another known positive (`known_others`, the filter index's
+/// completion list for this query — it may include the target itself).
+///
+/// Counts every candidate first and then subtracts the known positives'
+/// contributions — identical integer counts to filtering inside the sweep
+/// (the completion list is duplicate-free), but the hot loop is a plain
+/// comparison scan instead of a hash probe per entity.
+fn filtered_rank(scores: &[f32], target: usize, known_others: &[kg_core::EntityId]) -> f64 {
     let s_t = scores[target];
-    let mut better = 0usize;
-    let mut ties = 0usize;
+    let mut better = 0isize;
+    let mut ties = 0isize;
     for (e, &s) in scores.iter().enumerate() {
-        if e == target || is_known_other(e) {
+        if e == target {
             continue;
         }
         if s > s_t {
@@ -96,39 +116,124 @@ fn filtered_rank<F: Fn(usize) -> bool>(
             ties += 1;
         }
     }
+    for &e in known_others {
+        let e = e.idx();
+        if e == target {
+            continue;
+        }
+        let s = scores[e];
+        if s > s_t {
+            better -= 1;
+        } else if s == s_t {
+            ties -= 1;
+        }
+    }
     1.0 + better as f64 + ties as f64 / 2.0
 }
 
-/// Evaluate sequentially over `triples`.
-pub fn evaluate(model: &dyn LinkPredictor, triples: &[Triple], filter: &FilterIndex) -> RankMetrics {
+/// Reusable buffers for ranking one block of triples — allocate once per
+/// worker, then the steady-state loop is allocation-free.
+struct BlockRanker {
+    n_entities: usize,
+    scratch: BatchScratch,
+    queries: Vec<(usize, usize)>,
+    /// Row-major `block × n_entities` score block.
+    scores: Vec<f32>,
+    tail_ranks: Vec<f64>,
+    head_ranks: Vec<f64>,
+}
+
+impl BlockRanker {
+    fn new(n_entities: usize) -> Self {
+        BlockRanker {
+            n_entities,
+            scratch: BatchScratch::new(),
+            queries: Vec::with_capacity(EVAL_BLOCK),
+            scores: Vec::new(),
+            tail_ranks: Vec::with_capacity(EVAL_BLOCK),
+            head_ranks: Vec::with_capacity(EVAL_BLOCK),
+        }
+    }
+
+    /// Rank every triple of `block`, then fold the ranks into `sink` in the
+    /// sequential order (tail rank then head rank, triple by triple) so
+    /// accumulation is bit-identical to the per-query reference path.
+    fn rank_block(
+        &mut self,
+        model: &dyn BatchScorer,
+        block: &[Triple],
+        filter: &FilterIndex,
+        mut sink: impl FnMut(usize, f64),
+    ) {
+        let n = self.n_entities;
+        self.scores.resize(block.len() * n, 0.0);
+
+        // Tail direction: score (h, r, ·) for the whole block, rank t.
+        self.queries.clear();
+        self.queries.extend(block.iter().map(|tr| (tr.h.idx(), tr.r.idx())));
+        model.score_tails_batch(
+            &self.queries,
+            &mut self.scores[..block.len() * n],
+            &mut self.scratch,
+        );
+        self.tail_ranks.clear();
+        for (i, tr) in block.iter().enumerate() {
+            let row = &self.scores[i * n..(i + 1) * n];
+            self.tail_ranks.push(filtered_rank(row, tr.t.idx(), filter.tails(tr.h, tr.r)));
+        }
+
+        // Head direction: score (·, r, t), rank h.
+        self.queries.clear();
+        self.queries.extend(block.iter().map(|tr| (tr.r.idx(), tr.t.idx())));
+        model.score_heads_batch(
+            &self.queries,
+            &mut self.scores[..block.len() * n],
+            &mut self.scratch,
+        );
+        self.head_ranks.clear();
+        for (i, tr) in block.iter().enumerate() {
+            let row = &self.scores[i * n..(i + 1) * n];
+            self.head_ranks.push(filtered_rank(row, tr.h.idx(), filter.heads(tr.r, tr.t)));
+        }
+
+        for i in 0..block.len() {
+            sink(i, self.tail_ranks[i]);
+            sink(i, self.head_ranks[i]);
+        }
+    }
+}
+
+/// Evaluate over `triples` with the batched scoring engine (single thread).
+pub fn evaluate(model: &dyn BatchScorer, triples: &[Triple], filter: &FilterIndex) -> RankMetrics {
     let mut metrics = RankMetrics::zero();
-    let mut scores = vec![0.0f32; model.n_entities()];
-    for tr in triples {
-        rank_triple(model, *tr, filter, &mut scores, &mut metrics);
+    let mut ranker = BlockRanker::new(model.n_entities());
+    for block in triples.chunks(EVAL_BLOCK) {
+        ranker.rank_block(model, block, filter, |_, rank| metrics.accumulate(rank));
     }
     metrics.normalised()
 }
 
-fn rank_triple(
+/// Per-query reference implementation: scores one query at a time through
+/// the [`LinkPredictor`] adapter. Kept as the semantic baseline the batched
+/// path must reproduce bit for bit (see `tests/batch_equivalence.rs`), and
+/// as the microbenchmark's "before" side.
+pub fn evaluate_sequential(
     model: &dyn LinkPredictor,
-    tr: Triple,
+    triples: &[Triple],
     filter: &FilterIndex,
-    scores: &mut [f32],
-    metrics: &mut RankMetrics,
-) {
-    let (h, r, t) = (tr.h, tr.r, tr.t);
-    // tail query
-    model.score_tails(h.idx(), r.idx(), scores);
-    let rank = filtered_rank(scores, t.idx(), |e| {
-        filter.known(h, r, kg_core::EntityId(e as u32))
-    });
-    metrics.accumulate(rank);
-    // head query
-    model.score_heads(r.idx(), t.idx(), scores);
-    let rank = filtered_rank(scores, h.idx(), |e| {
-        filter.known(kg_core::EntityId(e as u32), r, t)
-    });
-    metrics.accumulate(rank);
+) -> RankMetrics {
+    let mut metrics = RankMetrics::zero();
+    let mut scores = vec![0.0f32; model.n_entities()];
+    for tr in triples {
+        let (h, r, t) = (tr.h, tr.r, tr.t);
+        model.score_tails(h.idx(), r.idx(), &mut scores);
+        let rank = filtered_rank(&scores, t.idx(), filter.tails(h, r));
+        metrics.accumulate(rank);
+        model.score_heads(r.idx(), t.idx(), &mut scores);
+        let rank = filtered_rank(&scores, h.idx(), filter.heads(r, t));
+        metrics.accumulate(rank);
+    }
+    metrics.normalised()
 }
 
 /// Evaluate with a per-relation breakdown (used by case-study analysis à la
@@ -136,21 +241,22 @@ fn rank_triple(
 /// Returns normalised metrics per relation id; relations with no test
 /// triples get zeroed metrics.
 pub fn evaluate_per_relation(
-    model: &dyn LinkPredictor,
+    model: &dyn BatchScorer,
     triples: &[Triple],
     filter: &FilterIndex,
     n_relations: usize,
 ) -> Vec<RankMetrics> {
     let mut per: Vec<RankMetrics> = vec![RankMetrics::zero(); n_relations];
-    let mut scores = vec![0.0f32; model.n_entities()];
-    for tr in triples {
-        rank_triple(model, *tr, filter, &mut scores, &mut per[tr.r.idx()]);
+    let mut ranker = BlockRanker::new(model.n_entities());
+    for block in triples.chunks(EVAL_BLOCK) {
+        ranker.rank_block(model, block, filter, |i, rank| per[block[i].r.idx()].accumulate(rank));
     }
     per.into_iter().map(|m| if m.n_queries > 0 { m.normalised() } else { m }).collect()
 }
 
-/// Evaluate with `n_threads` workers (the model is shared read-only).
-pub fn evaluate_parallel<M: LinkPredictor + Sync>(
+/// Evaluate with `n_threads` workers (the model is shared read-only); each
+/// worker ranks its chunk in blocks through the batched engine.
+pub fn evaluate_parallel<M: BatchScorer + Sync>(
     model: &M,
     triples: &[Triple],
     filter: &FilterIndex,
@@ -162,14 +268,14 @@ pub fn evaluate_parallel<M: LinkPredictor + Sync>(
     }
     let n_threads = n_threads.min(triples.len());
     let chunk = triples.len().div_ceil(n_threads);
-    let partials = crossbeam::scope(|scope| {
+    let partials = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for part in triples.chunks(chunk) {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut metrics = RankMetrics::zero();
-                let mut scores = vec![0.0f32; model.n_entities()];
-                for tr in part {
-                    rank_triple(model, *tr, filter, &mut scores, &mut metrics);
+                let mut ranker = BlockRanker::new(model.n_entities());
+                for block in part.chunks(EVAL_BLOCK) {
+                    ranker.rank_block(model, block, filter, |_, rank| metrics.accumulate(rank));
                 }
                 metrics
             }));
@@ -178,8 +284,7 @@ pub fn evaluate_parallel<M: LinkPredictor + Sync>(
             .into_iter()
             .map(|h| h.join().expect("eval worker panicked"))
             .fold(RankMetrics::zero(), RankMetrics::merge)
-    })
-    .expect("crossbeam scope failed");
+    });
     partials.normalised()
 }
 
@@ -217,6 +322,8 @@ mod tests {
         }
     }
 
+    impl kg_models::BatchScorer for Oracle {}
+
     #[test]
     fn perfect_tail_prediction_gets_rank_one() {
         let m = Oracle { n: 10, target: 3 };
@@ -248,6 +355,7 @@ mod tests {
                 out.copy_from_slice(&[0.0, 2.0, 0.0, 1.0, 0.0]);
             }
         }
+        impl kg_models::BatchScorer for TwoPeaks {}
         let known = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 3)];
         let filter = FilterIndex::build(&known);
         let r = evaluate(&TwoPeaks, &[Triple::new(0, 0, 3)], &filter);
@@ -276,6 +384,7 @@ mod tests {
                 out.fill(0.5);
             }
         }
+        impl kg_models::BatchScorer for Flat {}
         let triples = vec![Triple::new(0, 0, 1)];
         let filter = FilterIndex::build(&triples);
         let r = evaluate(&Flat, &triples, &filter);
@@ -298,6 +407,19 @@ mod tests {
     }
 
     #[test]
+    fn batched_evaluate_is_bit_identical_to_reference_across_blocks() {
+        // Enough triples to span several EVAL_BLOCK boundaries, incl. a
+        // ragged final block.
+        let m = Oracle { n: 31, target: 9 };
+        let triples: Vec<Triple> =
+            (0..(super::EVAL_BLOCK as u32 * 2 + 17)).map(|i| Triple::new(i % 31, 0, 9)).collect();
+        let filter = FilterIndex::build(&triples);
+        let batched = evaluate(&m, &triples, &filter);
+        let reference = evaluate_sequential(&m, &triples, &filter);
+        assert_eq!(batched, reference);
+    }
+
+    #[test]
     fn empty_triples_are_safe() {
         let m = Oracle { n: 4, target: 0 };
         let filter = FilterIndex::default();
@@ -311,8 +433,7 @@ mod tests {
     #[test]
     fn per_relation_breakdown_partitions_queries() {
         let m = Oracle { n: 10, target: 3 };
-        let triples =
-            vec![Triple::new(0, 0, 3), Triple::new(1, 1, 3), Triple::new(2, 1, 3)];
+        let triples = vec![Triple::new(0, 0, 3), Triple::new(1, 1, 3), Triple::new(2, 1, 3)];
         let filter = FilterIndex::build(&triples);
         let per = evaluate_per_relation(&m, &triples, &filter, 3);
         assert_eq!(per.len(), 3);

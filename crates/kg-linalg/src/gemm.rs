@@ -1,0 +1,203 @@
+//! Batched scoring kernels: cache-blocked GEMM variants.
+//!
+//! The ranking and training hot paths score *blocks* of queries against the
+//! whole entity table. Done one query at a time ([`Mat::gemv`]), every query
+//! streams the full `n × d` table through the cache; done as a block, a tile
+//! of entity rows is loaded once and reused across every query in the block,
+//! which is where the batched engine's speedup comes from.
+//!
+//! **Bit-identity contract.** Both kernels compute each output element with
+//! exactly the same floating-point operations, in exactly the same order, as
+//! the per-query kernels they replace:
+//!
+//! * [`gemm_nt`] row `i`, column `j` equals `vecops::dot(a_i, b_j)` — the
+//!   same full-length sequential dot product [`Mat::gemv`] performs, so a
+//!   batched score block matches per-query GEMV scores bit for bit;
+//! * [`gemm_acc_t`] row `i` equals [`Mat::gemv_t`] applied to row `i` of the
+//!   coefficient block — the same `axpy` accumulation over table rows in the
+//!   same row order.
+//!
+//! Blocking therefore only reorders *which output is computed when*, never
+//! how any single output is computed. The equivalence suite in
+//! `kg-eval/tests/batch_equivalence.rs` and the proptests here pin this down.
+
+use crate::matrix::Mat;
+use crate::vecops;
+
+/// Entity-table rows per tile. The tile is transposed once into the
+/// thread-local scratch (`NT_ROW_TILE · k` floats — 8 KiB at the search
+/// dimension d = 64) and then reused by every query of the block.
+const NT_ROW_TILE: usize = 32;
+
+/// Entity rows computed concurrently per query: one SIMD-friendly group.
+/// Each row keeps its own strict sequential accumulator (bit-identity);
+/// the width buys lane-parallelism across the FP-add latency chain that
+/// serialises a lone dot product.
+const NT_UNROLL: usize = 8;
+
+thread_local! {
+    /// Transposed-tile scratch for [`gemm_nt`], grown on demand so the
+    /// steady-state kernel allocates nothing.
+    static TILE_SCRATCH: std::cell::RefCell<Vec<f32>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// `out = A · Bᵀ` where `A` is an `m × k` row-major slice of query vectors
+/// and `B` is the `n × k` entity table: `out[i·n + j] = ⟨a_i, b_j⟩`.
+///
+/// Each output element is `vecops::dot(a_i, b_j)` — the same multiplies
+/// and the same strictly-sequential additions in the same index order —
+/// so a batched score block is bit-identical to scoring query `i` with
+/// [`Mat::gemv`] against `B`. The kernel is still much faster: a tile of
+/// [`NT_ROW_TILE`] table rows is transposed once (amortised over the whole
+/// query block), turning the [`NT_UNROLL`] per-element row operands into a
+/// single contiguous load, and the [`NT_UNROLL`] independent accumulator
+/// chains vectorise where the per-query path is latency-bound on one chain.
+///
+/// # Panics
+/// Panics when the slice lengths disagree with `m`, `k` and `b`'s shape.
+pub fn gemm_nt(a: &[f32], m: usize, k: usize, b: &Mat, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_nt: A shape mismatch");
+    assert_eq!(b.cols(), k, "gemm_nt: inner dimension mismatch");
+    let n = b.rows();
+    assert_eq!(out.len(), m * n, "gemm_nt: out shape mismatch");
+    let bs = b.as_slice();
+    TILE_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        if scratch.len() < NT_ROW_TILE * k {
+            scratch.resize(NT_ROW_TILE * k, 0.0);
+        }
+        let tile = &mut scratch[..NT_ROW_TILE * k];
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + NT_ROW_TILE).min(n);
+            let rows = j1 - j0;
+            let groups = rows / NT_UNROLL;
+            // Transpose the tile: tile[c·T + u] = B[j0+u][c], so that the
+            // NT_UNROLL operands of inner-loop step `c` sit contiguously.
+            for u in 0..rows {
+                let b_row = &bs[(j0 + u) * k..(j0 + u + 1) * k];
+                for (c, &v) in b_row.iter().enumerate() {
+                    tile[c * NT_ROW_TILE + u] = v;
+                }
+            }
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for g in 0..groups {
+                    // NT_UNROLL independent strict dots sharing each a[c].
+                    let mut acc = [0.0f32; NT_UNROLL];
+                    let base = g * NT_UNROLL;
+                    for (c, &av) in a_row.iter().enumerate() {
+                        let lanes = &tile[c * NT_ROW_TILE + base..][..NT_UNROLL];
+                        for u in 0..NT_UNROLL {
+                            acc[u] += av * lanes[u];
+                        }
+                    }
+                    out_row[j0 + base..j0 + base + NT_UNROLL].copy_from_slice(&acc);
+                }
+                // Ragged tail of the tile: plain dots.
+                for j in (j0 + groups * NT_UNROLL)..j1 {
+                    out_row[j] = vecops::dot(a_row, b.row(j));
+                }
+            }
+            j0 = j1;
+        }
+    });
+}
+
+/// Batched transposed product: for each of the `m` coefficient rows of `s`
+/// (each `n` long), compute `out_i = Bᵀ s_i`, i.e.
+/// `out[i·k + c] = Σ_r s[i·n + r] · b[r][c]`, accumulating over table rows
+/// `r` in increasing order — bit-identical to calling [`Mat::gemv_t`] once
+/// per row. `B` is streamed through the cache once for the whole block
+/// instead of once per row.
+///
+/// # Panics
+/// Panics when the slice lengths disagree with `m` and `b`'s shape.
+pub fn gemm_acc_t(s: &[f32], m: usize, b: &Mat, out: &mut [f32]) {
+    let n = b.rows();
+    let k = b.cols();
+    assert_eq!(s.len(), m * n, "gemm_acc_t: S shape mismatch");
+    assert_eq!(out.len(), m * k, "gemm_acc_t: out shape mismatch");
+    vecops::zero(out);
+    for r in 0..n {
+        let b_row = b.row(r);
+        for i in 0..m {
+            let coeff = s[i * n + r];
+            vecops::axpy(coeff, b_row, &mut out[i * k..(i + 1) * k]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    fn rand_mat(rng: &mut SeededRng, rows: usize, cols: usize) -> Mat {
+        let mut m = Mat::zeros(rows, cols);
+        rng.fill_normal(1.0, m.as_mut_slice());
+        m
+    }
+
+    #[test]
+    fn gemm_nt_is_bit_identical_to_per_query_gemv() {
+        let mut rng = SeededRng::new(17);
+        for (m, n, k) in [(1, 5, 8), (7, 33, 12), (4, 40, 16), (3, 1, 4)] {
+            let a = rand_mat(&mut rng, m, k);
+            let b = rand_mat(&mut rng, n, k);
+            let mut batched = vec![0.0f32; m * n];
+            gemm_nt(a.as_slice(), m, k, &b, &mut batched);
+            let mut per_query = vec![0.0f32; n];
+            for i in 0..m {
+                b.gemv(a.row(i), &mut per_query);
+                assert_eq!(
+                    &batched[i * n..(i + 1) * n],
+                    per_query.as_slice(),
+                    "row {i} differs at shape ({m},{n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_crosses_tile_boundaries() {
+        let mut rng = SeededRng::new(18);
+        // n > NT_ROW_TILE so several tiles are exercised, incl. a ragged one
+        let (m, n, k) = (5, NT_ROW_TILE * 2 + 3, 8);
+        let a = rand_mat(&mut rng, m, k);
+        let b = rand_mat(&mut rng, n, k);
+        let mut batched = vec![0.0f32; m * n];
+        gemm_nt(a.as_slice(), m, k, &b, &mut batched);
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(batched[i * n + j], vecops::dot(a.row(i), b.row(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_acc_t_is_bit_identical_to_per_row_gemv_t() {
+        let mut rng = SeededRng::new(19);
+        for (m, n, k) in [(1, 6, 4), (5, 21, 8), (3, 2, 12)] {
+            let s = rand_mat(&mut rng, m, n);
+            let b = rand_mat(&mut rng, n, k);
+            let mut batched = vec![0.0f32; m * k];
+            gemm_acc_t(s.as_slice(), m, &b, &mut batched);
+            let mut per_row = vec![0.0f32; k];
+            for i in 0..m {
+                b.gemv_t(s.row(i), &mut per_row);
+                assert_eq!(&batched[i * k..(i + 1) * k], per_row.as_slice(), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn gemm_nt_rejects_bad_shapes() {
+        let b = Mat::zeros(3, 4);
+        let mut out = vec![0.0f32; 6];
+        gemm_nt(&[0.0; 10], 2, 5, &b, &mut out);
+    }
+}

@@ -8,6 +8,9 @@
 //! * [`vecops`] — vector primitives (dot, axpy, Hadamard, softmax).
 //! * [`matrix`] — row-major [`matrix::Mat`] with GEMV/GEMM used for
 //!   score-all-entities ranking.
+//! * [`gemm`] — cache-blocked batched kernels ([`gemm::gemm_nt`],
+//!   [`gemm::gemm_acc_t`]) behind the batched scoring engine; bit-identical
+//!   per element to the per-query GEMV paths they replace.
 //! * [`rng`] — seeded random initialisation (uniform, Box-Muller normal,
 //!   Xavier/Glorot).
 //! * [`optim`] — SGD / Adagrad / Adam with sparse row updates (Adagrad is the
@@ -18,6 +21,7 @@
 
 // Index loops mirror the paper's subscript notation in numeric kernels.
 #![allow(clippy::needless_range_loop)]
+pub mod gemm;
 pub mod matrix;
 pub mod mlp;
 pub mod optim;

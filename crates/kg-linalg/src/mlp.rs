@@ -279,8 +279,7 @@ mod tests {
 
     #[test]
     fn forward_identity_single_layer_is_affine() {
-        let mut mlp =
-            Mlp::new(&[2, 1], Activation::Tanh, Activation::Identity, &mut tiny_rng());
+        let mut mlp = Mlp::new(&[2, 1], Activation::Tanh, Activation::Identity, &mut tiny_rng());
         // overwrite with known weights
         mlp.layers[0].w.as_mut_slice().copy_from_slice(&[2.0, -1.0]);
         mlp.layers[0].b[0] = 0.5;

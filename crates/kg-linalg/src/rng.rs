@@ -2,15 +2,15 @@
 //!
 //! Everything in the reproduction is deterministic given a `u64` seed: data
 //! generation, embedding initialisation, mini-batch shuffling and the search
-//! algorithms all take a [`SeededRng`]. The normal sampler is a Box-Muller
-//! transform so we only depend on the `rand` crate's uniform source.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! algorithms all take a [`SeededRng`]. The uniform source is a
+//! self-contained xoshiro256++ generator (the build runs offline, so no
+//! external `rand` dependency), seeded through SplitMix64 as the xoshiro
+//! authors recommend; the normal sampler is a Box-Muller transform on top.
 
 /// A deterministic RNG with convenience samplers for the reproduction.
 pub struct SeededRng {
-    inner: StdRng,
+    /// xoshiro256++ state, never all-zero thanks to SplitMix64 seeding.
+    state: [u64; 4],
     /// Cached second Box-Muller output.
     spare_normal: Option<f64>,
 }
@@ -18,20 +18,44 @@ pub struct SeededRng {
 impl SeededRng {
     /// Construct from a `u64` seed.
     pub fn new(seed: u64) -> Self {
-        SeededRng { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+        // SplitMix64 expansion of the seed into the 256-bit state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SeededRng { state: [next(), next(), next(), next()], spare_normal: None }
+    }
+
+    /// One xoshiro256++ step.
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent child RNG; used to give each parallel worker or
     /// search stage its own deterministic stream.
     pub fn fork(&mut self, salt: u64) -> SeededRng {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.step() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SeededRng::new(s)
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)` with 53 bits of precision.
     #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.step() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -40,20 +64,21 @@ impl SeededRng {
         lo + (hi - lo) * self.uniform()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (Lemire's multiply-shift reduction; the
+    /// modulo bias at 64 bits is far below anything observable here).
     ///
     /// # Panics
     /// Panics if `n == 0`.
     #[inline]
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        ((self.step() as u128 * n as u128) >> 64) as usize
     }
 
     /// Fair coin.
     #[inline]
     pub fn coin(&mut self) -> bool {
-        self.inner.gen::<bool>()
+        self.step() & 1 == 1
     }
 
     /// ±1 with equal probability.
@@ -137,7 +162,7 @@ impl SeededRng {
 
     /// Raw u64 (for deriving sub-seeds).
     pub fn next_u64(&mut self) -> u64 {
-        RngCore::next_u64(&mut self.inner)
+        self.step()
     }
 }
 

@@ -91,6 +91,50 @@ mod matrix_props {
     }
 
     proptest! {
+        /// The batched kernel agrees with the naive dense `A · Bᵀ` product.
+        #[test]
+        fn gemm_nt_matches_naive_matmul(a in small_mat(5, 6), b in small_mat(37, 6)) {
+            let mut batched = vec![0.0f32; a.rows() * b.rows()];
+            kg_linalg::gemm::gemm_nt(a.as_slice(), a.rows(), a.cols(), &b, &mut batched);
+            let naive = a.matmul(&b.transposed());
+            for i in 0..a.rows() {
+                for j in 0..b.rows() {
+                    let (x, y) = (batched[i * b.rows() + j], naive.get(i, j));
+                    prop_assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()),
+                        "({i},{j}): batched {x} vs naive {y}");
+                }
+            }
+        }
+
+        /// The batched kernel is bit-identical to per-query GEMV, whatever
+        /// the block shape (this is the contract kg-eval's block ranking
+        /// relies on for reproducible metrics).
+        #[test]
+        fn gemm_nt_bit_identical_to_gemv(a in small_mat(4, 8), b in small_mat(29, 8)) {
+            let mut batched = vec![0.0f32; a.rows() * b.rows()];
+            kg_linalg::gemm::gemm_nt(a.as_slice(), a.rows(), a.cols(), &b, &mut batched);
+            let mut row = vec![0.0f32; b.rows()];
+            for i in 0..a.rows() {
+                b.gemv(a.row(i), &mut row);
+                prop_assert_eq!(&batched[i * b.rows()..(i + 1) * b.rows()], row.as_slice());
+            }
+        }
+
+        /// Batched transposed accumulation is bit-identical to row-by-row
+        /// `gemv_t` (the training path's backward kernel).
+        #[test]
+        fn gemm_acc_t_bit_identical_to_gemv_t(s in small_mat(3, 23), b in small_mat(23, 6)) {
+            let mut batched = vec![0.0f32; s.rows() * b.cols()];
+            kg_linalg::gemm::gemm_acc_t(s.as_slice(), s.rows(), &b, &mut batched);
+            let mut row = vec![0.0f32; b.cols()];
+            for i in 0..s.rows() {
+                b.gemv_t(s.row(i), &mut row);
+                prop_assert_eq!(&batched[i * b.cols()..(i + 1) * b.cols()], row.as_slice());
+            }
+        }
+    }
+
+    proptest! {
         #[test]
         fn transpose_is_involutive(m in small_mat(3, 5)) {
             prop_assert_eq!(m.transposed().transposed(), m);

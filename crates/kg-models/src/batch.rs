@@ -1,0 +1,118 @@
+//! The batched scoring engine's model-side interface.
+//!
+//! Filtered ranking and the multi-class loss both score *many* `(entity,
+//! relation)` queries against the full entity table. [`BatchScorer`] lets a
+//! model answer a whole block of queries at once, writing a row-major
+//! `queries × n_entities` score block:
+//!
+//! * models that factor as `score(q, e) = ⟨query_vector, e⟩` (the BLM family
+//!   via [`crate::BlockSpec::tail_query`], the Gen-Approx MLP via its query
+//!   network) override the block methods with one cache-blocked GEMM
+//!   ([`kg_linalg::gemm::gemm_nt`]) per block;
+//! * models that don't factor (the translational-distance family, rule
+//!   models) inherit the default per-row loop, so every
+//!   [`LinkPredictor`] can sit behind the same evaluation pipeline.
+//!
+//! The engine guarantees **bit-identical scores** to the per-query path:
+//! overrides must produce, for every row, exactly the bytes
+//! [`LinkPredictor::score_tails`] / [`LinkPredictor::score_heads`] would
+//! have written. `kg-eval`'s equivalence suite enforces this for every
+//! shipped model.
+
+use crate::predictor::LinkPredictor;
+
+/// Reusable buffers for batched scoring — create once per worker and feed to
+/// every block call so the steady-state loop performs no allocation.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    queries: Vec<f32>,
+}
+
+impl BatchScratch {
+    /// Fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+
+    /// A row-major `rows × dim` query block, reusing the allocation. The
+    /// contents are unspecified (possibly stale from an earlier block) —
+    /// callers overwrite every row they score.
+    pub fn query_block(&mut self, rows: usize, dim: usize) -> &mut [f32] {
+        let len = rows * dim;
+        if self.queries.len() < len {
+            self.queries.resize(len, 0.0);
+        }
+        &mut self.queries[..len]
+    }
+}
+
+/// Block-scoring extension of [`LinkPredictor`] — the seam between models
+/// and the batched ranking/training engine.
+pub trait BatchScorer: LinkPredictor {
+    /// Score every entity as a tail for each `(head, relation)` query,
+    /// writing query `i`'s scores to `out[i·n .. (i+1)·n]`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != queries.len() * n_entities`.
+    fn score_tails_batch(
+        &self,
+        queries: &[(usize, usize)],
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let _ = scratch;
+        let n = self.n_entities();
+        assert_eq!(out.len(), queries.len() * n, "score_tails_batch: out length mismatch");
+        for (row, &(h, r)) in queries.iter().enumerate() {
+            self.score_tails(h, r, &mut out[row * n..(row + 1) * n]);
+        }
+    }
+
+    /// Score every entity as a head for each `(relation, tail)` query,
+    /// writing query `i`'s scores to `out[i·n .. (i+1)·n]`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != queries.len() * n_entities`.
+    fn score_heads_batch(
+        &self,
+        queries: &[(usize, usize)],
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let _ = scratch;
+        let n = self.n_entities();
+        assert_eq!(out.len(), queries.len() * n, "score_heads_batch: out length mismatch");
+        for (row, &(r, t)) in queries.iter().enumerate() {
+            self.score_heads(r, t, &mut out[row * n..(row + 1) * n]);
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::{BatchScorer, BatchScratch};
+
+    /// Check a model's batch path reproduces its per-query path bit for bit,
+    /// for both directions and a mildly ragged block shape.
+    pub fn assert_batch_matches_per_query(
+        m: &dyn BatchScorer,
+        tail_queries: &[(usize, usize)],
+        head_queries: &[(usize, usize)],
+    ) {
+        let n = m.n_entities();
+        let mut scratch = BatchScratch::new();
+        let mut block = vec![0.0f32; tail_queries.len() * n];
+        m.score_tails_batch(tail_queries, &mut block, &mut scratch);
+        let mut row = vec![0.0f32; n];
+        for (i, &(h, r)) in tail_queries.iter().enumerate() {
+            m.score_tails(h, r, &mut row);
+            assert_eq!(&block[i * n..(i + 1) * n], row.as_slice(), "tail query {i}");
+        }
+        let mut block = vec![0.0f32; head_queries.len() * n];
+        m.score_heads_batch(head_queries, &mut block, &mut scratch);
+        for (i, &(r, t)) in head_queries.iter().enumerate() {
+            m.score_heads(r, t, &mut row);
+            assert_eq!(&block[i * n..(i + 1) * n], row.as_slice(), "head query {i}");
+        }
+    }
+}

@@ -76,9 +76,7 @@ mod tests {
         let (tre, tim) = (&t[..half], &t[half..]);
         let mut acc = 0.0f32;
         for i in 0..half {
-            acc += hre[i] * rre[i] * tre[i]
-                + him[i] * rre[i] * tim[i]
-                + hre[i] * rim[i] * tim[i]
+            acc += hre[i] * rre[i] * tre[i] + him[i] * rre[i] * tim[i] + hre[i] * rim[i] * tim[i]
                 - him[i] * rim[i] * tre[i];
         }
         acc

@@ -1,9 +1,29 @@
 //! A [`BlockSpec`] bound to trained embeddings.
 
 use super::spec::BlockSpec;
+use crate::batch::{BatchScorer, BatchScratch};
 use crate::embeddings::Embeddings;
 use crate::predictor::LinkPredictor;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread query buffer backing the per-query [`LinkPredictor`]
+    /// adapter, so steady-state ranking loops that call `score_tails` /
+    /// `score_heads` one query at a time perform zero allocations.
+    static QUERY_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a zeroed thread-local query vector of length `dim`.
+fn with_query_scratch<R>(dim: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    QUERY_SCRATCH.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        if buf.len() < dim {
+            buf.resize(dim, 0.0);
+        }
+        f(&mut buf[..dim])
+    })
+}
 
 /// Structure + parameters: the deployable bilinear model.
 ///
@@ -39,15 +59,62 @@ impl LinkPredictor for BlmModel {
     }
 
     fn score_tails(&self, h: usize, r: usize, out: &mut [f32]) {
-        let mut q = vec![0.0f32; self.emb.dim()];
-        self.spec.tail_query(self.emb.ent.row(h), self.emb.rel.row(r), &mut q, self.emb.dsub());
-        self.emb.ent.gemv(&q, out);
+        with_query_scratch(self.emb.dim(), |q| {
+            self.spec.tail_query(self.emb.ent.row(h), self.emb.rel.row(r), q, self.emb.dsub());
+            self.emb.ent.gemv(q, out);
+        });
     }
 
     fn score_heads(&self, r: usize, t: usize, out: &mut [f32]) {
-        let mut p = vec![0.0f32; self.emb.dim()];
-        self.spec.head_query(self.emb.ent.row(t), self.emb.rel.row(r), &mut p, self.emb.dsub());
-        self.emb.ent.gemv(&p, out);
+        with_query_scratch(self.emb.dim(), |p| {
+            self.spec.head_query(self.emb.ent.row(t), self.emb.rel.row(r), p, self.emb.dsub());
+            self.emb.ent.gemv(p, out);
+        });
+    }
+}
+
+impl BatchScorer for BlmModel {
+    /// One [`BlockSpec::tail_query`] per row plus a single cache-blocked
+    /// GEMM against the entity table — the fast path the per-query adapter
+    /// above funnels into one query at a time.
+    fn score_tails_batch(
+        &self,
+        queries: &[(usize, usize)],
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let (dim, dsub, n) = (self.emb.dim(), self.emb.dsub(), self.n_entities());
+        assert_eq!(out.len(), queries.len() * n, "score_tails_batch: out length mismatch");
+        let q = scratch.query_block(queries.len(), dim);
+        for (row, &(h, r)) in queries.iter().enumerate() {
+            self.spec.tail_query(
+                self.emb.ent.row(h),
+                self.emb.rel.row(r),
+                &mut q[row * dim..(row + 1) * dim],
+                dsub,
+            );
+        }
+        kg_linalg::gemm::gemm_nt(q, queries.len(), dim, &self.emb.ent, out);
+    }
+
+    fn score_heads_batch(
+        &self,
+        queries: &[(usize, usize)],
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let (dim, dsub, n) = (self.emb.dim(), self.emb.dsub(), self.n_entities());
+        assert_eq!(out.len(), queries.len() * n, "score_heads_batch: out length mismatch");
+        let p = scratch.query_block(queries.len(), dim);
+        for (row, &(r, t)) in queries.iter().enumerate() {
+            self.spec.head_query(
+                self.emb.ent.row(t),
+                self.emb.rel.row(r),
+                &mut p[row * dim..(row + 1) * dim],
+                dsub,
+            );
+        }
+        kg_linalg::gemm::gemm_nt(p, queries.len(), dim, &self.emb.ent, out);
     }
 }
 
@@ -81,6 +148,19 @@ mod tests {
             let a = m.score_triple(h, r, t);
             let b = m.score_triple(t, r, h);
             assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn batched_scores_match_per_query_bit_for_bit() {
+        use crate::batch::test_support::assert_batch_matches_per_query;
+        for (_, spec) in classics::all() {
+            let m = model(spec);
+            assert_batch_matches_per_query(
+                &m,
+                &[(0, 0), (5, 2), (11, 1), (3, 0), (7, 2)],
+                &[(0, 1), (2, 5), (1, 11)],
+            );
         }
     }
 

@@ -439,8 +439,7 @@ mod tests {
 
     #[test]
     fn try_new_rejects_duplicates() {
-        assert!(BlockSpec::try_new(vec![Block::new(0, 0, 0, 1), Block::new(0, 1, 0, 1)])
-            .is_none());
+        assert!(BlockSpec::try_new(vec![Block::new(0, 0, 0, 1), Block::new(0, 1, 0, 1)]).is_none());
         assert!(BlockSpec::try_new(vec![Block::new(0, 0, 0, 1)]).is_some());
     }
 

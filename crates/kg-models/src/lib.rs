@@ -14,11 +14,14 @@
 //! * [`rules`] — a simplified anytime bottom-up rule learner standing in
 //!   for AnyBURL (see DESIGN.md §2).
 //!
-//! Everything rankable implements [`predictor::LinkPredictor`], the
-//! interface `kg-eval` consumes.
+//! Everything rankable implements [`predictor::LinkPredictor`] plus its
+//! block-scoring extension [`batch::BatchScorer`] — the interfaces
+//! `kg-eval`'s batched ranking engine consumes. Models that factor as
+//! `⟨query, entity⟩` answer whole query blocks with one cache-blocked GEMM.
 
 // Index loops mirror the paper's subscript notation in numeric kernels.
 #![allow(clippy::needless_range_loop)]
+pub mod batch;
 pub mod blm;
 pub mod embeddings;
 pub mod nnm;
@@ -26,6 +29,7 @@ pub mod predictor;
 pub mod rules;
 pub mod tdm;
 
-pub use blm::{classics, Block, BlockSpec, BlmModel};
+pub use batch::{BatchScorer, BatchScratch};
+pub use blm::{classics, BlmModel, Block, BlockSpec};
 pub use embeddings::Embeddings;
 pub use predictor::LinkPredictor;

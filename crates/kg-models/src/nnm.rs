@@ -11,6 +11,7 @@
 //! *too* flexible for KGE — with no domain-specific constraint it overfits
 //! and loses to the bilinear search space.
 
+use crate::batch::{BatchScorer, BatchScratch};
 use crate::embeddings::Embeddings;
 use crate::predictor::LinkPredictor;
 use kg_core::Triple;
@@ -50,7 +51,12 @@ pub struct GenApprox {
 
 impl GenApprox {
     /// Initialise model and optimizers.
-    pub fn init(n_entities: usize, n_relations: usize, cfg: NnmConfig, rng: &mut SeededRng) -> Self {
+    pub fn init(
+        n_entities: usize,
+        n_relations: usize,
+        cfg: NnmConfig,
+        rng: &mut SeededRng,
+    ) -> Self {
         let emb = Embeddings::init(n_entities, n_relations, cfg.dim, rng);
         let sizes = [2 * cfg.dim, cfg.dim, cfg.dim];
         let nn_tail = Mlp::new(&sizes, Activation::Relu, Activation::Identity, rng);
@@ -174,6 +180,42 @@ impl LinkPredictor for GenApprox {
         let x = Self::concat(self.emb.ent.row(t), self.emb.rel.row(r));
         let v = self.nn_head.forward(&x);
         self.emb.ent.gemv(&v, out);
+    }
+}
+
+impl BatchScorer for GenApprox {
+    /// The query networks factor scoring as `⟨NN(e, r), candidate⟩`, so a
+    /// block runs one forward pass per query and a single GEMM.
+    fn score_tails_batch(
+        &self,
+        queries: &[(usize, usize)],
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let (d, n) = (self.cfg.dim, self.n_entities());
+        assert_eq!(out.len(), queries.len() * n, "score_tails_batch: out length mismatch");
+        let q = scratch.query_block(queries.len(), d);
+        for (row, &(h, r)) in queries.iter().enumerate() {
+            let x = Self::concat(self.emb.ent.row(h), self.emb.rel.row(r));
+            q[row * d..(row + 1) * d].copy_from_slice(&self.nn_tail.forward(&x));
+        }
+        kg_linalg::gemm::gemm_nt(q, queries.len(), d, &self.emb.ent, out);
+    }
+
+    fn score_heads_batch(
+        &self,
+        queries: &[(usize, usize)],
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let (d, n) = (self.cfg.dim, self.n_entities());
+        assert_eq!(out.len(), queries.len() * n, "score_heads_batch: out length mismatch");
+        let q = scratch.query_block(queries.len(), d);
+        for (row, &(r, t)) in queries.iter().enumerate() {
+            let x = Self::concat(self.emb.ent.row(t), self.emb.rel.row(r));
+            q[row * d..(row + 1) * d].copy_from_slice(&self.nn_head.forward(&x));
+        }
+        kg_linalg::gemm::gemm_nt(q, queries.len(), d, &self.emb.ent, out);
     }
 }
 

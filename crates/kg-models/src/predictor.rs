@@ -30,17 +30,7 @@ pub(crate) mod test_support {
         m.score_tails(h, r, &mut tails);
         m.score_heads(r, t, &mut heads);
         let direct = m.score_triple(h, r, t);
-        assert!(
-            (tails[t] - direct).abs() < 1e-3,
-            "tail path {} vs direct {}",
-            tails[t],
-            direct
-        );
-        assert!(
-            (heads[h] - direct).abs() < 1e-3,
-            "head path {} vs direct {}",
-            heads[h],
-            direct
-        );
+        assert!((tails[t] - direct).abs() < 1e-3, "tail path {} vs direct {}", tails[t], direct);
+        assert!((heads[h] - direct).abs() < 1e-3, "head path {} vs direct {}", heads[h], direct);
     }
 }

@@ -14,6 +14,7 @@
 //! samples longer paths and constant-bound rules under an anytime budget;
 //! DESIGN.md records this simplification.
 
+use crate::batch::BatchScorer;
 use crate::predictor::LinkPredictor;
 use kg_core::fxhash::FxHashSet;
 use kg_core::{EntityId, FilterIndex, RelationId, Triple};
@@ -70,7 +71,12 @@ pub struct RuleModel {
 
 impl RuleModel {
     /// Mine rules from the training triples.
-    pub fn learn(triples: &[Triple], n_entities: usize, n_relations: usize, cfg: RuleConfig) -> Self {
+    pub fn learn(
+        triples: &[Triple],
+        n_entities: usize,
+        n_relations: usize,
+        cfg: RuleConfig,
+    ) -> Self {
         let index = FilterIndex::build(triples);
         // per-relation pair sets
         let mut pairs: Vec<Vec<(EntityId, EntityId)>> = vec![Vec::new(); n_relations];
@@ -259,6 +265,9 @@ impl LinkPredictor for RuleModel {
     }
 }
 
+// Rule scores come from index lookups, not dot products — default loop.
+impl BatchScorer for RuleModel {}
+
 /// Helper: lookup a rule by body shape.
 pub fn find_rule(rules: &[Rule], body: RuleBody) -> Option<&Rule> {
     rules.iter().find(|r| r.body == body)
@@ -295,12 +304,8 @@ mod tests {
         let m = RuleModel::learn(&train, 80, 2, RuleConfig::default());
         let mut scores = vec![0.0f32; 80];
         m.score_tails(19, 0, &mut scores);
-        let best = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap();
+        let best =
+            scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
         assert_eq!(best, 69, "rule should recover the mirrored edge");
     }
 
@@ -334,17 +339,12 @@ mod tests {
     #[test]
     fn no_rules_for_random_noise() {
         let mut rng = kg_linalg::SeededRng::new(9);
-        let ts: Vec<Triple> = (0..60)
-            .map(|_| Triple::new(rng.below(40) as u32, 0, rng.below(40) as u32))
-            .collect();
+        let ts: Vec<Triple> =
+            (0..60).map(|_| Triple::new(rng.below(40) as u32, 0, rng.below(40) as u32)).collect();
         let m = RuleModel::learn(&ts, 40, 1, RuleConfig::default());
         // a single random relation admits no (non-trivial) high-confidence rules
         for r in m.rules_for(RelationId(0)) {
-            assert!(
-                r.confidence < 0.5,
-                "suspiciously confident rule {:?} on noise",
-                r
-            );
+            assert!(r.confidence < 0.5, "suspiciously confident rule {:?} on noise", r);
         }
     }
 

@@ -16,9 +16,16 @@ pub use rotate::RotatE;
 pub use transe::TransE;
 pub use transh::TransH;
 
+use crate::batch::BatchScorer;
 use kg_core::Triple;
 use kg_linalg::SeededRng;
 use serde::{Deserialize, Serialize};
+
+// Distance scores don't factor as `⟨query, entity⟩`, so the TDM family
+// rides the default per-row batch loop: same scores, no GEMM shortcut.
+impl BatchScorer for TransE {}
+impl BatchScorer for TransH {}
+impl BatchScorer for RotatE {}
 
 /// Shared training configuration for the TDM family.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]

@@ -24,7 +24,12 @@ pub struct RotatE {
 
 impl RotatE {
     /// Initialise; `cfg.dim` must be even.
-    pub fn init(n_entities: usize, n_relations: usize, cfg: TdmConfig, rng: &mut SeededRng) -> Self {
+    pub fn init(
+        n_entities: usize,
+        n_relations: usize,
+        cfg: TdmConfig,
+        rng: &mut SeededRng,
+    ) -> Self {
         assert!(cfg.dim.is_multiple_of(2), "RotatE needs an even dimension");
         let mut ent = Mat::zeros(n_entities, cfg.dim);
         rng.xavier_uniform(cfg.dim, ent.as_mut_slice());
@@ -202,8 +207,7 @@ mod tests {
         let ph = m.phase.get(0, 0);
         let (c, s) = (ph.cos(), ph.sin());
         let (hre, him) = (m.ent.get(0, 0), m.ent.get(0, half));
-        let dtheta =
-            (res[0] * (-hre * s - him * c) + res[half] * (hre * c - him * s)) / d;
+        let dtheta = (res[0] * (-hre * s - him * c) + res[half] * (hre * c - him * s)) / d;
         assert!((num - dtheta).abs() < 1e-2, "fd {num} vs analytic {dtheta}");
     }
 }

@@ -15,7 +15,12 @@ pub struct TransE {
 
 impl TransE {
     /// Initialise with Xavier-uniform embeddings, entities normalised.
-    pub fn init(n_entities: usize, n_relations: usize, cfg: TdmConfig, rng: &mut SeededRng) -> Self {
+    pub fn init(
+        n_entities: usize,
+        n_relations: usize,
+        cfg: TdmConfig,
+        rng: &mut SeededRng,
+    ) -> Self {
         let mut ent = Mat::zeros(n_entities, cfg.dim);
         let mut rel = Mat::zeros(n_relations, cfg.dim);
         rng.xavier_uniform(cfg.dim, ent.as_mut_slice());

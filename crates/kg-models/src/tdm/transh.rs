@@ -23,7 +23,12 @@ pub struct TransH {
 
 impl TransH {
     /// Initialise with Xavier-uniform parameters; normals normalised.
-    pub fn init(n_entities: usize, n_relations: usize, cfg: TdmConfig, rng: &mut SeededRng) -> Self {
+    pub fn init(
+        n_entities: usize,
+        n_relations: usize,
+        cfg: TdmConfig,
+        rng: &mut SeededRng,
+    ) -> Self {
         let mut ent = Mat::zeros(n_entities, cfg.dim);
         let mut rel = Mat::zeros(n_relations, cfg.dim);
         let mut norm = Mat::zeros(n_relations, cfg.dim);
@@ -72,7 +77,7 @@ impl TransH {
         for i in 0..dim {
             let g = 2.0 * dir * res[i];
             // dres/dh_i = δ - w_i w  (projection Jacobian)
-            self.ent.set(hi, i, self.ent.get(hi, i) - lr * (g - 2.0 * dir * wres * wv[i]) );
+            self.ent.set(hi, i, self.ent.get(hi, i) - lr * (g - 2.0 * dir * wres * wv[i]));
             self.rel.set(ri, i, self.rel.get(ri, i) - lr * g);
             self.ent.set(ti, i, self.ent.get(ti, i) + lr * (g - 2.0 * dir * wres * wv[i]));
             // dres/dw = -(wᵀh) δh... full term: -(w·res)(h - t) - ((h-t)·w) res

@@ -10,7 +10,7 @@
 //! * [`loss`] — loss functions over [`kg_models::BlockSpec`] scores.
 //! * [`trainer`] — the mini-batch trainer, with an epoch callback for
 //!   learning-curve capture (Fig. 4).
-//! * [`parallel`] — crossbeam fan-out training of many candidate structures
+//! * [`parallel`] — scoped-thread fan-out training of many candidate structures
 //!   (the paper trains "8 models in parallel", Sec. V-A3).
 //! * [`tpe`] — a Tree-structured Parzen Estimator: the stand-in for
 //!   HyperOpt (hyper-parameter tuning, Sec. V-A2) and the "Bayes" search

@@ -2,7 +2,7 @@
 //!
 //! The paper trains "8 models in parallel" per greedy iteration
 //! (Sec. V-A3); we fan candidates out over OS threads with a shared atomic
-//! work queue (crossbeam scoped threads so the dataset can be borrowed, not
+//! work queue (`std::thread::scope`, so the dataset can be borrowed, not
 //! cloned). Every candidate trains with its own deterministic seed, so the
 //! result is independent of thread interleaving.
 
@@ -33,11 +33,11 @@ pub fn train_many(
     // Hand each worker a disjoint set of result slots via a mutex-free
     // split: collect (index, model) pairs per worker, then merge.
     let mut per_worker: Vec<Vec<(usize, BlmModel)>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..n_threads {
             let next = &next;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -53,8 +53,7 @@ pub fn train_many(
         for h in handles {
             per_worker.push(h.join().expect("training worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     for (i, m) in per_worker.into_iter().flatten() {
         results[i] = Some(m);
     }

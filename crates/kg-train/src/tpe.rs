@@ -95,10 +95,7 @@ impl Tpe {
 
     /// Best observation so far.
     pub fn best(&self) -> Option<(&[f64], f64)> {
-        self.observations
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(p, s)| (p.as_slice(), *s))
+        self.observations.iter().max_by(|a, b| a.1.total_cmp(&b.1)).map(|(p, s)| (p.as_slice(), *s))
     }
 
     /// Suggest the next point to evaluate.

@@ -2,12 +2,17 @@
 //!
 //! Per batch: accumulate dense entity/relation gradients (the multi-class
 //! loss couples every entity through the softmax), fold in the L2 penalty,
-//! take one Adagrad step, decay the learning rate per epoch. An optional
+//! take one Adagrad step, decay the learning rate per epoch. The
+//! multi-class forward/backward runs through the batched scoring engine
+//! ([`crate::loss::multiclass_block`]): blocks of triples share one GEMM
+//! against the entity table instead of a GEMV per query. An optional
 //! per-epoch callback receives the current model so callers can record
 //! validation curves (Fig. 4) without this crate depending on evaluation.
 
 use crate::config::{LossKind, TrainConfig};
-use crate::loss::{multiclass_direction, neg_sampling_triple, LossScratch};
+use crate::loss::{
+    multiclass_block, neg_sampling_triple, LossScratch, MulticlassScratch, MULTICLASS_BLOCK,
+};
 use kg_core::{Dataset, Triple};
 use kg_linalg::{Adagrad, Mat, Optimizer, SeededRng};
 use kg_models::{BlmModel, BlockSpec, Embeddings};
@@ -77,7 +82,13 @@ where
     let mut opt = Adagrad::new(n_ent * dim + n_rel * dim, cfg.lr, cfg.decay);
     let mut d_ent = Mat::zeros(n_ent, dim);
     let mut d_rel = Mat::zeros(n_rel, dim);
-    let mut scratch = LossScratch::new(n_ent, dim);
+    // Allocate only the scratch the configured loss uses — the multiclass
+    // score block alone is `64 × n_entities` floats.
+    let (mut scratch, mut mc_scratch) = match cfg.loss {
+        LossKind::MultiClass => (None, Some(MulticlassScratch::new(n_ent, dim))),
+        LossKind::NegSampling { .. } => (Some(LossScratch::new(n_ent, dim)), None),
+    };
+    let mut triple_block: Vec<Triple> = Vec::with_capacity(MULTICLASS_BLOCK);
     let mut order: Vec<usize> = (0..ds.train.len()).collect();
     let start = std::time::Instant::now();
 
@@ -88,15 +99,29 @@ where
         for batch in order.chunks(cfg.batch_size) {
             d_ent.clear();
             d_rel.clear();
-            for &i in batch {
-                let tr = ds.train[i];
-                match cfg.loss {
-                    LossKind::MultiClass => {
-                        epoch_loss += step_multiclass(&model, tr, &mut d_ent, &mut d_rel, &mut scratch)
-                            as f64;
-                        n_terms += 2;
+            match cfg.loss {
+                // The all-entity softmax goes through the batched scoring
+                // engine: blocks of triples share one GEMM forward and one
+                // batched transposed product backward.
+                LossKind::MultiClass => {
+                    for chunk in batch.chunks(MULTICLASS_BLOCK) {
+                        triple_block.clear();
+                        triple_block.extend(chunk.iter().map(|&i| ds.train[i]));
+                        epoch_loss += multiclass_block(
+                            &model.spec,
+                            &triple_block,
+                            &model.emb.ent,
+                            &model.emb.rel,
+                            &mut d_ent,
+                            &mut d_rel,
+                            mc_scratch.as_mut().expect("multiclass scratch allocated"),
+                        ) as f64;
+                        n_terms += 2 * chunk.len();
                     }
-                    LossKind::NegSampling { m } => {
+                }
+                LossKind::NegSampling { m } => {
+                    for &i in batch {
+                        let tr = ds.train[i];
                         let negatives: Vec<(usize, usize)> = (0..m)
                             .map(|_| {
                                 let e = rng.below(n_ent);
@@ -117,7 +142,7 @@ where
                             &model.emb.rel,
                             &mut d_ent,
                             &mut d_rel,
-                            &mut scratch,
+                            scratch.as_mut().expect("neg-sampling scratch allocated"),
                         ) as f64;
                         n_terms += 1 + m;
                     }
@@ -163,55 +188,6 @@ fn n3_grad(weight: f32, row: &[f32], grad: &mut [f32]) {
     for (g, &v) in grad.iter_mut().zip(row.iter()) {
         *g += 3.0 * weight * v.signum() * v * v;
     }
-}
-
-fn step_multiclass(
-    model: &BlmModel,
-    tr: Triple,
-    d_ent: &mut Mat,
-    d_rel: &mut Mat,
-    scratch: &mut LossScratch,
-) -> f32 {
-    let (h, r, t) = (tr.h.idx(), tr.r.idx(), tr.t.idx());
-    let mut loss = 0.0f32;
-    // The conditioning row's gradient lands in the same dense d_ent/d_rel
-    // buffers; copy the rows out to avoid aliasing the table borrow.
-    let dim = model.emb.dim();
-    let mut d_cond = vec![0.0f32; dim];
-    let mut d_relrow = vec![0.0f32; dim];
-    // tail direction: predict t from (h, r)
-    loss += multiclass_direction(
-        &model.spec,
-        true,
-        model.emb.ent.row(h),
-        model.emb.rel.row(r),
-        t,
-        &model.emb.ent,
-        &mut d_cond,
-        &mut d_relrow,
-        d_ent,
-        scratch,
-    );
-    kg_linalg::vecops::axpy(1.0, &d_cond, d_ent.row_mut(h));
-    kg_linalg::vecops::axpy(1.0, &d_relrow, d_rel.row_mut(r));
-    // head direction: predict h from (t, r)
-    kg_linalg::vecops::zero(&mut d_cond);
-    kg_linalg::vecops::zero(&mut d_relrow);
-    loss += multiclass_direction(
-        &model.spec,
-        false,
-        model.emb.ent.row(t),
-        model.emb.rel.row(r),
-        h,
-        &model.emb.ent,
-        &mut d_cond,
-        &mut d_relrow,
-        d_ent,
-        scratch,
-    );
-    kg_linalg::vecops::axpy(1.0, &d_cond, d_ent.row_mut(t));
-    kg_linalg::vecops::axpy(1.0, &d_relrow, d_rel.row_mut(r));
-    loss
 }
 
 #[cfg(test)]
@@ -274,11 +250,7 @@ mod tests {
     #[test]
     fn neg_sampling_loss_decreases() {
         let ds = toy_dataset();
-        let cfg = TrainConfig {
-            loss: LossKind::NegSampling { m: 4 },
-            lr: 0.1,
-            ..quick_cfg()
-        };
+        let cfg = TrainConfig { loss: LossKind::NegSampling { m: 4 }, lr: 0.1, ..quick_cfg() };
         let mut losses = Vec::new();
         train_with_callback(&classics::simple(), &ds, &cfg, |_: &_, info: EpochInfo| {
             losses.push(info.loss);
@@ -328,11 +300,8 @@ mod tests {
     fn n3_regulariser_shrinks_embeddings() {
         let ds = toy_dataset();
         let plain = train(&classics::simple(), &ds, &TrainConfig { l2: 0.0, ..quick_cfg() });
-        let reg = train(
-            &classics::simple(),
-            &ds,
-            &TrainConfig { l2: 0.0, n3: 0.05, ..quick_cfg() },
-        );
+        let reg =
+            train(&classics::simple(), &ds, &TrainConfig { l2: 0.0, n3: 0.05, ..quick_cfg() });
         let norm = |m: &BlmModel| kg_linalg::vecops::norm2(m.emb.ent.as_slice());
         assert!(
             norm(&reg) < norm(&plain),

@@ -18,7 +18,14 @@ fn main() {
     let ds = preset(Preset::Wn18rrLike, Scale::Tiny, 9);
     let profile = RelationProfile::classify(&ds.all_triples(), ds.n_relations);
     let filter = FilterIndex::from_dataset(&ds);
-    let cfg = TrainConfig { dim: 32, epochs: 40, lr: 0.3, l2: 1e-5, batch_size: 32, ..Default::default() };
+    let cfg = TrainConfig {
+        dim: 32,
+        epochs: 40,
+        lr: 0.3,
+        l2: 1e-5,
+        batch_size: 32,
+        ..Default::default()
+    };
 
     println!("dataset: {} — per-relation test MRR by model\n", ds.name);
     println!("{:<6} {:<15} {:>9} {:>9} {:>8}", "rel", "pattern", "DistMult", "ComplEx", "#queries");
@@ -38,10 +45,7 @@ fn main() {
         };
         let (d, c) = (&dm_per[r], &cx_per[r]);
         if d.n_queries > 0 {
-            println!(
-                "r{:<5} {:<15} {:>9.3} {:>9.3} {:>8}",
-                r, kind, d.mrr, c.mrr, d.n_queries
-            );
+            println!("r{:<5} {:<15} {:>9.3} {:>9.3} {:>8}", r, kind, d.mrr, c.mrr, d.n_queries);
             let e = by_kind.entry(kind).or_insert((0.0, 0.0, 0));
             e.0 += d.mrr * d.n_queries as f64;
             e.1 += c.mrr * c.n_queries as f64;

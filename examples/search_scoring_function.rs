@@ -17,7 +17,8 @@ fn main() {
     println!("dataset: {} (|E|={}, |R|={})", ds.name, ds.n_entities, ds.n_relations);
 
     let tcfg = TrainConfig { dim: 32, epochs: 15, lr: 0.3, l2: 1e-4, ..Default::default() };
-    let gcfg = GreedyConfig { b_max: 8, n_candidates: 32, k1: 4, k2: 6, rounds: 2, ..Default::default() };
+    let gcfg =
+        GreedyConfig { b_max: 8, n_candidates: 32, k1: 4, k2: 6, rounds: 2, ..Default::default() };
 
     // Search: train candidates on S_tra, select by validation MRR.
     let mut driver = SearchDriver::new(&ds, tcfg, 4);
@@ -35,8 +36,7 @@ fn main() {
     // Final comparison on the *test* split, never touched by the search.
     let filter = FilterIndex::from_dataset(&ds);
     println!("\n{:<12} {:>8} {:>8} {:>8}", "model", "MRR", "H@1", "H@10");
-    for (name, spec) in classics::all().into_iter().chain([("AutoSF", outcome.best_spec.clone())])
-    {
+    for (name, spec) in classics::all().into_iter().chain([("AutoSF", outcome.best_spec.clone())]) {
         let model = train(&spec, &ds, &tcfg);
         let m = evaluate_parallel(&model, &ds.test, &filter, 4);
         println!(

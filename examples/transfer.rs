@@ -18,7 +18,8 @@ fn main() {
     // Two datasets with very different relation censuses.
     let sources = [Preset::Wn18rrLike, Preset::Fb15k237Like];
     let tcfg = TrainConfig { dim: 32, epochs: 12, lr: 0.3, l2: 1e-4, ..Default::default() };
-    let gcfg = GreedyConfig { b_max: 6, n_candidates: 24, k1: 4, k2: 4, rounds: 2, ..Default::default() };
+    let gcfg =
+        GreedyConfig { b_max: 6, n_candidates: 24, k1: 4, k2: 4, rounds: 2, ..Default::default() };
 
     let datasets: Vec<_> = sources.iter().map(|&p| preset(p, Scale::Tiny, 3)).collect();
 
@@ -37,7 +38,10 @@ fn main() {
     }
 
     // Cross matrix: train each found structure on each dataset, test MRR.
-    println!("\n{:<16} {:>14} {:>14}", "searched-on \\ eval-on", datasets[0].name, datasets[1].name);
+    println!(
+        "\n{:<16} {:>14} {:>14}",
+        "searched-on \\ eval-on", datasets[0].name, datasets[1].name
+    );
     for (src_name, spec) in &found {
         print!("{:<22}", src_name);
         for ds in &datasets {

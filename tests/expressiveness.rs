@@ -69,10 +69,10 @@ fn symmetric_kg_suits_distmult() {
     for _ in 0..4 {
         b.add_symmetric(120, 1.0);
     }
-    let ds = b.build("symmetric-world", kg_core::split::SplitSpec {
-        valid_fraction: 0.1,
-        test_fraction: 0.1,
-    });
+    let ds = b.build(
+        "symmetric-world",
+        kg_core::split::SplitSpec { valid_fraction: 0.1, test_fraction: 0.1 },
+    );
     let dm = mrr_of(&classics::distmult(), &ds);
     let cx = mrr_of(&classics::complex(), &ds);
     assert!(

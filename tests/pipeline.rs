@@ -27,7 +27,10 @@ fn full_pipeline_beats_random_ranking() {
 #[test]
 fn classification_pipeline_beats_coin_flip() {
     let ds = preset(Preset::Fb15k237Like, Scale::Tiny, 12);
-    let model = train(&classics::complex(), &ds, &quick_cfg());
+    // Classification needs a better-converged model than the ranking smoke
+    // tests; 12 epochs leaves it near chance on marginal RNG streams.
+    let model =
+        train(&classics::complex(), &ds, &TrainConfig { epochs: 40, dim: 32, ..quick_cfg() });
     let filter = FilterIndex::from_dataset(&ds);
     let mut rng = SeededRng::new(1);
     let valid_neg = make_negatives(&ds.valid, &filter, ds.n_entities, &mut rng);

@@ -15,15 +15,15 @@ fn tcfg() -> TrainConfig {
 fn search_output_is_valid_and_competitive() {
     let ds = preset(Preset::Wn18rrLike, Scale::Tiny, 31);
     let mut driver = SearchDriver::new(&ds, tcfg(), 4);
-    let gcfg = GreedyConfig { b_max: 6, n_candidates: 16, k1: 4, k2: 4, rounds: 2, ..Default::default() };
+    let gcfg =
+        GreedyConfig { b_max: 6, n_candidates: 16, k1: 4, k2: 4, rounds: 2, ..Default::default() };
     let outcome = GreedySearch::new(gcfg).run(&mut driver);
 
     assert!(satisfies_c2(&outcome.best_spec), "search returned a C2-violating structure");
     assert!(outcome.best_mrr > 0.0 && outcome.best_mrr <= 1.0);
 
     // the best must be ≥ the mean of the f4 tier it grew from
-    let f4_mean: f64 =
-        driver.trace.records.iter().take(5).map(|r| r.mrr).sum::<f64>() / 5.0;
+    let f4_mean: f64 = driver.trace.records.iter().take(5).map(|r| r.mrr).sum::<f64>() / 5.0;
     assert!(
         outcome.best_mrr >= f4_mean,
         "best {:.3} below f4 mean {:.3}",
@@ -36,7 +36,8 @@ fn search_output_is_valid_and_competitive() {
 fn search_trace_is_monotone_in_model_index() {
     let ds = preset(Preset::Wn18rrLike, Scale::Tiny, 32);
     let mut driver = SearchDriver::new(&ds, tcfg(), 4);
-    let gcfg = GreedyConfig { b_max: 6, n_candidates: 12, k1: 4, k2: 3, rounds: 1, ..Default::default() };
+    let gcfg =
+        GreedyConfig { b_max: 6, n_candidates: 12, k1: 4, k2: 3, rounds: 1, ..Default::default() };
     GreedySearch::new(gcfg).run(&mut driver);
     let idx: Vec<usize> = driver.trace.records.iter().map(|r| r.model_index).collect();
     for w in idx.windows(2) {
