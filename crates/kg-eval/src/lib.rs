@@ -4,7 +4,10 @@
 //!   head and tail queries), the protocol of Sec. V-B. Since the batched
 //!   scoring engine, triples are ranked in blocks (one GEMM per block for
 //!   factorising models) with bit-identical metrics to the per-query
-//!   reference path ([`ranking::evaluate_sequential`]).
+//!   reference path ([`ranking::evaluate_sequential`]); parallel ranking
+//!   shards the *entity table* across cooperating workers
+//!   ([`ranking::evaluate_parallel_sharded`]) and stays bit-identical for
+//!   any shard layout and thread count.
 //! * [`classification`] — triplet classification with per-relation
 //!   thresholds σ_r tuned on validation (Sec. V-C / Tab. VI).
 //! * [`curves`] — learning-curve capture for Fig. 4 / Fig. 6-9.
@@ -15,4 +18,7 @@ pub mod ranking;
 
 pub use classification::{accuracy, make_negatives, tune_thresholds, Thresholds};
 pub use curves::{Curve, CurvePoint};
-pub use ranking::{evaluate, evaluate_parallel, RankMetrics};
+pub use ranking::{
+    evaluate, evaluate_parallel, evaluate_parallel_chunked, evaluate_parallel_sharded,
+    evaluate_sequential, shard_bounds, RankMetrics,
+};

@@ -16,10 +16,34 @@
 //! per-query kernels, so [`evaluate`] reproduces the sequential reference
 //! [`evaluate_sequential`] **bit for bit** — the equivalence suite in
 //! `tests/batch_equivalence.rs` pins this down for every shipped model.
+//!
+//! **Parallelism shards the entity table, not the triple list.** All of
+//! [`evaluate_parallel`]'s workers cooperate on one block of queries: each
+//! worker scores its contiguous entity shard (a disjoint column range of
+//! the conceptual score block) through
+//! [`kg_models::BatchScorer::score_tails_shard`], publishes the target
+//! scores that fall in its shard, counts its shard's `(greater, equal)`
+//! contributions with the branchless [`kg_linalg::vecops::count_cmp`]
+//! sweep, and merges them into shared integer accumulators. Integer counts
+//! over disjoint shards are order-independent, so the merged ranks — and
+//! therefore the metrics — are **bit-identical to
+//! [`evaluate_sequential`]** for *any* shard layout and thread count
+//! (`tests/shard_equivalence.rs` pins this down). Models whose shard
+//! scoring would stage full-table rows anyway (no
+//! [`kg_models::BatchScorer::native_shard_scoring`]) get the block's
+//! *query rows* split across the same engine instead — full parallelism
+//! without redundant scoring, same bit-identity. The previous
+//! triples-per-thread strategy survives as [`evaluate_parallel_chunked`],
+//! the microbenchmark's comparison baseline.
 
-use kg_core::{FilterIndex, Triple};
+use kg_core::{EntityId, FilterIndex, Triple};
+use kg_linalg::vecops;
 use kg_models::{BatchScorer, BatchScratch, LinkPredictor};
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, Ordering::Relaxed};
+use std::sync::Barrier;
 
 /// Triples ranked per scoring block — each block issues two 64-row GEMMs
 /// (tail queries, then head queries, reusing one `64 × n_entities` score
@@ -93,42 +117,66 @@ impl RankMetrics {
     }
 }
 
-/// Rank of the target given raw scores in the filtered setting:
-/// `rank = 1 + #better + #ties/2` over candidates that are neither the
-/// target nor another known positive (`known_others`, the filter index's
-/// completion list for this query — it may include the target itself).
+/// One entity shard's contribution to a filtered rank: branchless
+/// `(greater, equal)` counts of the shard-local score `row` (covering
+/// entities `shard_start .. shard_start + row.len()`) against the target's
+/// score, minus the contributions of candidates excluded by the filtered
+/// protocol — the target itself and every other known positive — that fall
+/// inside this shard.
 ///
-/// Counts every candidate first and then subtracts the known positives'
-/// contributions — identical integer counts to filtering inside the sweep
-/// (the completion list is duplicate-free), but the hot loop is a plain
-/// comparison scan instead of a hash probe per entity.
-fn filtered_rank(scores: &[f32], target: usize, known_others: &[kg_core::EntityId]) -> f64 {
-    let s_t = scores[target];
-    let mut better = 0isize;
-    let mut ties = 0isize;
-    for (e, &s) in scores.iter().enumerate() {
-        if e == target {
-            continue;
-        }
-        if s > s_t {
-            better += 1;
-        } else if s == s_t {
-            ties += 1;
-        }
+/// The bulk sweep is [`vecops::count_cmp`]; exclusions are then subtracted,
+/// which gives identical integer counts to filtering inside the sweep (the
+/// completion list is duplicate-free) without a hash probe per entity. The
+/// target's own self-tie is subtracted by the shard that contains it —
+/// unless its score is NaN, which `count_cmp` never counted to begin with.
+///
+/// Counts are integers, so summing this function over any disjoint shard
+/// partition of the entity table yields exactly the full-table counts: the
+/// seam that makes sharded parallel ranking bit-identical to the
+/// sequential reference.
+fn shard_filtered_counts(
+    row: &[f32],
+    shard_start: usize,
+    threshold: f32,
+    target: usize,
+    known_others: &[EntityId],
+) -> (i64, i64) {
+    let shard = shard_start..shard_start + row.len();
+    let (gt, eq) = vecops::count_cmp(row, threshold);
+    let mut better = gt as i64;
+    let mut ties = eq as i64;
+    if shard.contains(&target) && !threshold.is_nan() {
+        ties -= 1;
     }
     for &e in known_others {
         let e = e.idx();
-        if e == target {
+        if e == target || !shard.contains(&e) {
             continue;
         }
-        let s = scores[e];
-        if s > s_t {
+        let s = row[e - shard_start];
+        if s > threshold {
             better -= 1;
-        } else if s == s_t {
+        } else if s == threshold {
             ties -= 1;
         }
     }
+    (better, ties)
+}
+
+/// `rank = 1 + #better + #ties/2` — ties count half (the unbiased
+/// convention), so constant scorers get the random expectation.
+fn rank_from_counts(better: i64, ties: i64) -> f64 {
     1.0 + better as f64 + ties as f64 / 2.0
+}
+
+/// Rank of the target given raw scores in the filtered setting, over
+/// candidates that are neither the target nor another known positive
+/// (`known_others`, the filter index's completion list for this query — it
+/// may include the target itself). The single-shard view of
+/// [`shard_filtered_counts`].
+fn filtered_rank(scores: &[f32], target: usize, known_others: &[EntityId]) -> f64 {
+    let (better, ties) = shard_filtered_counts(scores, 0, scores[target], target, known_others);
+    rank_from_counts(better, ties)
 }
 
 /// Reusable buffers for ranking one block of triples — allocate once per
@@ -254,9 +302,339 @@ pub fn evaluate_per_relation(
     per.into_iter().map(|m| if m.n_queries > 0 { m.normalised() } else { m }).collect()
 }
 
-/// Evaluate with `n_threads` workers (the model is shared read-only); each
-/// worker ranks its chunk in blocks through the batched engine.
+/// Even entity-shard boundaries for `n_shards` workers over an
+/// `n_entities`-row table: `n_shards + 1` non-decreasing cut points with
+/// `bounds[w] = ⌊w · n / s⌋`, so shard widths differ by at most one row and
+/// the final shard absorbs the raggedness.
+pub fn shard_bounds(n_entities: usize, n_shards: usize) -> Vec<usize> {
+    assert!(n_shards > 0, "need at least one shard");
+    (0..=n_shards).map(|w| w * n_entities / n_shards).collect()
+}
+
+/// One worker's slice of the cooperative engine's work on a query block.
+#[derive(Clone)]
+enum WorkerShard {
+    /// A contiguous entity row range: the worker scores *every* query of
+    /// the block against its shard of the table (row-restricted GEMM for
+    /// factorising models) and contributes shard-local counts.
+    Entities(Range<usize>),
+    /// Worker `worker` of `n_workers` owns an even slice of the block's
+    /// *query rows*, scored full-width. Chosen for models whose shard
+    /// scoring stages full-table rows anyway
+    /// (`!`[`BatchScorer::native_shard_scoring`]): splitting entities would
+    /// cost every worker a full scoring pass, splitting queries costs
+    /// exactly one pass in total.
+    Queries { worker: usize, n_workers: usize },
+}
+
+/// Evaluate with `n_threads` workers cooperating on each query block.
+/// Models with native shard scoring get the entity table split into (at
+/// most `n_entities`) even contiguous shards, one worker per shard — see
+/// [`evaluate_parallel_sharded`]; other models get the block's query rows
+/// split instead, each scored against the full table. Either way the
+/// engine merges integer rank counts, so thread count and work layout
+/// never change the metrics, which equal [`evaluate_sequential`]'s exactly.
 pub fn evaluate_parallel<M: BatchScorer + Sync>(
+    model: &M,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    n_threads: usize,
+) -> RankMetrics {
+    assert!(n_threads > 0, "need at least one thread");
+    if n_threads == 1 {
+        // One worker would shard nothing: take the single-threaded batched
+        // path without the coordination scaffolding.
+        return evaluate(model, triples, filter);
+    }
+    if model.native_shard_scoring() {
+        let n_shards = n_threads.min(model.n_entities()).max(1);
+        return evaluate_parallel_sharded(
+            model,
+            triples,
+            filter,
+            &shard_bounds(model.n_entities(), n_shards),
+        );
+    }
+    if triples.is_empty() {
+        return RankMetrics::zero();
+    }
+    let n_workers = n_threads.min(EVAL_BLOCK).min(triples.len());
+    let shards =
+        (0..n_workers).map(|worker| WorkerShard::Queries { worker, n_workers }).collect::<Vec<_>>();
+    run_cooperative(model, triples, filter, shards)
+}
+
+/// Evaluate with one worker thread per entity shard, shards given by the
+/// explicit cut points `bounds` (`bounds[w]..bounds[w+1]` is worker `w`'s
+/// shard): non-decreasing, starting at 0, ending at `n_entities`.
+/// Zero-width shards are legal — their workers score nothing and contribute
+/// identity counts.
+///
+/// Per block of [`EVAL_BLOCK`] triples and per direction, the workers run
+/// three barrier-separated phases:
+///
+/// 1. **score + publish**: each worker scores its shard for the whole query
+///    block ([`kg_models::BatchScorer::score_tails_shard`] /
+///    `score_heads_shard`) into its private shard-local block, and the
+///    worker whose shard contains a query's target stores that target's
+///    score (as `f32` bits) in the shared threshold slot;
+/// 2. **count**: each worker computes its shard's filtered
+///    `(greater, equal)` contributions ([`shard_filtered_counts`]) for
+///    every query row and `fetch_add`s them into the shared per-row
+///    accumulators;
+/// 3. **merge**: the lead worker turns each row's merged counts into a rank
+///    and resets the accumulators for the next direction.
+///
+/// **Bit-identity.** A shard's score elements are bit-identical to the
+/// corresponding columns of the full-table path (the [`BatchScorer`] shard
+/// contract), and per-shard counts are integers, so their merge is
+/// associative and order-independent — no matter how the shards race, every
+/// rank equals the sequential reference's rank exactly, and ranks are
+/// folded into the metrics in the sequential order (tail then head, triple
+/// by triple). The result is bit-identical to [`evaluate_sequential`] for
+/// any `bounds`.
+///
+/// # Panics
+/// Panics if `bounds` is not a partition of `0..n_entities` as described,
+/// or if any triple references an entity `≥ n_entities` (the sequential
+/// path would fault on the same input).
+pub fn evaluate_parallel_sharded<M: BatchScorer + Sync>(
+    model: &M,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    bounds: &[usize],
+) -> RankMetrics {
+    let n = model.n_entities();
+    assert!(bounds.len() >= 2, "need at least one shard");
+    assert_eq!(bounds[0], 0, "shard bounds must start at entity 0");
+    assert_eq!(*bounds.last().unwrap(), n, "shard bounds must end at n_entities");
+    assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "shard bounds must be non-decreasing");
+    assert!(
+        triples.iter().all(|t| t.h.idx() < n && t.t.idx() < n),
+        "triple references an entity outside the model's table"
+    );
+    if triples.is_empty() {
+        return RankMetrics::zero();
+    }
+    let shards = bounds.windows(2).map(|w| WorkerShard::Entities(w[0]..w[1])).collect();
+    run_cooperative(model, triples, filter, shards)
+}
+
+/// Spawn one worker per entry of `shards` and run the barrier-phased
+/// cooperative engine over `triples` (see [`evaluate_parallel_sharded`] for
+/// the phase structure). The caller guarantees `shards` covers the work:
+/// entity shards partition `0..n_entities`, query shards enumerate
+/// `0..n_workers`.
+fn run_cooperative<M: BatchScorer + Sync>(
+    model: &M,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    shards: Vec<WorkerShard>,
+) -> RankMetrics {
+    let n_workers = shards.len();
+    let barrier = Barrier::new(n_workers);
+    // Shared per-row state for the block in flight: the target's score
+    // (published as bits by the shard that owns the target) and the merged
+    // integer counts. Atomics + barriers keep the engine in safe code; the
+    // counts' `fetch_add` merge is commutative, so scheduling never shows.
+    let thresholds: Vec<AtomicU32> = (0..EVAL_BLOCK).map(|_| AtomicU32::new(0)).collect();
+    let better: Vec<AtomicI64> = (0..EVAL_BLOCK).map(|_| AtomicI64::new(0)).collect();
+    let ties: Vec<AtomicI64> = (0..EVAL_BLOCK).map(|_| AtomicI64::new(0)).collect();
+    // `Barrier` has no poisoning: a worker that panicked mid-phase would
+    // leave the others waiting at the next rendezvous forever. Each worker
+    // catches its phase panics, raises this flag, and everyone aborts at
+    // the following barrier; the original panic is re-thrown on join.
+    let poisoned = AtomicBool::new(false);
+    let metrics = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_workers);
+        for (w, shard) in shards.into_iter().enumerate() {
+            let (barrier, poisoned) = (&barrier, &poisoned);
+            let (thresholds, better, ties) = (&thresholds, &better, &ties);
+            handles.push(scope.spawn(move || {
+                shard_worker(
+                    model,
+                    triples,
+                    filter,
+                    shard,
+                    w == 0,
+                    barrier,
+                    poisoned,
+                    thresholds,
+                    better,
+                    ties,
+                )
+            }));
+        }
+        // Only the lead worker accumulates; the fold just picks it up.
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("eval worker panicked"))
+            .fold(RankMetrics::zero(), RankMetrics::merge)
+    });
+    metrics.normalised()
+}
+
+/// One worker of the cooperative engine: scores its [`WorkerShard`] for
+/// every block, merges its counts, and — when `lead` — folds the merged
+/// ranks into the metrics it returns (non-lead workers return zero
+/// metrics).
+///
+/// Every worker must execute the same barrier sequence, including workers
+/// with a zero-width entity shard or an empty query slice, whose scoring
+/// and counting phases are no-ops. A phase that panics (a model override,
+/// an out-of-range index) is caught, poisons the crew, and is re-thrown
+/// after every worker has left its last barrier — so failures propagate as
+/// panics instead of deadlocking the rendezvous.
+#[allow(clippy::too_many_arguments)] // internal: one call site, mirrors the shared-state layout
+fn shard_worker<M: BatchScorer + ?Sized>(
+    model: &M,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    shard: WorkerShard,
+    lead: bool,
+    barrier: &Barrier,
+    poisoned: &AtomicBool,
+    thresholds: &[AtomicU32],
+    better: &[AtomicI64],
+    ties: &[AtomicI64],
+) -> RankMetrics {
+    let mut scratch = BatchScratch::new();
+    let mut queries: Vec<(usize, usize)> = Vec::with_capacity(EVAL_BLOCK);
+    let mut scores = vec![
+        0.0f32;
+        match &shard {
+            WorkerShard::Entities(range) => EVAL_BLOCK * range.len(),
+            WorkerShard::Queries { n_workers, .. } =>
+                EVAL_BLOCK.div_ceil(*n_workers) * model.n_entities(),
+        }
+    ];
+    // Rank staging (lead only): tails are merged a phase before heads but
+    // accumulated interleaved, in the sequential order.
+    let mut tail_ranks = [0.0f64; EVAL_BLOCK];
+    let mut head_ranks = [0.0f64; EVAL_BLOCK];
+    let mut metrics = RankMetrics::zero();
+    let mut payload: Option<Box<dyn std::any::Any + Send>> = None;
+    'blocks: for block in triples.chunks(EVAL_BLOCK) {
+        for tail_dir in [true, false] {
+            // This worker's slice of the block: every query against an
+            // entity shard, or a slice of the queries against everything.
+            let rows = match &shard {
+                WorkerShard::Entities(_) => 0..block.len(),
+                WorkerShard::Queries { worker, n_workers } => {
+                    worker * block.len() / n_workers..(worker + 1) * block.len() / n_workers
+                }
+            };
+            let width = match &shard {
+                WorkerShard::Entities(range) => range.len(),
+                WorkerShard::Queries { .. } => model.n_entities(),
+            };
+            let scored = catch_unwind(AssertUnwindSafe(|| {
+                queries.clear();
+                if tail_dir {
+                    queries.extend(block[rows.clone()].iter().map(|tr| (tr.h.idx(), tr.r.idx())));
+                } else {
+                    queries.extend(block[rows.clone()].iter().map(|tr| (tr.r.idx(), tr.t.idx())));
+                }
+                let out = &mut scores[..rows.len() * width];
+                if !out.is_empty() {
+                    match (&shard, tail_dir) {
+                        (WorkerShard::Entities(range), true) => {
+                            model.score_tails_shard(&queries, range.clone(), out, &mut scratch);
+                        }
+                        (WorkerShard::Entities(range), false) => {
+                            model.score_heads_shard(&queries, range.clone(), out, &mut scratch);
+                        }
+                        (WorkerShard::Queries { .. }, true) => {
+                            model.score_tails_batch(&queries, out, &mut scratch);
+                        }
+                        (WorkerShard::Queries { .. }, false) => {
+                            model.score_heads_batch(&queries, out, &mut scratch);
+                        }
+                    }
+                }
+                // Entity mode exchanges target scores through the threshold
+                // slots (each target lives in exactly one shard); query mode
+                // reads them straight off its own full-width rows.
+                if let WorkerShard::Entities(range) = &shard {
+                    for (i, tr) in block.iter().enumerate() {
+                        let target = if tail_dir { tr.t.idx() } else { tr.h.idx() };
+                        if range.contains(&target) {
+                            let bits = out[i * width + (target - range.start)].to_bits();
+                            thresholds[i].store(bits, Relaxed);
+                        }
+                    }
+                }
+            }));
+            if let Err(p) = scored {
+                payload = Some(p);
+                poisoned.store(true, Relaxed);
+            }
+            // Phase 1 done: every shard scored, every target published.
+            barrier.wait();
+            if poisoned.load(Relaxed) {
+                break 'blocks;
+            }
+            let counted = catch_unwind(AssertUnwindSafe(|| {
+                let out = &scores[..rows.len() * width];
+                for (local, tr) in block[rows.clone()].iter().enumerate() {
+                    let i = rows.start + local;
+                    let (target, known) = if tail_dir {
+                        (tr.t.idx(), filter.tails(tr.h, tr.r))
+                    } else {
+                        (tr.h.idx(), filter.heads(tr.r, tr.t))
+                    };
+                    let row = &out[local * width..(local + 1) * width];
+                    let (shard_start, threshold) = match &shard {
+                        WorkerShard::Entities(range) => {
+                            (range.start, f32::from_bits(thresholds[i].load(Relaxed)))
+                        }
+                        WorkerShard::Queries { .. } => (0, row[target]),
+                    };
+                    let (b, t) = shard_filtered_counts(row, shard_start, threshold, target, known);
+                    better[i].fetch_add(b, Relaxed);
+                    ties[i].fetch_add(t, Relaxed);
+                }
+            }));
+            if let Err(p) = counted {
+                payload = Some(p);
+                poisoned.store(true, Relaxed);
+            }
+            // Phase 2 done: per-shard counts merged.
+            barrier.wait();
+            if poisoned.load(Relaxed) {
+                break 'blocks;
+            }
+            if lead {
+                let ranks = if tail_dir { &mut tail_ranks } else { &mut head_ranks };
+                for (i, rank) in ranks.iter_mut().take(block.len()).enumerate() {
+                    // swap doubles as the reset for the next phase
+                    *rank = rank_from_counts(better[i].swap(0, Relaxed), ties[i].swap(0, Relaxed));
+                }
+            }
+            // Phase 3 done: accumulators zeroed, next direction may merge.
+            barrier.wait();
+        }
+        if lead {
+            for i in 0..block.len() {
+                metrics.accumulate(tail_ranks[i]);
+                metrics.accumulate(head_ranks[i]);
+            }
+        }
+    }
+    if let Some(p) = payload {
+        resume_unwind(p);
+    }
+    metrics
+}
+
+/// The pre-sharding parallel strategy — `n_threads` workers each ranking a
+/// contiguous *triple* chunk in blocks through the batched engine, every
+/// worker re-streaming the whole entity table. Kept as the
+/// microbenchmark's comparison baseline for [`evaluate_parallel`] (and as
+/// the better choice when callers genuinely want per-chunk isolation).
+/// Metrics match the sequential reference to merge-rounding (`merge` adds
+/// chunk partials in chunk order), not necessarily bit for bit.
+pub fn evaluate_parallel_chunked<M: BatchScorer + Sync>(
     model: &M,
     triples: &[Triple],
     filter: &FilterIndex,
@@ -401,9 +779,126 @@ mod tests {
         let seq = evaluate(&m, &triples, &filter);
         for threads in [1, 2, 3, 7] {
             let par = evaluate_parallel(&m, &triples, &filter, threads);
-            assert!((par.mrr - seq.mrr).abs() < 1e-12, "threads={threads}");
-            assert_eq!(par.n_queries, seq.n_queries);
+            assert_eq!(par, seq, "threads={threads}");
+            let chunked = evaluate_parallel_chunked(&m, &triples, &filter, threads);
+            assert!((chunked.mrr - seq.mrr).abs() < 1e-12, "chunked threads={threads}");
+            assert_eq!(chunked.n_queries, seq.n_queries);
         }
+    }
+
+    #[test]
+    fn more_threads_than_entities_is_capped_and_exact() {
+        // 8 requested workers over a 5-entity table: the even split must cap
+        // at 5 single-entity shards and stay bit-identical.
+        let m = Oracle { n: 5, target: 2 };
+        let triples: Vec<Triple> = (0..9).map(|i| Triple::new(i % 5, 0, 2)).collect();
+        let filter = FilterIndex::build(&triples);
+        let seq = evaluate_sequential(&m, &triples, &filter);
+        for threads in [6, 8, 64] {
+            assert_eq!(evaluate_parallel(&m, &triples, &filter, threads), seq, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_width_shards_contribute_identity_counts() {
+        let m = Oracle { n: 10, target: 3 };
+        let triples: Vec<Triple> = (0..7).map(|i| Triple::new(i, 0, 3)).collect();
+        let filter = FilterIndex::build(&triples);
+        let seq = evaluate_sequential(&m, &triples, &filter);
+        // width-0 shards at the front, middle and back of the table
+        for bounds in
+            [vec![0, 0, 10], vec![0, 4, 4, 4, 10], vec![0, 10, 10], vec![0, 0, 0, 10, 10, 10]]
+        {
+            assert_eq!(
+                evaluate_parallel_sharded(&m, &triples, &filter, &bounds),
+                seq,
+                "bounds {bounds:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ragged_final_shard_is_exact() {
+        // 10 entities over 3 workers: even bounds [0, 3, 6, 10] leave a
+        // wider final shard; a hand-rolled [0, 7, 9, 10] leaves a 1-wide one.
+        let m = Oracle { n: 10, target: 6 };
+        let triples: Vec<Triple> = (0..5).map(|i| Triple::new(i, 0, 6)).collect();
+        let filter = FilterIndex::build(&triples);
+        let seq = evaluate_sequential(&m, &triples, &filter);
+        assert_eq!(shard_bounds(10, 3), vec![0, 3, 6, 10]);
+        assert_eq!(evaluate_parallel(&m, &triples, &filter, 3), seq);
+        assert_eq!(evaluate_parallel_sharded(&m, &triples, &filter, &[0, 7, 9, 10]), seq);
+    }
+
+    #[test]
+    fn shard_bounds_partition_evenly() {
+        for (n, s) in [(10, 3), (5, 8), (64, 64), (1, 1), (0, 4), (100, 7)] {
+            let b = shard_bounds(n, s);
+            assert_eq!(b.len(), s + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), n);
+            assert!(b.windows(2).all(|w| w[0] <= w[1]));
+            // widths differ by at most one
+            let widths: Vec<usize> = b.windows(2).map(|w| w[1] - w[0]).collect();
+            let (lo, hi) = (widths.iter().min().unwrap(), widths.iter().max().unwrap());
+            assert!(hi - lo <= 1, "uneven split for n={n} s={s}: {widths:?}");
+        }
+    }
+
+    /// A model that panics when scoring a specific head entity — stands in
+    /// for any fallible scorer override.
+    struct Grenade {
+        n: usize,
+        trip_on: usize,
+    }
+
+    impl LinkPredictor for Grenade {
+        fn n_entities(&self) -> usize {
+            self.n
+        }
+        fn score_triple(&self, _: usize, _: usize, _: usize) -> f32 {
+            0.0
+        }
+        fn score_tails(&self, h: usize, _: usize, out: &mut [f32]) {
+            assert!(h != self.trip_on, "grenade tripped");
+            out.fill(0.0);
+        }
+        fn score_heads(&self, _: usize, _: usize, out: &mut [f32]) {
+            out.fill(0.0);
+        }
+    }
+
+    impl kg_models::BatchScorer for Grenade {}
+
+    #[test]
+    #[should_panic(expected = "eval worker panicked")]
+    fn worker_panic_propagates_instead_of_deadlocking_query_mode() {
+        let m = Grenade { n: 10, trip_on: 5 };
+        let triples: Vec<Triple> = (0..8).map(|i| Triple::new(i, 0, 3)).collect();
+        let filter = FilterIndex::build(&triples);
+        // Grenade reports no native shard scoring → query-split mode; the
+        // worker that draws head 5 panics and must take the crew with it.
+        evaluate_parallel(&m, &triples, &filter, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "eval worker panicked")]
+    fn worker_panic_propagates_instead_of_deadlocking_entity_mode() {
+        let m = Grenade { n: 10, trip_on: 2 };
+        let triples: Vec<Triple> = (0..8).map(|i| Triple::new(i, 0, 3)).collect();
+        let filter = FilterIndex::build(&triples);
+        // Explicit bounds force entity mode; the default shard path funnels
+        // into score_tails, so every worker trips — still no deadlock.
+        evaluate_parallel_sharded(&m, &triples, &filter, &[0, 4, 7, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_shard_bounds_are_rejected() {
+        let m = Oracle { n: 10, target: 3 };
+        let triples = vec![Triple::new(0, 0, 3)];
+        let filter = FilterIndex::build(&triples);
+        evaluate_parallel_sharded(&m, &triples, &filter, &[0, 6, 4, 10]);
     }
 
     #[test]

@@ -57,10 +57,45 @@ thread_local! {
 /// # Panics
 /// Panics when the slice lengths disagree with `m`, `k` and `b`'s shape.
 pub fn gemm_nt(a: &[f32], m: usize, k: usize, b: &Mat, out: &mut [f32]) {
+    gemm_nt_rows(a, m, k, b, 0..b.rows(), out);
+}
+
+/// Row-tile-range variant of [`gemm_nt`]: score the query block against only
+/// the entity rows `rows = j_0..j_1` of `B`, writing a **shard-local**
+/// row-major `m × rows.len()` block:
+/// `out[i·w + (j − j_0)] = ⟨a_i, b_j⟩` with `w = rows.len()`.
+///
+/// This is the kernel behind entity-table sharding: each worker owns a
+/// contiguous row range of the table and scores it into its own compact
+/// block, so one tile of entity rows stays resident in *that worker's*
+/// private cache across the whole query block. Every output element is the
+/// same strict sequential `vecops::dot(a_i, b_j)` as the full-table kernel
+/// — shard boundaries (like tile boundaries) only change which elements are
+/// computed where, never their value, so concatenating shard blocks over a
+/// partition of `0..b.rows()` reproduces [`gemm_nt`]'s output bit for bit.
+///
+/// An empty range is a no-op on an empty `out`.
+///
+/// # Panics
+/// Panics when the slice lengths disagree with `m`, `k`, `rows` and `b`'s
+/// shape, or when `rows` is decreasing or exceeds `b.rows()`.
+pub fn gemm_nt_rows(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &Mat,
+    rows: std::ops::Range<usize>,
+    out: &mut [f32],
+) {
     assert_eq!(a.len(), m * k, "gemm_nt: A shape mismatch");
     assert_eq!(b.cols(), k, "gemm_nt: inner dimension mismatch");
-    let n = b.rows();
-    assert_eq!(out.len(), m * n, "gemm_nt: out shape mismatch");
+    assert!(
+        rows.start <= rows.end && rows.end <= b.rows(),
+        "gemm_nt: row range {rows:?} out of bounds for {} table rows",
+        b.rows()
+    );
+    let width = rows.len();
+    assert_eq!(out.len(), m * width, "gemm_nt: out shape mismatch");
     let bs = b.as_slice();
     TILE_SCRATCH.with(|scratch| {
         let mut scratch = scratch.borrow_mut();
@@ -68,14 +103,14 @@ pub fn gemm_nt(a: &[f32], m: usize, k: usize, b: &Mat, out: &mut [f32]) {
             scratch.resize(NT_ROW_TILE * k, 0.0);
         }
         let tile = &mut scratch[..NT_ROW_TILE * k];
-        let mut j0 = 0;
-        while j0 < n {
-            let j1 = (j0 + NT_ROW_TILE).min(n);
-            let rows = j1 - j0;
-            let groups = rows / NT_UNROLL;
+        let mut j0 = rows.start;
+        while j0 < rows.end {
+            let j1 = (j0 + NT_ROW_TILE).min(rows.end);
+            let tile_rows = j1 - j0;
+            let groups = tile_rows / NT_UNROLL;
             // Transpose the tile: tile[c·T + u] = B[j0+u][c], so that the
             // NT_UNROLL operands of inner-loop step `c` sit contiguously.
-            for u in 0..rows {
+            for u in 0..tile_rows {
                 let b_row = &bs[(j0 + u) * k..(j0 + u + 1) * k];
                 for (c, &v) in b_row.iter().enumerate() {
                     tile[c * NT_ROW_TILE + u] = v;
@@ -83,7 +118,8 @@ pub fn gemm_nt(a: &[f32], m: usize, k: usize, b: &Mat, out: &mut [f32]) {
             }
             for i in 0..m {
                 let a_row = &a[i * k..(i + 1) * k];
-                let out_row = &mut out[i * n..(i + 1) * n];
+                let out_row = &mut out[i * width..(i + 1) * width];
+                let col0 = j0 - rows.start;
                 for g in 0..groups {
                     // NT_UNROLL independent strict dots sharing each a[c].
                     let mut acc = [0.0f32; NT_UNROLL];
@@ -94,11 +130,11 @@ pub fn gemm_nt(a: &[f32], m: usize, k: usize, b: &Mat, out: &mut [f32]) {
                             acc[u] += av * lanes[u];
                         }
                     }
-                    out_row[j0 + base..j0 + base + NT_UNROLL].copy_from_slice(&acc);
+                    out_row[col0 + base..col0 + base + NT_UNROLL].copy_from_slice(&acc);
                 }
                 // Ragged tail of the tile: plain dots.
                 for j in (j0 + groups * NT_UNROLL)..j1 {
-                    out_row[j] = vecops::dot(a_row, b.row(j));
+                    out_row[j - rows.start] = vecops::dot(a_row, b.row(j));
                 }
             }
             j0 = j1;
@@ -191,6 +227,67 @@ mod tests {
                 assert_eq!(&batched[i * k..(i + 1) * k], per_row.as_slice(), "row {i}");
             }
         }
+    }
+
+    #[test]
+    fn gemm_nt_rows_concatenates_to_full_kernel() {
+        let mut rng = SeededRng::new(20);
+        let (m, n, k) = (5, NT_ROW_TILE * 2 + 5, 8);
+        let a = rand_mat(&mut rng, m, k);
+        let b = rand_mat(&mut rng, n, k);
+        let mut full = vec![0.0f32; m * n];
+        gemm_nt(a.as_slice(), m, k, &b, &mut full);
+        // Shard splits that are unaligned with both tile and unroll widths,
+        // including a width-0 shard and a ragged final shard.
+        for bounds in [vec![0, n], vec![0, 7, 7, 40, n], vec![0, 1, NT_ROW_TILE + 3, n]] {
+            for w in bounds.windows(2) {
+                let (j0, j1) = (w[0], w[1]);
+                let width = j1 - j0;
+                let mut shard = vec![0.0f32; m * width];
+                gemm_nt_rows(a.as_slice(), m, k, &b, j0..j1, &mut shard);
+                for i in 0..m {
+                    assert_eq!(
+                        &shard[i * width..(i + 1) * width],
+                        &full[i * n + j0..i * n + j1],
+                        "shard {j0}..{j1} row {i} differs from full kernel"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_rows_empty_range_is_noop() {
+        let b = Mat::zeros(6, 4);
+        let a = vec![0.0f32; 2 * 4];
+        let mut out: Vec<f32> = Vec::new();
+        gemm_nt_rows(&a, 2, 4, &b, 3..3, &mut out);
+        gemm_nt_rows(&a, 2, 4, &b, 0..0, &mut out);
+    }
+
+    #[test]
+    fn gemm_nt_rows_narrower_than_unroll_uses_plain_dots() {
+        let mut rng = SeededRng::new(21);
+        let (m, n, k) = (3, 40, 8);
+        let a = rand_mat(&mut rng, m, k);
+        let b = rand_mat(&mut rng, n, k);
+        // width 3 < NT_UNROLL: the whole shard is the ragged tail
+        let (j0, j1) = (17, 20);
+        let mut shard = vec![0.0f32; m * 3];
+        gemm_nt_rows(a.as_slice(), m, k, &b, j0..j1, &mut shard);
+        for i in 0..m {
+            for j in j0..j1 {
+                assert_eq!(shard[i * 3 + (j - j0)], vecops::dot(a.row(i), b.row(j)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row range")]
+    fn gemm_nt_rows_rejects_out_of_bounds_range() {
+        let b = Mat::zeros(3, 4);
+        let mut out = vec![0.0f32; 2 * 2];
+        gemm_nt_rows(&[0.0; 8], 2, 4, &b, 2..4, &mut out);
     }
 
     #[test]

@@ -5,12 +5,15 @@
 //! products, so all gradients are closed-form and a small, allocation-free
 //! set of dense kernels is enough to reproduce the system on CPU:
 //!
-//! * [`vecops`] — vector primitives (dot, axpy, Hadamard, softmax).
+//! * [`vecops`] — vector primitives (dot, axpy, Hadamard, softmax) plus the
+//!   branchless rank-count sweep [`vecops::count_cmp`] behind filtered
+//!   ranking.
 //! * [`matrix`] — row-major [`matrix::Mat`] with GEMV/GEMM used for
 //!   score-all-entities ranking.
-//! * [`gemm`] — cache-blocked batched kernels ([`gemm::gemm_nt`],
-//!   [`gemm::gemm_acc_t`]) behind the batched scoring engine; bit-identical
-//!   per element to the per-query GEMV paths they replace.
+//! * [`gemm`] — cache-blocked batched kernels ([`gemm::gemm_nt`], its
+//!   entity-shard variant [`gemm::gemm_nt_rows`] and [`gemm::gemm_acc_t`])
+//!   behind the batched scoring engine; bit-identical per element to the
+//!   per-query GEMV paths they replace.
 //! * [`rng`] — seeded random initialisation (uniform, Box-Muller normal,
 //!   Xavier/Glorot).
 //! * [`optim`] — SGD / Adagrad / Adam with sparse row updates (Adagrad is the

@@ -99,6 +99,44 @@ pub fn zero(x: &mut [f32]) {
     }
 }
 
+/// Accumulator lanes in [`count_cmp`]: four independent integer chains, so
+/// the comparison sweep vectorises instead of serialising on one counter.
+const CMP_LANES: usize = 4;
+
+/// Branchless comparison counting: `(#elements > threshold, #elements ==
+/// threshold)` over the whole slice — the hot sweep of filtered ranking
+/// (`rank = 1 + #better + #ties/2`).
+///
+/// Both comparisons are materialised as `bool as u32` adds into
+/// [`CMP_LANES`] independent accumulators, so there is no data-dependent
+/// branch for the predictor to miss on tie-heavy score rows and the loop
+/// autovectorises to SIMD compare + subtract masks.
+///
+/// IEEE semantics are exactly those of the scalar `>` / `==` operators:
+/// `+0.0 == -0.0` counts as a tie, and NaN (on either side) counts as
+/// neither greater nor equal. The counts are therefore order-independent
+/// integers — partial counts over disjoint sub-slices sum to the full-slice
+/// counts exactly, which is what lets sharded ranking merge per-shard counts
+/// into bit-identical global ranks. Each lane counts into a `u32`, so slices
+/// up to `4 · 2³²` elements are exact.
+#[inline]
+pub fn count_cmp(scores: &[f32], threshold: f32) -> (usize, usize) {
+    let mut gt = [0u32; CMP_LANES];
+    let mut eq = [0u32; CMP_LANES];
+    let mut chunks = scores.chunks_exact(CMP_LANES);
+    for ch in chunks.by_ref() {
+        for u in 0..CMP_LANES {
+            gt[u] += (ch[u] > threshold) as u32;
+            eq[u] += (ch[u] == threshold) as u32;
+        }
+    }
+    for (u, &s) in chunks.remainder().iter().enumerate() {
+        gt[u] += (s > threshold) as u32;
+        eq[u] += (s == threshold) as u32;
+    }
+    (gt.iter().map(|&c| c as usize).sum(), eq.iter().map(|&c| c as usize).sum())
+}
+
 /// Numerically-stable in-place softmax. Returns the log-sum-exp so callers
 /// can compute a cross-entropy loss without a second pass.
 pub fn softmax_inplace(x: &mut [f32]) -> f32 {
@@ -307,6 +345,67 @@ mod tests {
     fn ranks_handle_ties() {
         let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
         assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    /// Scalar reference for [`count_cmp`] — the branchy loop it replaces.
+    fn count_cmp_naive(scores: &[f32], threshold: f32) -> (usize, usize) {
+        let mut gt = 0;
+        let mut eq = 0;
+        for &s in scores {
+            if s > threshold {
+                gt += 1;
+            } else if s == threshold {
+                eq += 1;
+            }
+        }
+        (gt, eq)
+    }
+
+    #[test]
+    fn count_cmp_matches_naive_across_lane_raggedness() {
+        // every remainder length 0..CMP_LANES against the naive loop
+        for len in 0..13 {
+            let scores: Vec<f32> = (0..len).map(|i| (i % 5) as f32 - 2.0).collect();
+            for t in [-3.0, -2.0, 0.0, 1.0, 2.5] {
+                assert_eq!(count_cmp(&scores, t), count_cmp_naive(&scores, t), "len {len} t {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_cmp_empty_slice_is_zero() {
+        assert_eq!(count_cmp(&[], 0.0), (0, 0));
+        assert_eq!(count_cmp(&[], f32::NAN), (0, 0));
+    }
+
+    #[test]
+    fn count_cmp_signed_zero_ties() {
+        // IEEE: +0.0 == -0.0, and neither is greater than the other.
+        let scores = [0.0, -0.0, 0.0, -0.0, 1.0];
+        assert_eq!(count_cmp(&scores, 0.0), (1, 4));
+        assert_eq!(count_cmp(&scores, -0.0), (1, 4));
+    }
+
+    #[test]
+    fn count_cmp_nan_is_neither_greater_nor_equal() {
+        let scores = [f32::NAN, 1.0, f32::NAN, -1.0];
+        // NaN elements drop out of both counts
+        assert_eq!(count_cmp(&scores, 0.0), (1, 0));
+        // a NaN threshold compares false against everything, itself included
+        assert_eq!(count_cmp(&scores, f32::NAN), (0, 0));
+    }
+
+    #[test]
+    fn count_cmp_sub_slice_counts_sum_to_full_counts() {
+        let scores: Vec<f32> = (0..37).map(|i| ((i * 7) % 11) as f32 * 0.5).collect();
+        let t = 2.5;
+        let full = count_cmp(&scores, t);
+        for split in [0, 1, 4, 17, 36, 37] {
+            let (a, b) = scores.split_at(split);
+            let (ga, ea) = count_cmp(a, t);
+            let (gb, eb) = count_cmp(b, t);
+            assert_eq!((ga + gb, ea + eb), full, "split {split}");
+        }
     }
 
     #[test]

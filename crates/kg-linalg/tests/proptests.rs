@@ -71,6 +71,56 @@ proptest! {
         prop_assert!((-1.0001..=1.0001).contains(&rho));
     }
 
+    /// The branchless rank-count sweep agrees with the naive branchy scalar
+    /// loop on NaN-free inputs, whatever the slice length (lane raggedness
+    /// included) and wherever the threshold falls.
+    #[test]
+    fn count_cmp_matches_naive_loop(
+        scores in prop::collection::vec(-4.0f32..4.0, 0..50),
+        threshold in -4.0f32..4.0,
+    ) {
+        let mut gt = 0usize;
+        let mut eq = 0usize;
+        for &s in &scores {
+            if s > threshold {
+                gt += 1;
+            } else if s == threshold {
+                eq += 1;
+            }
+        }
+        prop_assert_eq!(vecops::count_cmp(&scores, threshold), (gt, eq));
+    }
+
+    /// Ties are counted exactly when the threshold is drawn from the slice
+    /// itself (quantised scores force heavy tie groups).
+    #[test]
+    fn count_cmp_counts_exact_ties(
+        raw in prop::collection::vec(-3i32..3, 1..40),
+        pick in 0usize..1_000,
+    ) {
+        let scores: Vec<f32> = raw.iter().map(|&v| v as f32).collect();
+        let threshold = scores[pick % scores.len()];
+        let gt = scores.iter().filter(|&&s| s > threshold).count();
+        let eq = scores.iter().filter(|&&s| s == threshold).count();
+        prop_assert!(eq >= 1, "the picked threshold always ties with itself");
+        prop_assert_eq!(vecops::count_cmp(&scores, threshold), (gt, eq));
+    }
+
+    /// Partial counts over any two-way split sum to the whole — the
+    /// order-independence sharded rank merging relies on.
+    #[test]
+    fn count_cmp_is_additive_over_splits(
+        scores in prop::collection::vec(-2.0f32..2.0, 0..40),
+        split in 0usize..1_000,
+        threshold in -2.0f32..2.0,
+    ) {
+        let split = split % (scores.len() + 1);
+        let (a, b) = scores.split_at(split);
+        let (ga, ea) = vecops::count_cmp(a, threshold);
+        let (gb, eb) = vecops::count_cmp(b, threshold);
+        prop_assert_eq!((ga + gb, ea + eb), vecops::count_cmp(&scores, threshold));
+    }
+
     #[test]
     fn axpy_matches_reference(alpha in -10.0f32..10.0, x in small_vec(8), y0 in small_vec(8)) {
         let mut y = y0.clone();
@@ -117,6 +167,58 @@ mod matrix_props {
             for i in 0..a.rows() {
                 b.gemv(a.row(i), &mut row);
                 prop_assert_eq!(&batched[i * b.rows()..(i + 1) * b.rows()], row.as_slice());
+            }
+        }
+
+        /// The row-range shard kernel agrees with the naive scalar dot loop
+        /// for any shard placement (NaN-free inputs).
+        #[test]
+        fn gemm_nt_rows_matches_naive_dots(
+            a in small_mat(4, 8),
+            b in small_mat(37, 8),
+            lo in 0usize..=37,
+            hi in 0usize..=37,
+        ) {
+            let (j0, j1) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let width = j1 - j0;
+            let mut shard = vec![0.0f32; a.rows() * width];
+            kg_linalg::gemm::gemm_nt_rows(a.as_slice(), a.rows(), a.cols(), &b, j0..j1, &mut shard);
+            for i in 0..a.rows() {
+                for j in j0..j1 {
+                    let mut acc = 0.0f32;
+                    for c in 0..a.cols() {
+                        acc += a.get(i, c) * b.get(j, c);
+                    }
+                    let got = shard[i * width + (j - j0)];
+                    prop_assert!((got - acc).abs() < 1e-3 * (1.0 + acc.abs()),
+                        "({i},{j}): shard {got} vs naive {acc}");
+                }
+            }
+        }
+
+        /// Shard blocks are bit-identical column slices of the full-table
+        /// kernel — the contract that lets sharded ranking merge counts
+        /// without changing a single score byte.
+        #[test]
+        fn gemm_nt_rows_bit_identical_to_full_kernel_slice(
+            a in small_mat(3, 8),
+            b in small_mat(41, 8),
+            lo in 0usize..=41,
+            hi in 0usize..=41,
+        ) {
+            let (j0, j1) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let n = b.rows();
+            let mut full = vec![0.0f32; a.rows() * n];
+            kg_linalg::gemm::gemm_nt(a.as_slice(), a.rows(), a.cols(), &b, &mut full);
+            let width = j1 - j0;
+            let mut shard = vec![0.0f32; a.rows() * width];
+            kg_linalg::gemm::gemm_nt_rows(a.as_slice(), a.rows(), a.cols(), &b, j0..j1, &mut shard);
+            for i in 0..a.rows() {
+                prop_assert_eq!(
+                    &shard[i * width..(i + 1) * width],
+                    &full[i * n + j0..i * n + j1],
+                    "row {} shard {}..{}", i, j0, j1
+                );
             }
         }
 

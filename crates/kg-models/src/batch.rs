@@ -13,19 +13,33 @@
 //!   models) inherit the default per-row loop, so every
 //!   [`LinkPredictor`] can sit behind the same evaluation pipeline.
 //!
+//! On top of the block methods sit the **entity-shard** entry points
+//! ([`BatchScorer::score_tails_shard`] / [`BatchScorer::score_heads_shard`]):
+//! the same query block scored against only a contiguous row range of the
+//! entity table, written as a compact `queries × shard_width` block. The
+//! sharded parallel ranking engine in `kg-eval` hands each worker thread one
+//! shard, so the threads cooperate on a single query block instead of each
+//! re-streaming the whole table. Factorising models override the shard
+//! methods with [`kg_linalg::gemm::gemm_nt_rows`]; the default falls back to
+//! full-table scoring (delegating to the block methods when the shard *is*
+//! the full table, copying the shard's columns out of a scratch row
+//! otherwise), so correctness never depends on a model opting in.
+//!
 //! The engine guarantees **bit-identical scores** to the per-query path:
-//! overrides must produce, for every row, exactly the bytes
+//! overrides must produce, for every row and every shard, exactly the bytes
 //! [`LinkPredictor::score_tails`] / [`LinkPredictor::score_heads`] would
-//! have written. `kg-eval`'s equivalence suite enforces this for every
-//! shipped model.
+//! have written for those entity columns. `kg-eval`'s equivalence suites
+//! enforce this for every shipped model.
 
 use crate::predictor::LinkPredictor;
+use std::ops::Range;
 
 /// Reusable buffers for batched scoring — create once per worker and feed to
 /// every block call so the steady-state loop performs no allocation.
 #[derive(Debug, Default)]
 pub struct BatchScratch {
     queries: Vec<f32>,
+    score_row: Vec<f32>,
 }
 
 impl BatchScratch {
@@ -44,11 +58,32 @@ impl BatchScratch {
         }
         &mut self.queries[..len]
     }
+
+    /// A full-table score row of length `n`, reusing the allocation — the
+    /// staging buffer for the default (non-factorising) shard path. Contents
+    /// are unspecified; callers overwrite before reading.
+    pub fn score_row(&mut self, n: usize) -> &mut [f32] {
+        if self.score_row.len() < n {
+            self.score_row.resize(n, 0.0);
+        }
+        &mut self.score_row[..n]
+    }
 }
 
 /// Block-scoring extension of [`LinkPredictor`] — the seam between models
 /// and the batched ranking/training engine.
 pub trait BatchScorer: LinkPredictor {
+    /// Whether this model's shard scoring does work proportional to the
+    /// shard width (a row-restricted GEMM, as in the BLM/NNM overrides) —
+    /// `false` means the default shard path, which stages *full-table* rows
+    /// and copies the shard's columns out: correct, but every shard costs a
+    /// whole scoring pass. The parallel ranking engine consults this to
+    /// split work by entity shard (native) or by query rows (staged), so
+    /// non-factorising models parallelise without redundant scoring.
+    fn native_shard_scoring(&self) -> bool {
+        false
+    }
+
     /// Score every entity as a tail for each `(head, relation)` query,
     /// writing query `i`'s scores to `out[i·n .. (i+1)·n]`.
     ///
@@ -86,6 +121,87 @@ pub trait BatchScorer: LinkPredictor {
             self.score_heads(r, t, &mut out[row * n..(row + 1) * n]);
         }
     }
+
+    /// Score only the entity rows `shard` as tails for each `(head,
+    /// relation)` query, writing the compact shard-local block
+    /// `out[i·w + (e − shard.start)]` with `w = shard.len()`.
+    ///
+    /// Every element must be bit-identical to the corresponding column of
+    /// [`BatchScorer::score_tails_batch`] — sharding may only restrict
+    /// *which* scores are produced, never change their value. The default
+    /// delegates to the full-table path: block scoring when the shard covers
+    /// the whole table, otherwise per-query full rows staged through
+    /// [`BatchScratch::score_row`] with the shard's columns copied out.
+    /// Factorising models override with a row-restricted GEMM
+    /// ([`kg_linalg::gemm::gemm_nt_rows`]).
+    ///
+    /// # Panics
+    /// Panics if `shard` is decreasing or exceeds `n_entities`, or if
+    /// `out.len() != queries.len() * shard.len()`.
+    fn score_tails_shard(
+        &self,
+        queries: &[(usize, usize)],
+        shard: Range<usize>,
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let n = self.n_entities();
+        let width = checked_shard_width(&shard, n, queries.len(), out.len(), "score_tails_shard");
+        if width == n {
+            return self.score_tails_batch(queries, out, scratch);
+        }
+        let row = scratch.score_row(n);
+        for (i, &(h, r)) in queries.iter().enumerate() {
+            self.score_tails(h, r, row);
+            out[i * width..(i + 1) * width].copy_from_slice(&row[shard.clone()]);
+        }
+    }
+
+    /// Score only the entity rows `shard` as heads for each `(relation,
+    /// tail)` query — the head-direction counterpart of
+    /// [`BatchScorer::score_tails_shard`], with the same layout, the same
+    /// bit-identity contract and the same full-table default.
+    ///
+    /// # Panics
+    /// Panics if `shard` is decreasing or exceeds `n_entities`, or if
+    /// `out.len() != queries.len() * shard.len()`.
+    fn score_heads_shard(
+        &self,
+        queries: &[(usize, usize)],
+        shard: Range<usize>,
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let n = self.n_entities();
+        let width = checked_shard_width(&shard, n, queries.len(), out.len(), "score_heads_shard");
+        if width == n {
+            return self.score_heads_batch(queries, out, scratch);
+        }
+        let row = scratch.score_row(n);
+        for (i, &(r, t)) in queries.iter().enumerate() {
+            self.score_heads(r, t, row);
+            out[i * width..(i + 1) * width].copy_from_slice(&row[shard.clone()]);
+        }
+    }
+}
+
+/// Validate a shard request against the table size and output length;
+/// returns the shard width. Shared by the default shard paths and the
+/// factorising overrides so every implementation rejects the same misuse.
+pub fn checked_shard_width(
+    shard: &Range<usize>,
+    n_entities: usize,
+    n_queries: usize,
+    out_len: usize,
+    ctx: &str,
+) -> usize {
+    assert!(
+        shard.start <= shard.end && shard.end <= n_entities,
+        "{ctx}: shard {shard:?} out of bounds for {n_entities} entities"
+    );
+    let width = shard.len();
+    assert_eq!(out_len, n_queries * width, "{ctx}: out length mismatch");
+    width
 }
 
 #[cfg(test)]
@@ -113,6 +229,48 @@ pub(crate) mod test_support {
         for (i, &(r, t)) in head_queries.iter().enumerate() {
             m.score_heads(r, t, &mut row);
             assert_eq!(&block[i * n..(i + 1) * n], row.as_slice(), "head query {i}");
+        }
+        assert_shards_match_per_query(m, tail_queries, head_queries);
+    }
+
+    /// Check the shard paths reproduce the per-query columns bit for bit
+    /// across a set of awkward shard splits: full table, width 0, width 1,
+    /// unroll-unaligned interior shards and a ragged final shard.
+    pub fn assert_shards_match_per_query(
+        m: &dyn BatchScorer,
+        tail_queries: &[(usize, usize)],
+        head_queries: &[(usize, usize)],
+    ) {
+        let n = m.n_entities();
+        let mut scratch = BatchScratch::new();
+        let mut row = vec![0.0f32; n];
+        let cut_a = 1.min(n);
+        let cut_b = (n / 3).max(cut_a);
+        let cut_c = n.saturating_sub(1).max(cut_b);
+        let bounds = [0, cut_a, cut_a, cut_b, cut_c, n];
+        for w in bounds.windows(2) {
+            let shard = w[0]..w[1];
+            let width = shard.len();
+            let mut block = vec![0.0f32; tail_queries.len() * width];
+            m.score_tails_shard(tail_queries, shard.clone(), &mut block, &mut scratch);
+            for (i, &(h, r)) in tail_queries.iter().enumerate() {
+                m.score_tails(h, r, &mut row);
+                assert_eq!(
+                    &block[i * width..(i + 1) * width],
+                    &row[shard.clone()],
+                    "tail query {i}, shard {shard:?}"
+                );
+            }
+            let mut block = vec![0.0f32; head_queries.len() * width];
+            m.score_heads_shard(head_queries, shard.clone(), &mut block, &mut scratch);
+            for (i, &(r, t)) in head_queries.iter().enumerate() {
+                m.score_heads(r, t, &mut row);
+                assert_eq!(
+                    &block[i * width..(i + 1) * width],
+                    &row[shard.clone()],
+                    "head query {i}, shard {shard:?}"
+                );
+            }
         }
     }
 }

@@ -73,18 +73,14 @@ impl LinkPredictor for BlmModel {
     }
 }
 
-impl BatchScorer for BlmModel {
-    /// One [`BlockSpec::tail_query`] per row plus a single cache-blocked
-    /// GEMM against the entity table — the fast path the per-query adapter
-    /// above funnels into one query at a time.
-    fn score_tails_batch(
+impl BlmModel {
+    /// Build the row-major tail-query block (`queries × dim`) in `scratch`.
+    fn tail_query_block<'a>(
         &self,
         queries: &[(usize, usize)],
-        out: &mut [f32],
-        scratch: &mut BatchScratch,
-    ) {
-        let (dim, dsub, n) = (self.emb.dim(), self.emb.dsub(), self.n_entities());
-        assert_eq!(out.len(), queries.len() * n, "score_tails_batch: out length mismatch");
+        scratch: &'a mut BatchScratch,
+    ) -> &'a mut [f32] {
+        let (dim, dsub) = (self.emb.dim(), self.emb.dsub());
         let q = scratch.query_block(queries.len(), dim);
         for (row, &(h, r)) in queries.iter().enumerate() {
             self.spec.tail_query(
@@ -94,17 +90,16 @@ impl BatchScorer for BlmModel {
                 dsub,
             );
         }
-        kg_linalg::gemm::gemm_nt(q, queries.len(), dim, &self.emb.ent, out);
+        q
     }
 
-    fn score_heads_batch(
+    /// Build the row-major head-query block (`queries × dim`) in `scratch`.
+    fn head_query_block<'a>(
         &self,
         queries: &[(usize, usize)],
-        out: &mut [f32],
-        scratch: &mut BatchScratch,
-    ) {
-        let (dim, dsub, n) = (self.emb.dim(), self.emb.dsub(), self.n_entities());
-        assert_eq!(out.len(), queries.len() * n, "score_heads_batch: out length mismatch");
+        scratch: &'a mut BatchScratch,
+    ) -> &'a mut [f32] {
+        let (dim, dsub) = (self.emb.dim(), self.emb.dsub());
         let p = scratch.query_block(queries.len(), dim);
         for (row, &(r, t)) in queries.iter().enumerate() {
             self.spec.head_query(
@@ -114,7 +109,82 @@ impl BatchScorer for BlmModel {
                 dsub,
             );
         }
+        p
+    }
+}
+
+impl BatchScorer for BlmModel {
+    /// Shard scoring is a row-restricted GEMM: work is proportional to the
+    /// shard, so the parallel engine may split the entity table.
+    fn native_shard_scoring(&self) -> bool {
+        true
+    }
+
+    /// One [`BlockSpec::tail_query`] per row plus a single cache-blocked
+    /// GEMM against the entity table — the fast path the per-query adapter
+    /// above funnels into one query at a time.
+    fn score_tails_batch(
+        &self,
+        queries: &[(usize, usize)],
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let (dim, n) = (self.emb.dim(), self.n_entities());
+        assert_eq!(out.len(), queries.len() * n, "score_tails_batch: out length mismatch");
+        let q = self.tail_query_block(queries, scratch);
+        kg_linalg::gemm::gemm_nt(q, queries.len(), dim, &self.emb.ent, out);
+    }
+
+    fn score_heads_batch(
+        &self,
+        queries: &[(usize, usize)],
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let (dim, n) = (self.emb.dim(), self.n_entities());
+        assert_eq!(out.len(), queries.len() * n, "score_heads_batch: out length mismatch");
+        let p = self.head_query_block(queries, scratch);
         kg_linalg::gemm::gemm_nt(p, queries.len(), dim, &self.emb.ent, out);
+    }
+
+    /// Same query block, row-restricted GEMM: the shard worker's slice of
+    /// the entity table is scored without touching the rest.
+    fn score_tails_shard(
+        &self,
+        queries: &[(usize, usize)],
+        shard: std::ops::Range<usize>,
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let dim = self.emb.dim();
+        crate::batch::checked_shard_width(
+            &shard,
+            self.n_entities(),
+            queries.len(),
+            out.len(),
+            "score_tails_shard",
+        );
+        let q = self.tail_query_block(queries, scratch);
+        kg_linalg::gemm::gemm_nt_rows(q, queries.len(), dim, &self.emb.ent, shard, out);
+    }
+
+    fn score_heads_shard(
+        &self,
+        queries: &[(usize, usize)],
+        shard: std::ops::Range<usize>,
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let dim = self.emb.dim();
+        crate::batch::checked_shard_width(
+            &shard,
+            self.n_entities(),
+            queries.len(),
+            out.len(),
+            "score_heads_shard",
+        );
+        let p = self.head_query_block(queries, scratch);
+        kg_linalg::gemm::gemm_nt_rows(p, queries.len(), dim, &self.emb.ent, shard, out);
     }
 }
 

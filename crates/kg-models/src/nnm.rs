@@ -183,7 +183,36 @@ impl LinkPredictor for GenApprox {
     }
 }
 
+impl GenApprox {
+    /// Run one query network forward pass per query, filling the row-major
+    /// `queries × d` block in `scratch` (shared by the batch and shard
+    /// scoring paths).
+    fn query_block<'a>(
+        &self,
+        queries: &[(usize, usize)],
+        tail_dir: bool,
+        scratch: &'a mut BatchScratch,
+    ) -> &'a mut [f32] {
+        let d = self.cfg.dim;
+        let q = scratch.query_block(queries.len(), d);
+        for (row, &(a, b)) in queries.iter().enumerate() {
+            // tail direction queries are (h, r); head direction are (r, t)
+            let (ent, rel) = if tail_dir { (a, b) } else { (b, a) };
+            let x = Self::concat(self.emb.ent.row(ent), self.emb.rel.row(rel));
+            let net = if tail_dir { &self.nn_tail } else { &self.nn_head };
+            q[row * d..(row + 1) * d].copy_from_slice(&net.forward(&x));
+        }
+        q
+    }
+}
+
 impl BatchScorer for GenApprox {
+    /// Shard scoring re-runs the query-network forward passes but restricts
+    /// the GEMM rows; the dominant cost scales with the shard.
+    fn native_shard_scoring(&self) -> bool {
+        true
+    }
+
     /// The query networks factor scoring as `⟨NN(e, r), candidate⟩`, so a
     /// block runs one forward pass per query and a single GEMM.
     fn score_tails_batch(
@@ -194,11 +223,7 @@ impl BatchScorer for GenApprox {
     ) {
         let (d, n) = (self.cfg.dim, self.n_entities());
         assert_eq!(out.len(), queries.len() * n, "score_tails_batch: out length mismatch");
-        let q = scratch.query_block(queries.len(), d);
-        for (row, &(h, r)) in queries.iter().enumerate() {
-            let x = Self::concat(self.emb.ent.row(h), self.emb.rel.row(r));
-            q[row * d..(row + 1) * d].copy_from_slice(&self.nn_tail.forward(&x));
-        }
+        let q = self.query_block(queries, true, scratch);
         kg_linalg::gemm::gemm_nt(q, queries.len(), d, &self.emb.ent, out);
     }
 
@@ -210,12 +235,47 @@ impl BatchScorer for GenApprox {
     ) {
         let (d, n) = (self.cfg.dim, self.n_entities());
         assert_eq!(out.len(), queries.len() * n, "score_heads_batch: out length mismatch");
-        let q = scratch.query_block(queries.len(), d);
-        for (row, &(r, t)) in queries.iter().enumerate() {
-            let x = Self::concat(self.emb.ent.row(t), self.emb.rel.row(r));
-            q[row * d..(row + 1) * d].copy_from_slice(&self.nn_head.forward(&x));
-        }
+        let q = self.query_block(queries, false, scratch);
         kg_linalg::gemm::gemm_nt(q, queries.len(), d, &self.emb.ent, out);
+    }
+
+    /// Same forward passes, row-restricted GEMM over the worker's shard.
+    fn score_tails_shard(
+        &self,
+        queries: &[(usize, usize)],
+        shard: std::ops::Range<usize>,
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let d = self.cfg.dim;
+        crate::batch::checked_shard_width(
+            &shard,
+            self.n_entities(),
+            queries.len(),
+            out.len(),
+            "score_tails_shard",
+        );
+        let q = self.query_block(queries, true, scratch);
+        kg_linalg::gemm::gemm_nt_rows(q, queries.len(), d, &self.emb.ent, shard, out);
+    }
+
+    fn score_heads_shard(
+        &self,
+        queries: &[(usize, usize)],
+        shard: std::ops::Range<usize>,
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let d = self.cfg.dim;
+        crate::batch::checked_shard_width(
+            &shard,
+            self.n_entities(),
+            queries.len(),
+            out.len(),
+            "score_heads_shard",
+        );
+        let q = self.query_block(queries, false, scratch);
+        kg_linalg::gemm::gemm_nt_rows(q, queries.len(), d, &self.emb.ent, shard, out);
     }
 }
 
@@ -254,6 +314,14 @@ mod tests {
         let true_score = scores[4];
         let better = scores.iter().filter(|&&s| s > true_score).count();
         assert!(better <= 2, "true tail ranked {}", better + 1);
+    }
+
+    #[test]
+    fn batched_and_sharded_scores_match_per_query_bit_for_bit() {
+        use crate::batch::test_support::assert_batch_matches_per_query;
+        let mut rng = SeededRng::new(74);
+        let m = GenApprox::init(11, 2, NnmConfig { dim: 8, ..Default::default() }, &mut rng);
+        assert_batch_matches_per_query(&m, &[(0, 0), (5, 1), (10, 0), (3, 1)], &[(0, 1), (1, 10)]);
     }
 
     #[test]

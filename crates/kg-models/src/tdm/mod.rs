@@ -86,6 +86,24 @@ mod tests {
         }
     }
 
+    /// The TDM family rides the default batch/shard loops — check those
+    /// defaults reproduce the per-query rows (and their shard columns) bit
+    /// for bit for each model.
+    #[test]
+    fn default_batch_and_shard_paths_match_per_query() {
+        use crate::batch::test_support::assert_batch_matches_per_query;
+        let mut rng = SeededRng::new(31);
+        let cfg = TdmConfig { dim: 8, ..Default::default() };
+        let tails = [(0, 0), (5, 1), (9, 0)];
+        let heads = [(1, 3), (0, 9)];
+        let transe = TransE::init(10, 2, cfg, &mut rng);
+        assert_batch_matches_per_query(&transe, &tails, &heads);
+        let transh = TransH::init(10, 2, cfg, &mut rng);
+        assert_batch_matches_per_query(&transh, &tails, &heads);
+        let rotate = RotatE::init(10, 2, cfg, &mut rng);
+        assert_batch_matches_per_query(&rotate, &tails, &heads);
+    }
+
     #[test]
     fn normalise_rows_unit_norm() {
         let mut m = kg_linalg::Mat::from_vec(2, 2, vec![3.0, 4.0, 0.0, 2.0]);
