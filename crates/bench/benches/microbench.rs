@@ -4,8 +4,11 @@
 //! The headline case compares filtered-ranking throughput of the per-query
 //! GEMV path (`evaluate_sequential`) against the batched GEMM path
 //! (`evaluate`) at the paper's search dimension (d = 64) on a 10k-entity
-//! table — the workload the engine was built for. Results are printed and
-//! written to `BENCH_microbench.json` so speedups are tracked run to run.
+//! table — the workload the engine was built for. The serving section
+//! measures the same workload through `kg-serve`'s request-level facade,
+//! one-at-a-time dispatch (`block(1)`) vs 64-query batching. Results are
+//! printed and written to `BENCH_microbench.json` so speedups are tracked
+//! run to run.
 //!
 //! Run with `cargo bench -p bench`.
 
@@ -16,6 +19,7 @@ use kg_eval::ranking::{
 use kg_linalg::{gemm, Mat, SeededRng};
 use kg_models::blm::classics;
 use kg_models::{BatchScorer, BatchScratch, BlmModel, Embeddings, LinkPredictor};
+use kg_serve::KgEngine;
 use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
@@ -132,6 +136,56 @@ fn main() {
         "sharded parallel ranking diverged from the sequential reference"
     );
 
+    // ---- serving facade: one-at-a-time vs 64-query batched dispatch ----
+    // The same 10k-entity ranking workload through kg-serve's request-level
+    // API. block(1) dispatches every query alone (the per-query baseline an
+    // unbatched server would run); block(64) lets the queue accumulate the
+    // pending tickets into full GEMM blocks. One worker each, so the gap is
+    // pure batching, not parallelism.
+    let serve_queries: Vec<(usize, usize, usize)> =
+        triples.iter().map(|tr| (tr.h.idx(), tr.r.idx(), tr.t.idx())).collect();
+    let engine_1 = KgEngine::with_filter(model.clone(), filter.clone()).threads(1).block(1).build();
+    let engine_64 =
+        KgEngine::with_filter(model.clone(), filter.clone()).threads(1).block(64).build();
+    let serve_unbatched = time_best(3, || {
+        // Sequential request-response round trips: nothing to batch.
+        serve_queries.iter().map(|&(h, r, t)| engine_1.rank_tail(h, r, t)).sum::<f64>()
+    });
+    record(
+        "serve_rank_10k_d64_batch1",
+        3,
+        serve_unbatched,
+        Some((n_triples as f64 / serve_unbatched, "queries/s")),
+    );
+    let serve_batched = time_best(3, || {
+        // Submit every ticket up front; the dispatcher drains the queue in
+        // 64-row blocks.
+        let tickets: Vec<_> =
+            serve_queries.iter().map(|&(h, r, t)| engine_64.submit_rank_tail(h, r, t)).collect();
+        tickets.into_iter().map(|ticket| ticket.wait()).sum::<f64>()
+    });
+    record(
+        "serve_rank_10k_d64_batch64",
+        3,
+        serve_batched,
+        Some((n_triples as f64 / serve_batched, "queries/s")),
+    );
+    let serve_speedup = serve_unbatched / serve_batched;
+    println!("{:<42} {serve_speedup:>11.2}x", "batched serving speedup");
+    // Batching must never change an answer: submit the whole query set to
+    // the batching engine up front (so its dispatcher really cuts
+    // multi-query blocks), then compare every rank against one-at-a-time
+    // dispatch.
+    let batched_ranks: Vec<_> =
+        serve_queries.iter().map(|&(h, r, t)| engine_64.submit_rank_tail(h, r, t)).collect();
+    for (ticket, &(h, r, t)) in batched_ranks.into_iter().zip(&serve_queries) {
+        assert_eq!(
+            ticket.wait(),
+            engine_1.rank_tail(h, r, t),
+            "served rank diverged between block sizes"
+        );
+    }
+
     // ---- raw kernels: 64-query block against the 10k × 64 table ----
     let block = 64usize;
     let mut q = Mat::zeros(block, dim);
@@ -175,6 +229,14 @@ fn main() {
     println!("(wrote {path})");
 
     assert!(speedup >= 2.0, "batched ranking speedup regressed below 2x: {speedup:.2}x");
+    // The serving queue must buy back the GEMM batching win: accumulating
+    // pending single queries into 64-row blocks has to beat one-at-a-time
+    // dispatch by >= 2x (the measured gap tracks the per-query-vs-batched
+    // ranking headline minus queue overhead).
+    assert!(
+        serve_speedup >= 2.0,
+        "batched serving throughput regressed below 2x one-at-a-time: {serve_speedup:.2}x"
+    );
     // Entity-sharding must hold parity with the triple-chunked strategy at
     // 4 threads. At this workload the two are expected to be a near dead
     // heat (the cache-residency margin grows with table size), and

@@ -1,0 +1,276 @@
+//! The shared shard/block scoring engine.
+//!
+//! Both consumers of the batched scoring seam — offline filtered ranking
+//! ([`crate::ranking`]) and the online serving facade (`kg-serve`) — do the
+//! same thing at their core: take a block of `(entity, relation)` queries,
+//! split the work across a crew of workers, and dispatch each worker's
+//! slice through [`kg_models::BatchScorer`]. This module owns that shared
+//! logic so the two stay one engine:
+//!
+//! * [`BLOCK`] — the common query-block size (64 rows per GEMM);
+//! * [`shard_bounds`] — even entity-shard cut points;
+//! * [`WorkerShard`] — one worker's slice of a block (a contiguous entity
+//!   range, or an even slice of the query rows);
+//! * [`plan_shards`] — the entity-vs-query split decision, driven by
+//!   [`kg_models::BatchScorer::native_shard_scoring`];
+//! * [`score_block_shard`] — the dispatch from a worker's shard to the
+//!   right `BatchScorer` entry point.
+//!
+//! Everything here preserves the engine's **bit-identity contract**: shard
+//! scores are bit-identical column (or row) slices of the full-table
+//! per-query output, so how a block is split across workers never shows in
+//! the results.
+
+use kg_models::{BatchScorer, BatchScratch};
+use std::ops::Range;
+
+/// Queries scored per block — one GEMM against the entity table per
+/// direction: small enough that a block's score rows stay cache-resident
+/// for the ranking sweep, large enough to amortise each streaming pass over
+/// the entity table across many queries. Shared by offline ranking
+/// (`EVAL_BLOCK`) and the `kg-serve` batching queue's default block size.
+pub const BLOCK: usize = 64;
+
+/// Which direction a query block scores: tail queries `(h, r, ·)` or head
+/// queries `(·, r, t)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Score every entity as a tail completion of `(head, relation)`.
+    Tails,
+    /// Score every entity as a head completion of `(relation, tail)`.
+    Heads,
+}
+
+/// Even entity-shard boundaries for `n_shards` workers over an
+/// `n_entities`-row table: `n_shards + 1` non-decreasing cut points with
+/// `bounds[w] = ⌊w · n / s⌋`, so shard widths differ by at most one row and
+/// the final shard absorbs the raggedness.
+pub fn shard_bounds(n_entities: usize, n_shards: usize) -> Vec<usize> {
+    assert!(n_shards > 0, "need at least one shard");
+    (0..=n_shards).map(|w| w * n_entities / n_shards).collect()
+}
+
+/// One worker's slice of the cooperative engine's work on a query block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerShard {
+    /// A contiguous entity row range: the worker scores *every* query of
+    /// the block against its shard of the table (row-restricted GEMM for
+    /// factorising models) and owns the corresponding score columns.
+    Entities(Range<usize>),
+    /// Worker `worker` of `n_workers` owns an even slice of the block's
+    /// *query rows*, scored full-width. Chosen for models whose shard
+    /// scoring stages full-table rows anyway
+    /// (`!`[`BatchScorer::native_shard_scoring`]): splitting entities would
+    /// cost every worker a full scoring pass, splitting queries costs
+    /// exactly one pass in total.
+    Queries {
+        /// This worker's index in `0..n_workers`.
+        worker: usize,
+        /// Total workers splitting the block's query rows.
+        n_workers: usize,
+    },
+}
+
+impl WorkerShard {
+    /// The query rows of a `block_len`-row block this worker scores: every
+    /// row for an entity shard, an even contiguous slice for a query shard.
+    pub fn rows(&self, block_len: usize) -> Range<usize> {
+        match self {
+            WorkerShard::Entities(_) => 0..block_len,
+            WorkerShard::Queries { worker, n_workers } => {
+                worker * block_len / n_workers..(worker + 1) * block_len / n_workers
+            }
+        }
+    }
+
+    /// Width of this worker's score rows: the shard width for an entity
+    /// shard, the full table for a query shard.
+    pub fn width(&self, n_entities: usize) -> usize {
+        match self {
+            WorkerShard::Entities(range) => range.len(),
+            WorkerShard::Queries { .. } => n_entities,
+        }
+    }
+}
+
+/// Split one query block's work across `n_workers` workers, the way the
+/// parallel ranking engine does: models with native shard scoring get the
+/// entity table cut into even contiguous shards (at most one per entity,
+/// at least one), everything else gets the block's query rows split evenly
+/// (workers beyond the row count receive empty slices).
+///
+/// Summing any worker's output back together is bit-identical to a single
+/// full-table pass, whatever the split — the [`BatchScorer`] shard
+/// contract.
+pub fn plan_shards(model: &dyn BatchScorer, n_workers: usize) -> Vec<WorkerShard> {
+    assert!(n_workers > 0, "need at least one worker");
+    if model.native_shard_scoring() {
+        let n_shards = n_workers.min(model.n_entities()).max(1);
+        shard_bounds(model.n_entities(), n_shards)
+            .windows(2)
+            .map(|w| WorkerShard::Entities(w[0]..w[1]))
+            .collect()
+    } else {
+        (0..n_workers).map(|worker| WorkerShard::Queries { worker, n_workers }).collect()
+    }
+}
+
+/// Dispatch one worker's slice of a query block to the matching
+/// [`BatchScorer`] entry point: the row-restricted shard call for an entity
+/// shard, the full-width batch call for a query shard. `queries` must
+/// already be this worker's rows (`shard.rows(block_len)` of the block) and
+/// `out` must hold `queries.len() * shard.width(n_entities)` elements —
+/// empty output is a no-op, so zero-width shards and empty row slices are
+/// legal.
+pub fn score_block_shard(
+    model: &dyn BatchScorer,
+    dir: Direction,
+    queries: &[(usize, usize)],
+    shard: &WorkerShard,
+    out: &mut [f32],
+    scratch: &mut BatchScratch,
+) {
+    if out.is_empty() {
+        return;
+    }
+    match (shard, dir) {
+        (WorkerShard::Entities(range), Direction::Tails) => {
+            model.score_tails_shard(queries, range.clone(), out, scratch);
+        }
+        (WorkerShard::Entities(range), Direction::Heads) => {
+            model.score_heads_shard(queries, range.clone(), out, scratch);
+        }
+        (WorkerShard::Queries { .. }, Direction::Tails) => {
+            model.score_tails_batch(queries, out, scratch);
+        }
+        (WorkerShard::Queries { .. }, Direction::Heads) => {
+            model.score_heads_batch(queries, out, scratch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_models::LinkPredictor;
+
+    struct Ramp {
+        n: usize,
+        native: bool,
+    }
+
+    impl LinkPredictor for Ramp {
+        fn n_entities(&self) -> usize {
+            self.n
+        }
+        fn score_triple(&self, h: usize, _r: usize, t: usize) -> f32 {
+            (h * self.n + t) as f32
+        }
+        fn score_tails(&self, h: usize, r: usize, out: &mut [f32]) {
+            for (e, o) in out.iter_mut().enumerate() {
+                *o = self.score_triple(h, r, e);
+            }
+        }
+        fn score_heads(&self, r: usize, t: usize, out: &mut [f32]) {
+            for (e, o) in out.iter_mut().enumerate() {
+                *o = self.score_triple(e, r, t);
+            }
+        }
+    }
+
+    impl BatchScorer for Ramp {
+        fn native_shard_scoring(&self) -> bool {
+            self.native
+        }
+    }
+
+    #[test]
+    fn plan_matches_capability_flag() {
+        let native = Ramp { n: 10, native: true };
+        let plan = plan_shards(&native, 3);
+        assert_eq!(
+            plan,
+            vec![
+                WorkerShard::Entities(0..3),
+                WorkerShard::Entities(3..6),
+                WorkerShard::Entities(6..10)
+            ]
+        );
+        // More workers than entities: capped at one single-entity shard each.
+        assert_eq!(plan_shards(&native, 64).len(), 10);
+
+        let staged = Ramp { n: 10, native: false };
+        let plan = plan_shards(&staged, 3);
+        assert_eq!(plan.len(), 3);
+        assert!(matches!(plan[2], WorkerShard::Queries { worker: 2, n_workers: 3 }));
+    }
+
+    #[test]
+    fn rows_and_width_partition_the_block() {
+        let entity = WorkerShard::Entities(4..9);
+        assert_eq!(entity.rows(7), 0..7);
+        assert_eq!(entity.width(20), 5);
+
+        // Query shards partition the rows exactly, even when ragged.
+        let n_workers = 3;
+        let mut covered = Vec::new();
+        for worker in 0..n_workers {
+            let shard = WorkerShard::Queries { worker, n_workers };
+            assert_eq!(shard.width(20), 20);
+            covered.extend(shard.rows(7));
+        }
+        assert_eq!(covered, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dispatch_reassembles_the_full_block_bit_for_bit() {
+        let model = Ramp { n: 11, native: true };
+        let queries = [(0usize, 0usize), (4, 0), (7, 0)];
+        let mut reference = vec![0.0f32; queries.len() * model.n];
+        let mut scratch = BatchScratch::new();
+        model.score_tails_batch(&queries, &mut reference, &mut scratch);
+
+        for dir in [Direction::Tails, Direction::Heads] {
+            if dir == Direction::Heads {
+                model.score_heads_batch(&queries, &mut reference, &mut scratch);
+            }
+            let mut stitched = vec![0.0f32; queries.len() * model.n];
+            for shard in plan_shards(&model, 4) {
+                let range = match &shard {
+                    WorkerShard::Entities(r) => r.clone(),
+                    _ => unreachable!("native model plans entity shards"),
+                };
+                let width = shard.width(model.n);
+                let mut out = vec![0.0f32; queries.len() * width];
+                score_block_shard(&model, dir, &queries, &shard, &mut out, &mut scratch);
+                for q in 0..queries.len() {
+                    stitched[q * model.n + range.start..q * model.n + range.end]
+                        .copy_from_slice(&out[q * width..(q + 1) * width]);
+                }
+            }
+            assert_eq!(stitched, reference, "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn empty_out_is_a_no_op() {
+        let model = Ramp { n: 5, native: true };
+        let mut scratch = BatchScratch::new();
+        let shard = WorkerShard::Entities(2..2);
+        score_block_shard(&model, Direction::Tails, &[(0, 0)], &shard, &mut [], &mut scratch);
+    }
+
+    #[test]
+    fn shard_bounds_partition_evenly() {
+        for (n, s) in [(10, 3), (5, 8), (64, 64), (1, 1), (0, 4), (100, 7)] {
+            let b = shard_bounds(n, s);
+            assert_eq!(b.len(), s + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), n);
+            assert!(b.windows(2).all(|w| w[0] <= w[1]));
+            let widths: Vec<usize> = b.windows(2).map(|w| w[1] - w[0]).collect();
+            let (lo, hi) = (widths.iter().min().unwrap(), widths.iter().max().unwrap());
+            assert!(hi - lo <= 1, "uneven split for n={n} s={s}: {widths:?}");
+        }
+    }
+}

@@ -11,14 +11,18 @@
 //! * [`classification`] — triplet classification with per-relation
 //!   thresholds σ_r tuned on validation (Sec. V-C / Tab. VI).
 //! * [`curves`] — learning-curve capture for Fig. 4 / Fig. 6-9.
+//! * [`engine`] — the shared shard/block scoring engine: block size, shard
+//!   planning and the per-shard `BatchScorer` dispatch, reused by both the
+//!   offline rankers here and the online `kg-serve` facade.
 
 pub mod classification;
 pub mod curves;
+pub mod engine;
 pub mod ranking;
 
 pub use classification::{accuracy, make_negatives, tune_thresholds, Thresholds};
 pub use curves::{Curve, CurvePoint};
 pub use ranking::{
     evaluate, evaluate_parallel, evaluate_parallel_chunked, evaluate_parallel_sharded,
-    evaluate_sequential, shard_bounds, RankMetrics,
+    evaluate_sequential, filtered_rank, shard_bounds, top_k, RankMetrics,
 };

@@ -36,21 +36,22 @@
 //! triples-per-thread strategy survives as [`evaluate_parallel_chunked`],
 //! the microbenchmark's comparison baseline.
 
+use crate::engine::{self, Direction, WorkerShard};
 use kg_core::{EntityId, FilterIndex, Triple};
 use kg_linalg::vecops;
 use kg_models::{BatchScorer, BatchScratch, LinkPredictor};
 use serde::{Deserialize, Serialize};
-use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, Ordering::Relaxed};
 use std::sync::Barrier;
 
+pub use crate::engine::shard_bounds;
+
 /// Triples ranked per scoring block — each block issues two 64-row GEMMs
 /// (tail queries, then head queries, reusing one `64 × n_entities` score
-/// buffer): small enough that a block's score rows stay cache-resident for
-/// the ranking sweep, large enough to amortise each streaming pass over
-/// the entity table across many queries.
-const EVAL_BLOCK: usize = 64;
+/// buffer). The size is the engine-wide [`engine::BLOCK`], shared with the
+/// `kg-serve` batching queue.
+const EVAL_BLOCK: usize = engine::BLOCK;
 
 /// Aggregate ranking metrics over a triple set (head + tail queries).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,7 +76,11 @@ impl RankMetrics {
         RankMetrics { mrr: 0.0, mr: 0.0, hits1: 0.0, hits3: 0.0, hits10: 0.0, n_queries: 0 }
     }
 
-    fn accumulate(&mut self, rank: f64) {
+    /// Fold one query's rank into the (un-normalised) partial sums. Every
+    /// consumer — the offline evaluators here and callers folding
+    /// `kg-serve` rank responses — must use this same fold so aggregate
+    /// metrics stay bit-identical across surfaces.
+    pub fn accumulate(&mut self, rank: f64) {
         self.mrr += 1.0 / rank;
         self.mr += rank;
         if rank <= 1.0 {
@@ -101,7 +106,9 @@ impl RankMetrics {
         self
     }
 
-    fn normalised(mut self) -> RankMetrics {
+    /// Divide the partial sums by the query count (no-op on zero queries):
+    /// the final step after [`RankMetrics::accumulate`]/[`RankMetrics::merge`].
+    pub fn normalised(mut self) -> RankMetrics {
         let n = self.n_queries.max(1) as f64;
         self.mrr /= n;
         self.mr /= n;
@@ -172,11 +179,78 @@ fn rank_from_counts(better: i64, ties: i64) -> f64 {
 /// Rank of the target given raw scores in the filtered setting, over
 /// candidates that are neither the target nor another known positive
 /// (`known_others`, the filter index's completion list for this query — it
-/// may include the target itself). The single-shard view of
-/// [`shard_filtered_counts`].
-fn filtered_rank(scores: &[f32], target: usize, known_others: &[EntityId]) -> f64 {
+/// may include the target itself). The single-shard view of the engine's
+/// `shard_filtered_counts`, `rank = 1 + #better + #ties/2` with ties
+/// counting half (the unbiased convention).
+///
+/// This is the per-query primitive behind every ranking surface — the
+/// offline evaluators here and `kg-serve`'s request-level `rank_tail` /
+/// `rank_head` — so both produce bit-identical ranks from identical score
+/// rows.
+///
+/// ```
+/// let scores = [0.5, 2.0, 1.0, 0.25];
+/// // target entity 2 is beaten by entity 1 only → rank 2; filtering 1 out
+/// // as a known positive lifts the target to rank 1.
+/// assert_eq!(kg_eval::ranking::filtered_rank(&scores, 2, &[]), 2.0);
+/// assert_eq!(kg_eval::ranking::filtered_rank(&scores, 2, &[kg_core::EntityId(1)]), 1.0);
+/// ```
+///
+/// # Panics
+/// Panics if `target >= scores.len()`.
+pub fn filtered_rank(scores: &[f32], target: usize, known_others: &[EntityId]) -> f64 {
     let (better, ties) = shard_filtered_counts(scores, 0, scores[target], target, known_others);
     rank_from_counts(better, ties)
+}
+
+/// The `k` best-scoring entities, deterministically ordered: score
+/// descending, ties broken by entity id ascending, NaN scores ranking
+/// strictly below every real score — `-∞` included — and tying only with
+/// each other. Returns `(entity, score)` pairs; fewer than `k` only when
+/// the table is smaller than `k`.
+///
+/// Shared by `kg-serve`'s `top_k_tails` / `top_k_heads` and offline
+/// analysis, so the serving path's answers are bit-identical to what a
+/// per-query caller would compute from a [`LinkPredictor`] score row with
+/// this helper.
+///
+/// ```
+/// let scores = [1.0, 3.0, 3.0, f32::NAN, 2.0];
+/// // 3.0 ties broken by id; NaN sorts last.
+/// assert_eq!(kg_eval::ranking::top_k(&scores, 3), vec![(1, 3.0), (2, 3.0), (4, 2.0)]);
+/// assert_eq!(kg_eval::ranking::top_k(&scores, 0), vec![]);
+/// ```
+pub fn top_k(scores: &[f32], k: usize) -> Vec<(usize, f32)> {
+    // NaN sorts strictly below every real score (-∞ included) and NaNs tie
+    // only with each other, so even all-NaN tables order deterministically
+    // by the id tiebreak.
+    fn better(a: &(usize, f32), b: &(usize, f32)) -> std::cmp::Ordering {
+        match (a.1.is_nan(), b.1.is_nan()) {
+            (false, false) => {
+                b.1.partial_cmp(&a.1).expect("non-NaN scores compare").then(a.0.cmp(&b.0))
+            }
+            (true, true) => a.0.cmp(&b.0),
+            (a_nan, _) => {
+                if a_nan {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Less
+                }
+            }
+        }
+    }
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut entries: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+    if k < entries.len() {
+        // Partition the k best to the front, then order just those.
+        entries.select_nth_unstable_by(k - 1, better);
+        entries.truncate(k);
+    }
+    entries.sort_unstable_by(better);
+    entries
 }
 
 /// Reusable buffers for ranking one block of triples — allocate once per
@@ -302,37 +376,13 @@ pub fn evaluate_per_relation(
     per.into_iter().map(|m| if m.n_queries > 0 { m.normalised() } else { m }).collect()
 }
 
-/// Even entity-shard boundaries for `n_shards` workers over an
-/// `n_entities`-row table: `n_shards + 1` non-decreasing cut points with
-/// `bounds[w] = ⌊w · n / s⌋`, so shard widths differ by at most one row and
-/// the final shard absorbs the raggedness.
-pub fn shard_bounds(n_entities: usize, n_shards: usize) -> Vec<usize> {
-    assert!(n_shards > 0, "need at least one shard");
-    (0..=n_shards).map(|w| w * n_entities / n_shards).collect()
-}
-
-/// One worker's slice of the cooperative engine's work on a query block.
-#[derive(Clone)]
-enum WorkerShard {
-    /// A contiguous entity row range: the worker scores *every* query of
-    /// the block against its shard of the table (row-restricted GEMM for
-    /// factorising models) and contributes shard-local counts.
-    Entities(Range<usize>),
-    /// Worker `worker` of `n_workers` owns an even slice of the block's
-    /// *query rows*, scored full-width. Chosen for models whose shard
-    /// scoring stages full-table rows anyway
-    /// (`!`[`BatchScorer::native_shard_scoring`]): splitting entities would
-    /// cost every worker a full scoring pass, splitting queries costs
-    /// exactly one pass in total.
-    Queries { worker: usize, n_workers: usize },
-}
-
 /// Evaluate with `n_threads` workers cooperating on each query block.
 /// Models with native shard scoring get the entity table split into (at
 /// most `n_entities`) even contiguous shards, one worker per shard — see
 /// [`evaluate_parallel_sharded`]; other models get the block's query rows
-/// split instead, each scored against the full table. Either way the
-/// engine merges integer rank counts, so thread count and work layout
+/// split instead, each scored against the full table (the
+/// [`engine::plan_shards`] decision, shared with `kg-serve`). Either way
+/// the engine merges integer rank counts, so thread count and work layout
 /// never change the metrics, which equal [`evaluate_sequential`]'s exactly.
 pub fn evaluate_parallel<M: BatchScorer + Sync>(
     model: &M,
@@ -346,22 +396,17 @@ pub fn evaluate_parallel<M: BatchScorer + Sync>(
         // path without the coordination scaffolding.
         return evaluate(model, triples, filter);
     }
-    if model.native_shard_scoring() {
-        let n_shards = n_threads.min(model.n_entities()).max(1);
-        return evaluate_parallel_sharded(
-            model,
-            triples,
-            filter,
-            &shard_bounds(model.n_entities(), n_shards),
-        );
-    }
     if triples.is_empty() {
         return RankMetrics::zero();
     }
-    let n_workers = n_threads.min(EVAL_BLOCK).min(triples.len());
-    let shards =
-        (0..n_workers).map(|worker| WorkerShard::Queries { worker, n_workers }).collect::<Vec<_>>();
-    run_cooperative(model, triples, filter, shards)
+    let n_workers = if model.native_shard_scoring() {
+        n_threads
+    } else {
+        // Query-row splitting: workers beyond the block (or triple) count
+        // would only hit barriers.
+        n_threads.min(EVAL_BLOCK).min(triples.len())
+    };
+    run_cooperative(model, triples, filter, engine::plan_shards(model, n_workers))
 }
 
 /// Evaluate with one worker thread per entity shard, shards given by the
@@ -370,7 +415,7 @@ pub fn evaluate_parallel<M: BatchScorer + Sync>(
 /// Zero-width shards are legal — their workers score nothing and contribute
 /// identity counts.
 ///
-/// Per block of [`EVAL_BLOCK`] triples and per direction, the workers run
+/// Per block of [`engine::BLOCK`] triples and per direction, the workers run
 /// three barrier-separated phases:
 ///
 /// 1. **score + publish**: each worker scores its shard for the whole query
@@ -379,7 +424,8 @@ pub fn evaluate_parallel<M: BatchScorer + Sync>(
 ///    worker whose shard contains a query's target stores that target's
 ///    score (as `f32` bits) in the shared threshold slot;
 /// 2. **count**: each worker computes its shard's filtered
-///    `(greater, equal)` contributions ([`shard_filtered_counts`]) for
+///    `(greater, equal)` contributions (the engine's
+///    `shard_filtered_counts`) for
 ///    every query row and `fetch_add`s them into the shared per-row
 ///    accumulators;
 /// 3. **merge**: the lead worker turns each row's merged counts into a rank
@@ -409,10 +455,6 @@ pub fn evaluate_parallel_sharded<M: BatchScorer + Sync>(
     assert_eq!(bounds[0], 0, "shard bounds must start at entity 0");
     assert_eq!(*bounds.last().unwrap(), n, "shard bounds must end at n_entities");
     assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "shard bounds must be non-decreasing");
-    assert!(
-        triples.iter().all(|t| t.h.idx() < n && t.t.idx() < n),
-        "triple references an entity outside the model's table"
-    );
     if triples.is_empty() {
         return RankMetrics::zero();
     }
@@ -431,6 +473,11 @@ fn run_cooperative<M: BatchScorer + Sync>(
     filter: &FilterIndex,
     shards: Vec<WorkerShard>,
 ) -> RankMetrics {
+    let n = model.n_entities();
+    assert!(
+        triples.iter().all(|t| t.h.idx() < n && t.t.idx() < n),
+        "triple references an entity outside the model's table"
+    );
     let n_workers = shards.len();
     let barrier = Barrier::new(n_workers);
     // Shared per-row state for the block in flight: the target's score
@@ -465,10 +512,12 @@ fn run_cooperative<M: BatchScorer + Sync>(
                 )
             }));
         }
-        // Only the lead worker accumulates; the fold just picks it up.
+        // Only the lead worker accumulates; the fold just picks it up. A
+        // worker panic is re-thrown with its original payload so callers
+        // see the model's actual error, not an opaque wrapper.
         handles
             .into_iter()
-            .map(|h| h.join().expect("eval worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|p| resume_unwind(p)))
             .fold(RankMetrics::zero(), RankMetrics::merge)
     });
     metrics.normalised()
@@ -515,19 +564,12 @@ fn shard_worker<M: BatchScorer + ?Sized>(
     let mut metrics = RankMetrics::zero();
     let mut payload: Option<Box<dyn std::any::Any + Send>> = None;
     'blocks: for block in triples.chunks(EVAL_BLOCK) {
-        for tail_dir in [true, false] {
+        for dir in [Direction::Tails, Direction::Heads] {
+            let tail_dir = dir == Direction::Tails;
             // This worker's slice of the block: every query against an
             // entity shard, or a slice of the queries against everything.
-            let rows = match &shard {
-                WorkerShard::Entities(_) => 0..block.len(),
-                WorkerShard::Queries { worker, n_workers } => {
-                    worker * block.len() / n_workers..(worker + 1) * block.len() / n_workers
-                }
-            };
-            let width = match &shard {
-                WorkerShard::Entities(range) => range.len(),
-                WorkerShard::Queries { .. } => model.n_entities(),
-            };
+            let rows = shard.rows(block.len());
+            let width = shard.width(model.n_entities());
             let scored = catch_unwind(AssertUnwindSafe(|| {
                 queries.clear();
                 if tail_dir {
@@ -536,22 +578,7 @@ fn shard_worker<M: BatchScorer + ?Sized>(
                     queries.extend(block[rows.clone()].iter().map(|tr| (tr.r.idx(), tr.t.idx())));
                 }
                 let out = &mut scores[..rows.len() * width];
-                if !out.is_empty() {
-                    match (&shard, tail_dir) {
-                        (WorkerShard::Entities(range), true) => {
-                            model.score_tails_shard(&queries, range.clone(), out, &mut scratch);
-                        }
-                        (WorkerShard::Entities(range), false) => {
-                            model.score_heads_shard(&queries, range.clone(), out, &mut scratch);
-                        }
-                        (WorkerShard::Queries { .. }, true) => {
-                            model.score_tails_batch(&queries, out, &mut scratch);
-                        }
-                        (WorkerShard::Queries { .. }, false) => {
-                            model.score_heads_batch(&queries, out, &mut scratch);
-                        }
-                    }
-                }
+                engine::score_block_shard(&model, dir, &queries, &shard, out, &mut scratch);
                 // Entity mode exchanges target scores through the threshold
                 // slots (each target lives in exactly one shard); query mode
                 // reads them straight off its own full-width rows.
@@ -660,7 +687,7 @@ pub fn evaluate_parallel_chunked<M: BatchScorer + Sync>(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("eval worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|p| resume_unwind(p)))
             .fold(RankMetrics::zero(), RankMetrics::merge)
     });
     partials.normalised()
@@ -831,18 +858,37 @@ mod tests {
     }
 
     #[test]
-    fn shard_bounds_partition_evenly() {
-        for (n, s) in [(10, 3), (5, 8), (64, 64), (1, 1), (0, 4), (100, 7)] {
-            let b = shard_bounds(n, s);
-            assert_eq!(b.len(), s + 1);
-            assert_eq!(b[0], 0);
-            assert_eq!(*b.last().unwrap(), n);
-            assert!(b.windows(2).all(|w| w[0] <= w[1]));
-            // widths differ by at most one
-            let widths: Vec<usize> = b.windows(2).map(|w| w[1] - w[0]).collect();
-            let (lo, hi) = (widths.iter().min().unwrap(), widths.iter().max().unwrap());
-            assert!(hi - lo <= 1, "uneven split for n={n} s={s}: {widths:?}");
+    fn top_k_orders_by_score_then_id() {
+        let scores = [0.5, 2.0, 0.5, 3.0, 2.0];
+        assert_eq!(top_k(&scores, 3), vec![(3, 3.0), (1, 2.0), (4, 2.0)]);
+        // k beyond the table returns the whole ordering.
+        assert_eq!(top_k(&scores, 99), vec![(3, 3.0), (1, 2.0), (4, 2.0), (0, 0.5), (2, 0.5)]);
+        assert_eq!(top_k(&scores, 0), vec![]);
+        assert_eq!(top_k(&[], 4), vec![]);
+    }
+
+    #[test]
+    fn top_k_all_ties_falls_back_to_entity_ids() {
+        // The constant-scorer case: ordering must be exactly id-ascending,
+        // whatever k is — the determinism the serving API contracts on.
+        let scores = [0.25f32; 9];
+        for k in [1usize, 4, 9] {
+            let got = top_k(&scores, k);
+            assert_eq!(got.len(), k);
+            assert!(got.iter().enumerate().all(|(i, &(e, s))| e == i && s == 0.25), "{got:?}");
         }
+    }
+
+    #[test]
+    fn top_k_sorts_nan_last() {
+        let scores = [f32::NAN, 1.0, f32::NAN, -7.0];
+        assert_eq!(top_k(&scores, 2), vec![(1, 1.0), (3, -7.0)]);
+        // NaNs tie with each other below every real score, ids break the tie.
+        let got = top_k(&scores, 4);
+        assert_eq!(got[2].0, 0);
+        assert_eq!(got[3].0, 2);
+        // …strictly below: a real -∞ still beats a NaN.
+        assert_eq!(top_k(&[f32::NAN, f32::NEG_INFINITY], 1), vec![(1, f32::NEG_INFINITY)]);
     }
 
     /// A model that panics when scoring a specific head entity — stands in
@@ -871,7 +917,7 @@ mod tests {
     impl kg_models::BatchScorer for Grenade {}
 
     #[test]
-    #[should_panic(expected = "eval worker panicked")]
+    #[should_panic(expected = "grenade tripped")]
     fn worker_panic_propagates_instead_of_deadlocking_query_mode() {
         let m = Grenade { n: 10, trip_on: 5 };
         let triples: Vec<Triple> = (0..8).map(|i| Triple::new(i, 0, 3)).collect();
@@ -882,7 +928,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "eval worker panicked")]
+    #[should_panic(expected = "grenade tripped")]
     fn worker_panic_propagates_instead_of_deadlocking_entity_mode() {
         let m = Grenade { n: 10, trip_on: 2 };
         let triples: Vec<Triple> = (0..8).map(|i| Triple::new(i, 0, 3)).collect();

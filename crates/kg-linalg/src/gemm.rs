@@ -49,9 +49,9 @@ thread_local! {
 /// and the same strictly-sequential additions in the same index order —
 /// so a batched score block is bit-identical to scoring query `i` with
 /// [`Mat::gemv`] against `B`. The kernel is still much faster: a tile of
-/// [`NT_ROW_TILE`] table rows is transposed once (amortised over the whole
-/// query block), turning the [`NT_UNROLL`] per-element row operands into a
-/// single contiguous load, and the [`NT_UNROLL`] independent accumulator
+/// `NT_ROW_TILE` table rows is transposed once (amortised over the whole
+/// query block), turning the `NT_UNROLL` per-element row operands into a
+/// single contiguous load, and the `NT_UNROLL` independent accumulator
 /// chains vectorise where the per-query path is latency-bound on one chain.
 ///
 /// # Panics

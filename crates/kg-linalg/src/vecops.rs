@@ -108,7 +108,7 @@ const CMP_LANES: usize = 4;
 /// (`rank = 1 + #better + #ties/2`).
 ///
 /// Both comparisons are materialised as `bool as u32` adds into
-/// [`CMP_LANES`] independent accumulators, so there is no data-dependent
+/// `CMP_LANES` independent accumulators, so there is no data-dependent
 /// branch for the predictor to miss on tie-heavy score rows and the loop
 /// autovectorises to SIMD compare + subtract masks.
 ///

@@ -185,6 +185,59 @@ pub trait BatchScorer: LinkPredictor {
     }
 }
 
+/// Forward [`BatchScorer`] — including every overridden batch/shard fast
+/// path and the [`BatchScorer::native_shard_scoring`] capability flag —
+/// through a pointer type, so a shared `Arc<dyn BatchScorer + Send + Sync>`
+/// keeps a model's GEMM overrides when the ranking engine or the `kg-serve`
+/// worker crew calls through the trait object.
+macro_rules! forward_batch_scorer {
+    ($ptr:ty) => {
+        impl<T: BatchScorer + ?Sized> BatchScorer for $ptr {
+            fn native_shard_scoring(&self) -> bool {
+                (**self).native_shard_scoring()
+            }
+            fn score_tails_batch(
+                &self,
+                queries: &[(usize, usize)],
+                out: &mut [f32],
+                scratch: &mut BatchScratch,
+            ) {
+                (**self).score_tails_batch(queries, out, scratch)
+            }
+            fn score_heads_batch(
+                &self,
+                queries: &[(usize, usize)],
+                out: &mut [f32],
+                scratch: &mut BatchScratch,
+            ) {
+                (**self).score_heads_batch(queries, out, scratch)
+            }
+            fn score_tails_shard(
+                &self,
+                queries: &[(usize, usize)],
+                shard: Range<usize>,
+                out: &mut [f32],
+                scratch: &mut BatchScratch,
+            ) {
+                (**self).score_tails_shard(queries, shard, out, scratch)
+            }
+            fn score_heads_shard(
+                &self,
+                queries: &[(usize, usize)],
+                shard: Range<usize>,
+                out: &mut [f32],
+                scratch: &mut BatchScratch,
+            ) {
+                (**self).score_heads_shard(queries, shard, out, scratch)
+            }
+        }
+    };
+}
+
+forward_batch_scorer!(&T);
+forward_batch_scorer!(Box<T>);
+forward_batch_scorer!(std::sync::Arc<T>);
+
 /// Validate a shard request against the table size and output length;
 /// returns the shard width. Shared by the default shard paths and the
 /// factorising overrides so every implementation rejects the same misuse.

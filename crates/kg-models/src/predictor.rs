@@ -1,4 +1,10 @@
 //! The interface every rankable model exposes to evaluation.
+//!
+//! [`LinkPredictor`] is object-safe, and the pointer impls below forward it
+//! through `&T`, [`Box<T>`] and [`std::sync::Arc<T>`] (including unsized
+//! `T = dyn LinkPredictor + …`), so a shared `Arc<dyn …>` model can be
+//! handed to every generic consumer — offline evaluation, training, search
+//! and the `kg-serve` worker crew — without re-wrapping.
 
 /// A trained model that can score triples and rank entities — the contract
 /// consumed by `kg-eval`'s filtered ranking and triplet classification.
@@ -16,6 +22,32 @@ pub trait LinkPredictor {
     /// Scores of `(e, r, t)` for every entity `e`.
     fn score_heads(&self, r: usize, t: usize, out: &mut [f32]);
 }
+
+/// Forward [`LinkPredictor`] through a pointer type so trait objects
+/// (`&dyn`, `Box<dyn>`, `Arc<dyn>`) satisfy the same generic bounds as
+/// concrete models.
+macro_rules! forward_link_predictor {
+    ($ptr:ty) => {
+        impl<T: LinkPredictor + ?Sized> LinkPredictor for $ptr {
+            fn n_entities(&self) -> usize {
+                (**self).n_entities()
+            }
+            fn score_triple(&self, h: usize, r: usize, t: usize) -> f32 {
+                (**self).score_triple(h, r, t)
+            }
+            fn score_tails(&self, h: usize, r: usize, out: &mut [f32]) {
+                (**self).score_tails(h, r, out)
+            }
+            fn score_heads(&self, r: usize, t: usize, out: &mut [f32]) {
+                (**self).score_heads(r, t, out)
+            }
+        }
+    };
+}
+
+forward_link_predictor!(&T);
+forward_link_predictor!(Box<T>);
+forward_link_predictor!(std::sync::Arc<T>);
 
 #[cfg(test)]
 pub(crate) mod test_support {

@@ -2,7 +2,7 @@
 //!
 //! TDMs interpret a relation as a translation (or rotation) in embedding
 //! space and score by negative distance. They are provably less expressive
-//! than BLMs (Wang et al. 2017, cited as [41]) and serve as the baseline
+//! than BLMs (Wang et al. 2017, cited as \[41\]) and serve as the baseline
 //! family in Tab. IV. Each model is self-contained: its own parameters,
 //! margin-based negative-sampling training (the loss family these models
 //! were published with) and a [`crate::LinkPredictor`] implementation.

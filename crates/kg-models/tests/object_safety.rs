@@ -1,0 +1,84 @@
+//! Pins the object-safety contract of [`LinkPredictor`] / [`BatchScorer`]:
+//! both traits stay usable as `dyn` objects, and the pointer forwarding
+//! impls (`&T`, `Box<T>`, `Arc<T>`) satisfy the same generic bounds as
+//! concrete models — including through `?Sized` targets, so a single
+//! `Arc<dyn BatchScorer + Send + Sync>` can be shared across worker
+//! threads. This is the seam `kg-serve`'s engine is built on; if it stops
+//! compiling, the serving API breaks.
+
+use kg_models::blm::classics;
+use kg_models::{BatchScorer, BatchScratch, BlmModel, Embeddings, LinkPredictor};
+use std::sync::Arc;
+
+fn model() -> BlmModel {
+    let mut rng = kg_linalg::SeededRng::new(7);
+    BlmModel::new(classics::complex(), Embeddings::init(9, 2, 8, &mut rng))
+}
+
+/// A generic consumer with the same bounds as the batched ranking engine.
+fn generic_batch<M: BatchScorer + Sync>(m: &M) -> (bool, Vec<f32>) {
+    let mut scratch = BatchScratch::new();
+    let mut out = vec![0.0f32; 2 * m.n_entities()];
+    m.score_tails_batch(&[(0, 0), (3, 1)], &mut out, &mut scratch);
+    (m.native_shard_scoring(), out)
+}
+
+/// A generic consumer with per-query (`LinkPredictor`) bounds only.
+fn generic_per_query<M: LinkPredictor + ?Sized>(m: &M) -> Vec<f32> {
+    let mut out = vec![0.0f32; m.n_entities()];
+    m.score_tails(0, 0, &mut out);
+    out
+}
+
+#[test]
+fn arc_dyn_batch_scorer_forwards_overrides() {
+    let concrete = model();
+    let (native, reference) = generic_batch(&concrete);
+    assert!(native, "BLM models advertise native shard scoring");
+
+    // The same model behind a shared trait object: every call — including
+    // the overridden GEMM batch path and the capability flag — must forward
+    // bit-identically.
+    let shared: Arc<dyn BatchScorer + Send + Sync> = Arc::new(model());
+    let (native_dyn, scores_dyn) = generic_batch(&shared);
+    assert!(native_dyn, "native_shard_scoring must forward through Arc<dyn>");
+    assert_eq!(scores_dyn, reference, "Arc<dyn> batch scores diverged from concrete model");
+
+    // And the trait object still hands out bit-identical shard columns.
+    let mut scratch = BatchScratch::new();
+    let mut shard_block = vec![0.0f32; 2 * 3];
+    shared.score_tails_shard(&[(0, 0), (3, 1)], 2..5, &mut shard_block, &mut scratch);
+    assert_eq!(&shard_block[..3], &reference[2..5]);
+    assert_eq!(&shard_block[3..], &reference[9 + 2..9 + 5]);
+}
+
+#[test]
+fn every_pointer_flavor_satisfies_the_generic_bounds() {
+    let concrete = model();
+    let reference = generic_per_query(&concrete);
+
+    let by_ref: &BlmModel = &concrete;
+    assert_eq!(generic_per_query(&by_ref), reference);
+
+    let boxed: Box<dyn BatchScorer + Send + Sync> = Box::new(model());
+    assert_eq!(generic_per_query(&boxed), reference);
+    assert_eq!(generic_batch(&boxed).1[..9], reference[..]);
+
+    let arc: Arc<dyn LinkPredictor + Send + Sync> = Arc::new(model());
+    assert_eq!(generic_per_query(&arc), reference);
+
+    // `?Sized` consumers accept the bare trait object too.
+    let dyn_ref: &dyn LinkPredictor = &concrete;
+    assert_eq!(generic_per_query(dyn_ref), reference);
+}
+
+#[test]
+fn arc_clones_share_one_model() {
+    let arc: Arc<dyn BatchScorer + Send + Sync> = Arc::new(model());
+    let clone = Arc::clone(&arc);
+    let a = std::thread::scope(|s| {
+        let h = s.spawn(move || generic_batch(&clone).1);
+        h.join().expect("scoring thread panicked")
+    });
+    assert_eq!(a, generic_batch(&arc).1, "clones of one Arc model diverged across threads");
+}

@@ -1,0 +1,860 @@
+//! The [`KgEngine`] facade: a query-batching frontend over the sharded
+//! scoring engine.
+//!
+//! # Architecture
+//!
+//! Clients submit single link-prediction requests from any thread; the
+//! engine accumulates them in a queue. A dispatcher thread drains the queue
+//! in blocks of up to `block` same-direction queries and hands each block
+//! to a **persistent worker crew** — the same
+//! [`kg_eval::engine::plan_shards`] split the offline parallel ranker uses:
+//! models with [`kg_models::BatchScorer::native_shard_scoring`] get the
+//! entity table cut into even contiguous shards (one worker per shard,
+//! row-restricted GEMM, each shard cache-resident in its worker), other
+//! models get the block's query rows split full-width. Workers score
+//! through [`kg_eval::engine::score_block_shard`] into reusable buffers
+//! ([`kg_models::BatchScratch`] per worker, zero steady-state allocation),
+//! the dispatcher stitches the shard columns back into full score rows and
+//! answers each request with the shared per-query primitives
+//! ([`kg_eval::ranking::filtered_rank`], [`kg_eval::ranking::top_k`]).
+//!
+//! # Bit-identity
+//!
+//! Shard blocks are bit-identical column (or row) slices of the full-table
+//! per-query output — the [`kg_models::BatchScorer`] contract — so the
+//! stitched row equals what [`kg_models::LinkPredictor::score_tails`] /
+//! `score_heads` would have written, byte for byte, regardless of batch
+//! composition, arrival order, thread count or block size. Ranks and top-k
+//! are then computed by the same helpers a per-query caller would use, so
+//! every response is **bit-identical to the sequential reference**
+//! (`tests/serve_equivalence.rs` pins this for every shipped model family).
+//!
+//! # Failure semantics
+//!
+//! A panic inside a model's scoring override is caught by the worker,
+//! poisons the engine, and propagates to every affected caller's `wait()` —
+//! requests never hang, matching the ranking engine's barrier-poisoning
+//! behaviour. Dropping the engine signals shutdown, fails still-pending
+//! tickets, and joins the crew.
+
+use crate::ticket::{RankTicket, Reply, ScoreTicket, TicketInner, TopKTicket};
+use kg_core::{Dataset, EntityId, FilterIndex, RelationId};
+use kg_eval::engine::{plan_shards, score_block_shard, Direction, WorkerShard, BLOCK};
+use kg_eval::ranking::{filtered_rank, top_k};
+use kg_models::{BatchScorer, BatchScratch};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The model type the engine serves: any [`BatchScorer`] behind a shared
+/// pointer, so one set of trained parameters backs every worker thread.
+type SharedModel = Arc<dyn BatchScorer + Send + Sync>;
+
+/// One queued request.
+#[derive(Debug, Clone)]
+enum Request {
+    /// Plausibility of a single triple (`score_triple` semantics).
+    Score { h: usize, r: usize, t: usize },
+    /// Filtered rank of `target` in the given direction's score row.
+    Rank { dir: Direction, h: usize, r: usize, t: usize },
+    /// The `k` best completions of the direction's query.
+    TopK { dir: Direction, first: usize, second: usize, k: usize },
+}
+
+/// Which batch a request can ride in: triple scores batch together, row
+/// queries batch per direction (one GEMM block each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Score,
+    Row(Direction),
+}
+
+impl Request {
+    fn class(&self) -> Class {
+        match self {
+            Request::Score { .. } => Class::Score,
+            Request::Rank { dir, .. } | Request::TopK { dir, .. } => Class::Row(*dir),
+        }
+    }
+
+    /// The `(entity, relation)` or `(relation, entity)` pair handed to the
+    /// batch scorer for row requests.
+    fn query(&self) -> (usize, usize) {
+        match *self {
+            Request::Rank { dir: Direction::Tails, h, r, .. } => (h, r),
+            Request::Rank { dir: Direction::Heads, r, t, .. } => (r, t),
+            Request::TopK { first, second, .. } => (first, second),
+            Request::Score { .. } => unreachable!("score requests carry no row query"),
+        }
+    }
+}
+
+/// Queue shared between clients, dispatcher and `Drop`.
+///
+/// Requests live in one FIFO deque per [`Class`], tagged with a global
+/// arrival sequence number: the dispatcher picks the class whose oldest
+/// request arrived first, then cuts a block off that deque's front — O(1)
+/// per request, no rescanning or rebuilding, whatever the class mix.
+#[derive(Debug, Default)]
+struct QueueState {
+    score: VecDeque<(u64, Request, Arc<TicketInner>)>,
+    tails: VecDeque<(u64, Request, Arc<TicketInner>)>,
+    heads: VecDeque<(u64, Request, Arc<TicketInner>)>,
+    next_seq: u64,
+    shutdown: bool,
+    /// Set once a worker (or the model itself) panics: every in-flight,
+    /// pending and future request fails with this message.
+    poisoned: Option<String>,
+}
+
+impl QueueState {
+    fn queue_mut(&mut self, class: Class) -> &mut VecDeque<(u64, Request, Arc<TicketInner>)> {
+        match class {
+            Class::Score => &mut self.score,
+            Class::Row(Direction::Tails) => &mut self.tails,
+            Class::Row(Direction::Heads) => &mut self.heads,
+        }
+    }
+
+    fn push(&mut self, request: Request, ticket: Arc<TicketInner>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue_mut(request.class()).push_back((seq, request, ticket));
+    }
+
+    fn is_empty(&self) -> bool {
+        self.score.is_empty() && self.tails.is_empty() && self.heads.is_empty()
+    }
+
+    /// The class whose front request has waited longest (global FIFO
+    /// across the per-class queues).
+    fn oldest_class(&self) -> Option<Class> {
+        [Class::Score, Class::Row(Direction::Tails), Class::Row(Direction::Heads)]
+            .into_iter()
+            .filter_map(|class| {
+                let queue = match class {
+                    Class::Score => &self.score,
+                    Class::Row(Direction::Tails) => &self.tails,
+                    Class::Row(Direction::Heads) => &self.heads,
+                };
+                queue.front().map(|(seq, _, _)| (*seq, class))
+            })
+            .min_by_key(|(seq, _)| *seq)
+            .map(|(_, class)| class)
+    }
+
+    /// Fail every queued request with `why`, emptying the queues.
+    fn drain_fail(&mut self, why: &str) {
+        for queue in [&mut self.score, &mut self.tails, &mut self.heads] {
+            for (_, _, ticket) in queue.drain(..) {
+                ticket.fail(why);
+            }
+        }
+    }
+}
+
+/// State shared by the engine handle, the dispatcher and submitters.
+struct Shared {
+    model: SharedModel,
+    filter: FilterIndex,
+    n_entities: usize,
+    /// Relation vocabulary bound when known ([`KgEngine::builder`] takes it
+    /// from the graph; [`KgEngineBuilder::relations`] sets it explicitly).
+    /// `None` skips submit-time relation checks — a bad relation id then
+    /// panics inside the model and poisons the engine.
+    n_relations: Option<usize>,
+    block: usize,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+}
+
+/// One scoring assignment for a worker: the whole block's queries (the
+/// worker slices its own rows for query-split shards) plus the reusable
+/// output buffer it fills and sends back.
+struct Job {
+    dir: Direction,
+    queries: Arc<Vec<(usize, usize)>>,
+    out: Vec<f32>,
+}
+
+enum WorkerMsg {
+    Job(Job),
+    Shutdown,
+}
+
+/// A worker's answer: its filled buffer, or the panic it caught.
+struct WorkerDone {
+    worker: usize,
+    out: Result<Vec<f32>, String>,
+}
+
+/// Render a caught panic payload for ticket failure messages.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// Builder for [`KgEngine`] — see [`KgEngine::builder`].
+///
+/// ```
+/// use kg_models::{blm::classics, BlmModel, Embeddings};
+/// let mut rng = kg_linalg::SeededRng::new(2);
+/// let model = BlmModel::new(classics::simple(), Embeddings::init(16, 2, 8, &mut rng));
+/// let engine = kg_serve::KgEngine::with_filter(model, Default::default())
+///     .threads(2)
+///     .block(8)
+///     .build();
+/// assert_eq!(engine.n_entities(), 16);
+/// ```
+#[must_use = "the builder does nothing until build() is called"]
+pub struct KgEngineBuilder {
+    model: SharedModel,
+    filter: FilterIndex,
+    n_relations: Option<usize>,
+    threads: usize,
+    block: usize,
+}
+
+impl KgEngineBuilder {
+    /// Size of the persistent worker crew (default 1). Models with native
+    /// shard scoring get one even entity shard per worker (capped at the
+    /// table size); others get the block's query rows split evenly.
+    ///
+    /// ```
+    /// # use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// # let mut rng = kg_linalg::SeededRng::new(3);
+    /// # let model = BlmModel::new(classics::simple(), Embeddings::init(10, 2, 8, &mut rng));
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).threads(4).build();
+    /// assert_eq!(engine.threads(), 4);
+    /// ```
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Maximum queries batched into one scoring block (default
+    /// [`kg_eval::engine::BLOCK`] = 64, the same block size offline ranking
+    /// uses). `block(1)` disables batching — every request is its own
+    /// dispatch, the "one-at-a-time" baseline the microbenchmark compares
+    /// against.
+    ///
+    /// ```
+    /// # use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// # let mut rng = kg_linalg::SeededRng::new(4);
+    /// # let model = BlmModel::new(classics::simple(), Embeddings::init(10, 2, 8, &mut rng));
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).block(1).build();
+    /// assert_eq!(engine.block(), 1);
+    /// ```
+    pub fn block(mut self, queries: usize) -> Self {
+        self.block = queries;
+        self
+    }
+
+    /// Declare the relation vocabulary size so out-of-range relation ids
+    /// are rejected at submission, on the caller's thread, instead of
+    /// panicking a worker and poisoning the whole engine.
+    /// [`KgEngine::builder`] sets this from the graph automatically;
+    /// [`KgEngine::with_filter`] leaves it unset.
+    ///
+    /// ```
+    /// # use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// # let mut rng = kg_linalg::SeededRng::new(8);
+    /// # let model = BlmModel::new(classics::simple(), Embeddings::init(10, 2, 8, &mut rng));
+    /// let engine =
+    ///     kg_serve::KgEngine::with_filter(model, Default::default()).relations(2).build();
+    /// let bad = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    ///     engine.score(0, 9, 1)
+    /// }));
+    /// assert!(bad.is_err()); // rejected at submit — the engine stays up
+    /// assert!(engine.score(0, 1, 1).is_finite());
+    /// ```
+    pub fn relations(mut self, n: usize) -> Self {
+        self.n_relations = Some(n);
+        self
+    }
+
+    /// Spawn the dispatcher and worker crew and return the ready engine.
+    ///
+    /// # Panics
+    /// Panics if `threads` or `block` is zero.
+    ///
+    /// ```
+    /// # use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// # let mut rng = kg_linalg::SeededRng::new(5);
+    /// # let model = BlmModel::new(classics::distmult(), Embeddings::init(10, 2, 8, &mut rng));
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// let _ = engine.score(0, 0, 1);
+    /// ```
+    pub fn build(self) -> KgEngine {
+        assert!(self.threads > 0, "KgEngine needs at least one worker thread");
+        assert!(self.block > 0, "KgEngine needs a block size of at least one query");
+        let shared = Arc::new(Shared {
+            n_entities: self.model.n_entities(),
+            model: self.model,
+            filter: self.filter,
+            n_relations: self.n_relations,
+            block: self.block,
+            queue: Mutex::new(QueueState::default()),
+            queue_cv: Condvar::new(),
+        });
+        // The crew layout is fixed for the engine's lifetime: the same
+        // shard plan the offline parallel ranker would pick.
+        let plan = plan_shards(&shared.model, self.threads);
+        let (done_tx, done_rx) = channel::<WorkerDone>();
+        let mut senders = Vec::with_capacity(plan.len());
+        let mut workers = Vec::with_capacity(plan.len());
+        for (idx, shard) in plan.iter().cloned().enumerate() {
+            let (job_tx, job_rx) = channel::<WorkerMsg>();
+            senders.push(job_tx);
+            let model = Arc::clone(&shared.model);
+            let done = done_tx.clone();
+            let n_entities = shared.n_entities;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("kg-serve-worker-{idx}"))
+                    .spawn(move || worker_loop(model, shard, n_entities, idx, job_rx, done))
+                    .expect("spawn kg-serve worker"),
+            );
+        }
+        drop(done_tx);
+        let dispatcher_shared = Arc::clone(&shared);
+        let dispatcher = std::thread::Builder::new()
+            .name("kg-serve-dispatcher".to_string())
+            .spawn(move || dispatcher_thread(dispatcher_shared, plan, senders, done_rx))
+            .expect("spawn kg-serve dispatcher");
+        KgEngine { shared, dispatcher: Some(dispatcher), workers }
+    }
+}
+
+/// An online link-prediction engine: request-level scoring, ranking and
+/// top-k over a shared model, with single queries transparently batched
+/// into GEMM blocks and sharded across a persistent worker crew.
+///
+/// Construct via [`KgEngine::builder`] (filtered ranking against a
+/// [`Dataset`]'s known positives) or [`KgEngine::with_filter`] (explicit —
+/// possibly empty — [`FilterIndex`]). All request methods are `&self` and
+/// thread-safe: share the engine behind an [`Arc`] (or scoped-thread
+/// reference) and submit from as many client threads as you like.
+///
+/// ```
+/// use kg_core::{Dataset, Triple};
+/// use kg_models::{blm::classics, BlmModel, Embeddings, LinkPredictor};
+///
+/// let mut rng = kg_linalg::SeededRng::new(11);
+/// let model = BlmModel::new(classics::complex(), Embeddings::init(30, 2, 8, &mut rng));
+/// let graph = Dataset::with_vocab("toy", 30, 2, vec![Triple::new(0, 0, 1)], vec![], vec![]);
+///
+/// // The engine answers exactly what the per-query reference would.
+/// let mut row = vec![0.0f32; 30];
+/// model.score_tails(4, 1, &mut row);
+/// let reference = kg_eval::top_k(&row, 5);
+///
+/// let engine = kg_serve::KgEngine::builder(model, &graph).threads(2).block(16).build();
+/// assert_eq!(engine.top_k_tails(4, 1, 5), reference);
+/// ```
+pub struct KgEngine {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl KgEngine {
+    /// Start building an engine that serves `model` with filtered ranking
+    /// against every known positive of `graph` (train + valid + test — the
+    /// standard filtered-evaluation convention).
+    ///
+    /// `model` is anything implementing [`BatchScorer`] — a concrete model,
+    /// or an already-shared `Arc<dyn BatchScorer + Send + Sync>` (the
+    /// pointer forwarding impls in `kg-models` keep its GEMM overrides).
+    ///
+    /// ```
+    /// use kg_core::{Dataset, Triple};
+    /// use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// let mut rng = kg_linalg::SeededRng::new(12);
+    /// let model = BlmModel::new(classics::simple(), Embeddings::init(20, 2, 8, &mut rng));
+    /// let graph = Dataset::with_vocab("toy", 20, 2, vec![Triple::new(0, 0, 1)], vec![], vec![]);
+    /// let engine = kg_serve::KgEngine::builder(model, &graph).build();
+    /// // (0, 0, 1) is a known positive, so it is excluded when ranking
+    /// // other tails for (0, 0, ·).
+    /// assert!(engine.rank_tail(0, 0, 2) >= 1.0);
+    /// ```
+    pub fn builder<M: BatchScorer + Send + Sync + 'static>(
+        model: M,
+        graph: &Dataset,
+    ) -> KgEngineBuilder {
+        KgEngine::with_filter(model, FilterIndex::from_dataset(graph)).relations(graph.n_relations)
+    }
+
+    /// Start building an engine with an explicit filter index (use
+    /// `FilterIndex::default()` for unfiltered ranking).
+    ///
+    /// ```
+    /// use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// let mut rng = kg_linalg::SeededRng::new(13);
+    /// let model = BlmModel::new(classics::analogy(), Embeddings::init(20, 2, 8, &mut rng));
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// assert!(engine.rank_tail(0, 0, 3) >= 1.0);
+    /// ```
+    pub fn with_filter<M: BatchScorer + Send + Sync + 'static>(
+        model: M,
+        filter: FilterIndex,
+    ) -> KgEngineBuilder {
+        KgEngineBuilder {
+            model: Arc::new(model),
+            filter,
+            n_relations: None,
+            threads: 1,
+            block: BLOCK,
+        }
+    }
+
+    /// Number of entities the served model ranks over.
+    ///
+    /// ```
+    /// # use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// # let mut rng = kg_linalg::SeededRng::new(14);
+    /// # let model = BlmModel::new(classics::simple(), Embeddings::init(20, 2, 8, &mut rng));
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// assert_eq!(engine.n_entities(), 20);
+    /// ```
+    pub fn n_entities(&self) -> usize {
+        self.shared.n_entities
+    }
+
+    /// Size of the worker crew this engine was built with.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Maximum queries per scoring block this engine was built with.
+    pub fn block(&self) -> usize {
+        self.shared.block
+    }
+
+    /// Plausibility score of one triple — bit-identical to
+    /// [`kg_models::LinkPredictor::score_triple`] on the served model.
+    /// Blocking shorthand for [`KgEngine::submit_score`]` + wait`.
+    ///
+    /// ```
+    /// use kg_models::{blm::classics, BlmModel, Embeddings, LinkPredictor};
+    /// let mut rng = kg_linalg::SeededRng::new(15);
+    /// let model = BlmModel::new(classics::distmult(), Embeddings::init(20, 2, 8, &mut rng));
+    /// let reference = model.score_triple(2, 1, 9);
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// assert_eq!(engine.score(2, 1, 9), reference);
+    /// ```
+    pub fn score(&self, h: usize, r: usize, t: usize) -> f32 {
+        self.submit_score(h, r, t).wait()
+    }
+
+    /// Filtered rank of tail `t` among all completions of `(h, r, ·)` —
+    /// ties count half, known positives other than `t` are excluded.
+    /// Bit-identical to scoring the row with
+    /// [`kg_models::LinkPredictor::score_tails`] and calling
+    /// [`kg_eval::ranking::filtered_rank`].
+    ///
+    /// ```
+    /// use kg_models::{blm::classics, BlmModel, Embeddings, LinkPredictor};
+    /// let mut rng = kg_linalg::SeededRng::new(16);
+    /// let model = BlmModel::new(classics::complex(), Embeddings::init(20, 2, 8, &mut rng));
+    /// let mut row = vec![0.0f32; 20];
+    /// model.score_tails(3, 0, &mut row);
+    /// let reference = kg_eval::filtered_rank(&row, 8, &[]);
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// assert_eq!(engine.rank_tail(3, 0, 8), reference);
+    /// ```
+    pub fn rank_tail(&self, h: usize, r: usize, t: usize) -> f64 {
+        self.submit_rank_tail(h, r, t).wait()
+    }
+
+    /// Filtered rank of head `h` among all completions of `(·, r, t)` — the
+    /// head-direction counterpart of [`KgEngine::rank_tail`].
+    ///
+    /// ```
+    /// use kg_models::{blm::classics, BlmModel, Embeddings, LinkPredictor};
+    /// let mut rng = kg_linalg::SeededRng::new(17);
+    /// let model = BlmModel::new(classics::simple(), Embeddings::init(20, 2, 8, &mut rng));
+    /// let mut row = vec![0.0f32; 20];
+    /// model.score_heads(0, 9, &mut row);
+    /// let reference = kg_eval::filtered_rank(&row, 4, &[]);
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// assert_eq!(engine.rank_head(4, 0, 9), reference);
+    /// ```
+    pub fn rank_head(&self, h: usize, r: usize, t: usize) -> f64 {
+        self.submit_rank_head(h, r, t).wait()
+    }
+
+    /// The `k` best tail completions of `(h, r, ·)` as `(entity, score)`
+    /// pairs, deterministically ordered (score descending, ties by entity
+    /// id ascending — [`kg_eval::ranking::top_k`] on the unfiltered row).
+    ///
+    /// ```
+    /// use kg_models::{blm::classics, BlmModel, Embeddings, LinkPredictor};
+    /// let mut rng = kg_linalg::SeededRng::new(18);
+    /// let model = BlmModel::new(classics::analogy(), Embeddings::init(20, 2, 8, &mut rng));
+    /// let mut row = vec![0.0f32; 20];
+    /// model.score_tails(1, 1, &mut row);
+    /// let reference = kg_eval::top_k(&row, 4);
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// assert_eq!(engine.top_k_tails(1, 1, 4), reference);
+    /// ```
+    pub fn top_k_tails(&self, h: usize, r: usize, k: usize) -> Vec<(usize, f32)> {
+        self.submit_top_k_tails(h, r, k).wait()
+    }
+
+    /// The `k` best head completions of `(·, r, t)` — the head-direction
+    /// counterpart of [`KgEngine::top_k_tails`].
+    ///
+    /// ```
+    /// use kg_models::{blm::classics, BlmModel, Embeddings, LinkPredictor};
+    /// let mut rng = kg_linalg::SeededRng::new(19);
+    /// let model = BlmModel::new(classics::distmult(), Embeddings::init(20, 2, 8, &mut rng));
+    /// let mut row = vec![0.0f32; 20];
+    /// model.score_heads(1, 6, &mut row);
+    /// let reference = kg_eval::top_k(&row, 2);
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// assert_eq!(engine.top_k_heads(1, 6, 2), reference);
+    /// ```
+    pub fn top_k_heads(&self, r: usize, t: usize, k: usize) -> Vec<(usize, f32)> {
+        self.submit_top_k_heads(r, t, k).wait()
+    }
+
+    /// Enqueue a triple-score request without blocking; see
+    /// [`KgEngine::score`] and [`ScoreTicket`].
+    pub fn submit_score(&self, h: usize, r: usize, t: usize) -> ScoreTicket {
+        self.check_entity(h);
+        self.check_entity(t);
+        self.check_relation(r);
+        ScoreTicket { inner: self.enqueue(Request::Score { h, r, t }) }
+    }
+
+    /// Enqueue a tail-rank request without blocking; see
+    /// [`KgEngine::rank_tail`] and [`RankTicket`].
+    pub fn submit_rank_tail(&self, h: usize, r: usize, t: usize) -> RankTicket {
+        self.check_entity(h);
+        self.check_entity(t);
+        self.check_relation(r);
+        RankTicket { inner: self.enqueue(Request::Rank { dir: Direction::Tails, h, r, t }) }
+    }
+
+    /// Enqueue a head-rank request without blocking; see
+    /// [`KgEngine::rank_head`] and [`RankTicket`].
+    pub fn submit_rank_head(&self, h: usize, r: usize, t: usize) -> RankTicket {
+        self.check_entity(h);
+        self.check_entity(t);
+        self.check_relation(r);
+        RankTicket { inner: self.enqueue(Request::Rank { dir: Direction::Heads, h, r, t }) }
+    }
+
+    /// Enqueue a tail top-k request without blocking; see
+    /// [`KgEngine::top_k_tails`] and [`TopKTicket`].
+    pub fn submit_top_k_tails(&self, h: usize, r: usize, k: usize) -> TopKTicket {
+        self.check_entity(h);
+        self.check_relation(r);
+        TopKTicket {
+            inner: self.enqueue(Request::TopK { dir: Direction::Tails, first: h, second: r, k }),
+        }
+    }
+
+    /// Enqueue a head top-k request without blocking; see
+    /// [`KgEngine::top_k_heads`] and [`TopKTicket`].
+    pub fn submit_top_k_heads(&self, r: usize, t: usize, k: usize) -> TopKTicket {
+        self.check_entity(t);
+        self.check_relation(r);
+        TopKTicket {
+            inner: self.enqueue(Request::TopK { dir: Direction::Heads, first: r, second: t, k }),
+        }
+    }
+
+    fn check_entity(&self, e: usize) {
+        assert!(
+            e < self.shared.n_entities,
+            "entity id {e} out of range for a {}-entity model",
+            self.shared.n_entities
+        );
+    }
+
+    /// Reject an out-of-range relation id on the caller's thread when the
+    /// vocabulary bound is known — one malformed request must not panic a
+    /// worker and poison the engine for every other client.
+    fn check_relation(&self, r: usize) {
+        if let Some(n) = self.shared.n_relations {
+            assert!(r < n, "relation id {r} out of range for a {n}-relation graph");
+        }
+    }
+
+    /// Push a request and wake the dispatcher; on a poisoned or shut-down
+    /// engine the ticket is failed immediately instead (so `wait()`
+    /// propagates the failure rather than hanging).
+    fn enqueue(&self, request: Request) -> Arc<TicketInner> {
+        let ticket = TicketInner::new();
+        let mut q = self.shared.queue.lock().expect("serve queue lock");
+        if let Some(why) = &q.poisoned {
+            ticket.fail(why);
+        } else if q.shutdown {
+            ticket.fail("engine shut down with the query still pending");
+        } else {
+            q.push(request, Arc::clone(&ticket));
+            self.shared.queue_cv.notify_one();
+        }
+        ticket
+    }
+}
+
+impl Drop for KgEngine {
+    /// Signal shutdown, fail still-pending requests, and join the
+    /// dispatcher and every worker — never blocks on queued work and never
+    /// leaks a thread, even after a worker panic poisoned the engine.
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("serve queue lock");
+            q.shutdown = true;
+            self.shared.queue_cv.notify_all();
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            // The dispatcher fails leftover tickets and closes the job
+            // channels, which in turn stops the workers.
+            let _ = dispatcher.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Worker-crew thread: score whatever [`Job`]s arrive against this
+/// worker's fixed shard, catching panics so a failing model override
+/// reaches clients as an error instead of a deadlock.
+fn worker_loop(
+    model: SharedModel,
+    shard: WorkerShard,
+    n_entities: usize,
+    idx: usize,
+    jobs: Receiver<WorkerMsg>,
+    done: Sender<WorkerDone>,
+) {
+    let mut scratch = BatchScratch::new();
+    while let Ok(WorkerMsg::Job(job)) = jobs.recv() {
+        let mut out = job.out;
+        let scored = catch_unwind(AssertUnwindSafe(|| {
+            let rows = shard.rows(job.queries.len());
+            let width = shard.width(n_entities);
+            let queries = &job.queries[rows];
+            out.resize(queries.len() * width, 0.0);
+            score_block_shard(&model, job.dir, queries, &shard, &mut out, &mut scratch);
+        }));
+        let result = match scored {
+            Ok(()) => Ok(out),
+            Err(payload) => Err(panic_message(payload)),
+        };
+        if done.send(WorkerDone { worker: idx, out: result }).is_err() {
+            return; // dispatcher gone: engine is shutting down
+        }
+    }
+}
+
+/// Dispatcher thread: drain the queue in same-class blocks, fan each block
+/// out to the crew, stitch the shard results and answer the tickets. Wraps
+/// the loop in `catch_unwind` so an unexpected dispatcher panic still fails
+/// outstanding tickets instead of stranding their clients.
+fn dispatcher_thread(
+    shared: Arc<Shared>,
+    plan: Vec<WorkerShard>,
+    senders: Vec<Sender<WorkerMsg>>,
+    done: Receiver<WorkerDone>,
+) {
+    let crashed =
+        catch_unwind(AssertUnwindSafe(|| dispatcher_loop(&shared, &plan, &senders, &done)));
+    let why = match crashed {
+        Ok(()) => return, // clean shutdown: tickets already settled
+        Err(payload) => format!("dispatcher panicked: {}", panic_message(payload)),
+    };
+    let mut q = shared.queue.lock().expect("serve queue lock");
+    q.poisoned.get_or_insert_with(|| why.clone());
+    q.drain_fail(&why);
+    // Dropping `senders` (when this thread exits) closes the job channels
+    // and the workers drain out on their own.
+}
+
+fn dispatcher_loop(
+    shared: &Shared,
+    plan: &[WorkerShard],
+    senders: &[Sender<WorkerMsg>],
+    done: &Receiver<WorkerDone>,
+) {
+    let n_workers = plan.len();
+    let mut batch: Vec<(Request, Arc<TicketInner>)> = Vec::with_capacity(shared.block);
+    // Reusable buffers: one compact block per worker (round-tripped through
+    // the job channel) and the stitched full-width block.
+    let mut pool: Vec<Option<Vec<f32>>> = (0..n_workers).map(|_| Some(Vec::new())).collect();
+    let mut full: Vec<f32> = Vec::new();
+    loop {
+        // Phase 1: wait for work (or shutdown), then cut one batch off the
+        // front of the class queue whose head request is oldest — FIFO
+        // within each class, oldest class first, O(block) per cut. Arrival
+        // order decides which requests share a block but never their
+        // answers.
+        let class = {
+            let mut q = shared.queue.lock().expect("serve queue lock");
+            while q.is_empty() && !q.shutdown {
+                q = shared.queue_cv.wait(q).expect("serve queue wait");
+            }
+            if q.shutdown {
+                q.drain_fail("engine shut down with the query still pending");
+                for sender in senders {
+                    let _ = sender.send(WorkerMsg::Shutdown);
+                }
+                return;
+            }
+            let class = q.oldest_class().expect("non-empty queue has an oldest class");
+            batch.clear();
+            let queue = q.queue_mut(class);
+            while batch.len() < shared.block {
+                match queue.pop_front() {
+                    Some((_, request, ticket)) => batch.push((request, ticket)),
+                    None => break,
+                }
+            }
+            class
+        };
+
+        match class {
+            // Triple scores are O(dim) each — no row to shard, answer
+            // directly with the per-query reference call.
+            Class::Score => {
+                let mut failed: Option<String> = None;
+                for (request, ticket) in batch.drain(..) {
+                    if let Some(why) = &failed {
+                        ticket.fail(why);
+                        continue;
+                    }
+                    let Request::Score { h, r, t } = request else {
+                        unreachable!("score batch holds score requests")
+                    };
+                    let model = &shared.model;
+                    match catch_unwind(AssertUnwindSafe(|| model.score_triple(h, r, t))) {
+                        Ok(score) => ticket.fulfill(Reply::Score(score)),
+                        Err(payload) => {
+                            let why = format!("model panicked: {}", panic_message(payload));
+                            ticket.fail(&why);
+                            poison(shared, &why);
+                            failed = Some(why);
+                        }
+                    }
+                }
+            }
+            // Row queries: one block, the whole crew.
+            Class::Row(dir) => {
+                let queries: Arc<Vec<(usize, usize)>> =
+                    Arc::new(batch.iter().map(|(request, _)| request.query()).collect());
+                let mut failure: Option<String> = None;
+                let mut dispatched = 0;
+                for (w, sender) in senders.iter().enumerate() {
+                    let job = Job {
+                        dir,
+                        queries: Arc::clone(&queries),
+                        out: pool[w].take().expect("worker buffer in pool"),
+                    };
+                    if sender.send(WorkerMsg::Job(job)).is_ok() {
+                        dispatched += 1;
+                    } else {
+                        // A worker can only be gone if the crew is already
+                        // tearing down; don't wait for its result.
+                        failure.get_or_insert("worker crew hung up".to_string());
+                        pool[w] = Some(Vec::new());
+                    }
+                }
+                for _ in 0..dispatched {
+                    match done.recv() {
+                        Ok(WorkerDone { worker, out: Ok(buf) }) => pool[worker] = Some(buf),
+                        Ok(WorkerDone { worker, out: Err(why) }) => {
+                            let why = format!("worker panicked: {why}");
+                            failure.get_or_insert(why);
+                            pool[worker] = Some(Vec::new());
+                        }
+                        Err(_) => {
+                            failure.get_or_insert("worker crew hung up".to_string());
+                            break;
+                        }
+                    }
+                }
+                if let Some(why) = failure {
+                    for (_, ticket) in batch.drain(..) {
+                        ticket.fail(&why);
+                    }
+                    poison(shared, &why);
+                    continue;
+                }
+                stitch(plan, &pool, queries.len(), shared.n_entities, &mut full);
+                for (i, (request, ticket)) in batch.drain(..).enumerate() {
+                    let row = &full[i * shared.n_entities..(i + 1) * shared.n_entities];
+                    ticket.fulfill(answer(shared, &request, row));
+                }
+            }
+        }
+    }
+}
+
+/// Copy each worker's compact shard block back into full-width score rows.
+/// Entity shards are column ranges, query shards are row ranges; both are
+/// bit-identical slices of the reference row, so `full` ends up exactly as
+/// the per-query path would have written it.
+fn stitch(
+    plan: &[WorkerShard],
+    pool: &[Option<Vec<f32>>],
+    block_len: usize,
+    n_entities: usize,
+    full: &mut Vec<f32>,
+) {
+    full.resize(block_len * n_entities, 0.0);
+    for (w, shard) in plan.iter().enumerate() {
+        let buf = pool[w].as_ref().expect("worker buffer returned");
+        match shard {
+            WorkerShard::Entities(range) => {
+                let width = range.len();
+                for q in 0..block_len {
+                    full[q * n_entities + range.start..q * n_entities + range.end]
+                        .copy_from_slice(&buf[q * width..(q + 1) * width]);
+                }
+            }
+            WorkerShard::Queries { .. } => {
+                let rows = shard.rows(block_len);
+                full[rows.start * n_entities..rows.end * n_entities]
+                    .copy_from_slice(&buf[..rows.len() * n_entities]);
+            }
+        }
+    }
+}
+
+/// Answer one row request from its stitched full-width score row with the
+/// shared per-query primitives.
+fn answer(shared: &Shared, request: &Request, row: &[f32]) -> Reply {
+    match *request {
+        Request::Rank { dir: Direction::Tails, h, r, t } => {
+            let known = shared.filter.tails(EntityId(h as u32), RelationId(r as u32));
+            Reply::Rank(filtered_rank(row, t, known))
+        }
+        Request::Rank { dir: Direction::Heads, h, r, t } => {
+            let known = shared.filter.heads(RelationId(r as u32), EntityId(t as u32));
+            Reply::Rank(filtered_rank(row, h, known))
+        }
+        Request::TopK { k, .. } => Reply::TopK(top_k(row, k)),
+        Request::Score { .. } => unreachable!("score requests never reach the row path"),
+    }
+}
+
+/// Permanently fail the engine: every pending and future request gets
+/// `why`. Mirrors the offline engine's barrier poisoning — after a panic
+/// nothing hangs, everything reports the original failure.
+fn poison(shared: &Shared, why: &str) {
+    let mut q = shared.queue.lock().expect("serve queue lock");
+    q.poisoned.get_or_insert_with(|| why.to_string());
+    q.drain_fail(why);
+}

@@ -1,0 +1,39 @@
+//! `kg-serve` — online link-prediction serving over the sharded scoring
+//! engine.
+//!
+//! The offline pipeline (training, evaluation, AutoSF search) reaches the
+//! batched GEMM/shard seam through bulk entry points; this crate is the
+//! **request-level** surface: a [`KgEngine`] accepts single queries —
+//! `score(h, r, t)`, `rank_tail` / `rank_head`, `top_k_tails` /
+//! `top_k_heads` — from any number of client threads, transparently
+//! accumulates them into the same 64-row blocks the offline engine uses,
+//! and dispatches each block across a persistent worker crew via
+//! [`kg_models::BatchScorer::score_tails_shard`] /
+//! [`kg_models::BatchScorer::score_heads_shard`]. Batching buys back the
+//! GEMM and cache locality the per-query path gives up, while every
+//! response stays **bit-identical** to the per-query
+//! [`kg_models::LinkPredictor`] reference — whatever the batch composition,
+//! arrival order or thread count.
+//!
+//! ```
+//! use kg_core::{Dataset, Triple};
+//! use kg_models::{blm::classics, BlmModel, Embeddings};
+//! use kg_serve::KgEngine;
+//!
+//! // A (toy) trained model plus the graph whose positives filter ranking.
+//! let mut rng = kg_linalg::SeededRng::new(42);
+//! let model = BlmModel::new(classics::simple(), Embeddings::init(50, 3, 16, &mut rng));
+//! let graph = Dataset::with_vocab("toy", 50, 3, vec![Triple::new(0, 0, 1)], vec![], vec![]);
+//!
+//! let engine = KgEngine::builder(model, &graph).threads(2).block(64).build();
+//! let score = engine.score(0, 0, 1);
+//! let rank = engine.rank_tail(0, 0, 1);
+//! let best = engine.top_k_tails(0, 0, 5);
+//! assert!(score.is_finite() && rank >= 1.0 && best.len() == 5);
+//! ```
+
+mod engine;
+mod ticket;
+
+pub use engine::{KgEngine, KgEngineBuilder};
+pub use ticket::{RankTicket, ScoreTicket, TopKTicket};

@@ -1,0 +1,153 @@
+//! Response tickets: the asynchronous half of the serving API.
+//!
+//! Every `submit_*` call on [`crate::KgEngine`] enqueues the request and
+//! returns a ticket immediately; the batching queue answers it once the
+//! request's block has been scored. Waiting on a ticket blocks the calling
+//! thread only — other clients keep submitting, which is exactly what lets
+//! the engine accumulate single queries into full GEMM blocks.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A fulfilled request's payload.
+#[derive(Debug, Clone)]
+pub(crate) enum Reply {
+    Score(f32),
+    Rank(f64),
+    TopK(Vec<(usize, f32)>),
+}
+
+/// Lifecycle of one request inside the engine.
+#[derive(Debug)]
+enum State {
+    /// Queued or in flight.
+    Pending,
+    /// Answered; the payload waits for `wait()`.
+    Ready(Reply),
+    /// The engine could not answer (worker panic or shutdown); `wait()`
+    /// propagates this as a panic, mirroring the ranking engine's
+    /// barrier-poisoning behaviour.
+    Failed(String),
+}
+
+/// Shared slot between one ticket and the engine.
+#[derive(Debug)]
+pub(crate) struct TicketInner {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl TicketInner {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(TicketInner { state: Mutex::new(State::Pending), cv: Condvar::new() })
+    }
+
+    /// Answer the request (engine side).
+    pub(crate) fn fulfill(&self, reply: Reply) {
+        let mut state = self.state.lock().expect("ticket lock");
+        *state = State::Ready(reply);
+        self.cv.notify_all();
+    }
+
+    /// Mark the request unanswerable (engine side); a ticket already
+    /// answered keeps its answer.
+    pub(crate) fn fail(&self, why: &str) {
+        let mut state = self.state.lock().expect("ticket lock");
+        if matches!(*state, State::Pending) {
+            *state = State::Failed(why.to_string());
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until answered; panics if the engine failed the request.
+    fn wait_reply(&self) -> Reply {
+        let mut state = self.state.lock().expect("ticket lock");
+        loop {
+            match &*state {
+                State::Pending => state = self.cv.wait(state).expect("ticket wait"),
+                State::Ready(reply) => return reply.clone(),
+                State::Failed(why) => panic!("kg-serve request failed: {why}"),
+            }
+        }
+    }
+}
+
+macro_rules! ticket_type {
+    ($(#[$doc:meta])* $name:ident, $out:ty, $variant:ident) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        #[must_use = "a ticket does nothing until waited on"]
+        pub struct $name {
+            pub(crate) inner: Arc<TicketInner>,
+        }
+
+        impl $name {
+            /// Block until the engine answers this request and return the
+            /// result.
+            ///
+            /// # Panics
+            /// Panics if the request cannot be answered: a scoring worker
+            /// panicked (the panic propagates here instead of deadlocking
+            /// the crew) or the engine was dropped with this request still
+            /// pending.
+            pub fn wait(self) -> $out {
+                match self.inner.wait_reply() {
+                    Reply::$variant(v) => v,
+                    other => unreachable!("ticket answered with mismatched reply {other:?}"),
+                }
+            }
+        }
+    };
+}
+
+ticket_type!(
+    /// Pending answer to a [`crate::KgEngine::submit_score`] request.
+    ///
+    /// ```
+    /// use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// let mut rng = kg_linalg::SeededRng::new(5);
+    /// let model = BlmModel::new(classics::distmult(), Embeddings::init(12, 2, 8, &mut rng));
+    /// let reference = kg_models::LinkPredictor::score_triple(&model, 3, 1, 7);
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// let ticket = engine.submit_score(3, 1, 7);
+    /// assert_eq!(ticket.wait(), reference);
+    /// ```
+    ScoreTicket,
+    f32,
+    Score
+);
+
+ticket_type!(
+    /// Pending answer to a [`crate::KgEngine::submit_rank_tail`] /
+    /// [`crate::KgEngine::submit_rank_head`] request.
+    ///
+    /// ```
+    /// use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// let mut rng = kg_linalg::SeededRng::new(6);
+    /// let model = BlmModel::new(classics::complex(), Embeddings::init(12, 2, 8, &mut rng));
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// // Submit first, wait later: both directions rank concurrently.
+    /// let tail = engine.submit_rank_tail(0, 1, 5);
+    /// let head = engine.submit_rank_head(0, 1, 5);
+    /// assert!(tail.wait() >= 1.0 && head.wait() >= 1.0);
+    /// ```
+    RankTicket,
+    f64,
+    Rank
+);
+
+ticket_type!(
+    /// Pending answer to a [`crate::KgEngine::submit_top_k_tails`] /
+    /// [`crate::KgEngine::submit_top_k_heads`] request.
+    ///
+    /// ```
+    /// use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// let mut rng = kg_linalg::SeededRng::new(7);
+    /// let model = BlmModel::new(classics::simple(), Embeddings::init(12, 2, 8, &mut rng));
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// let ticket = engine.submit_top_k_tails(2, 0, 3);
+    /// assert_eq!(ticket.wait().len(), 3);
+    /// ```
+    TopKTicket,
+    Vec<(usize, f32)>,
+    TopK
+);

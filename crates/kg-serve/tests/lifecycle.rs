@@ -1,0 +1,179 @@
+//! Lifecycle guarantees of [`KgEngine`]: dropping the engine never
+//! deadlocks or leaks workers (even with queries still pending), and a
+//! panic inside a model's scoring override propagates to the affected
+//! callers instead of hanging the crew — the serving counterpart of the
+//! offline engine's barrier-poisoning tests.
+
+use kg_models::{BatchScorer, LinkPredictor};
+use kg_serve::KgEngine;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 12;
+
+/// A model slow enough that a burst of submissions outruns the dispatcher,
+/// so shutdown reliably races a non-empty queue.
+struct Slow {
+    scored: Arc<AtomicUsize>,
+}
+
+impl LinkPredictor for Slow {
+    fn n_entities(&self) -> usize {
+        N
+    }
+    fn score_triple(&self, _: usize, _: usize, _: usize) -> f32 {
+        0.0
+    }
+    fn score_tails(&self, _: usize, _: usize, out: &mut [f32]) {
+        std::thread::sleep(Duration::from_millis(20));
+        self.scored.fetch_add(1, Relaxed);
+        out.fill(1.0);
+    }
+    fn score_heads(&self, _: usize, _: usize, out: &mut [f32]) {
+        self.score_tails(0, 0, out);
+    }
+}
+
+impl BatchScorer for Slow {}
+
+/// Panics when asked to score head entity `trip_on` — stands in for any
+/// fallible scorer override. `native` flips the crew between entity-shard
+/// and query-split layouts.
+struct Grenade {
+    trip_on: usize,
+    native: bool,
+}
+
+impl LinkPredictor for Grenade {
+    fn n_entities(&self) -> usize {
+        N
+    }
+    fn score_triple(&self, h: usize, _: usize, _: usize) -> f32 {
+        assert!(h != self.trip_on, "grenade tripped");
+        0.0
+    }
+    fn score_tails(&self, h: usize, _: usize, out: &mut [f32]) {
+        assert!(h != self.trip_on, "grenade tripped");
+        out.fill(0.0);
+    }
+    fn score_heads(&self, _: usize, _: usize, out: &mut [f32]) {
+        out.fill(0.0);
+    }
+}
+
+impl BatchScorer for Grenade {
+    fn native_shard_scoring(&self) -> bool {
+        self.native
+    }
+}
+
+#[test]
+fn drop_without_queries_joins_cleanly() {
+    for threads in [1, 4] {
+        let engine =
+            KgEngine::with_filter(Grenade { trip_on: N, native: true }, Default::default())
+                .threads(threads)
+                .build();
+        drop(engine); // must return promptly, no request ever submitted
+    }
+}
+
+#[test]
+fn drop_with_pending_queries_neither_hangs_nor_strands_tickets() {
+    let scored = Arc::new(AtomicUsize::new(0));
+    let engine = KgEngine::with_filter(Slow { scored: Arc::clone(&scored) }, Default::default())
+        .threads(2)
+        .block(4)
+        .build();
+    // Outrun the dispatcher: at ~20 ms per scored row, most of these are
+    // still queued when the engine drops.
+    let tickets: Vec<_> = (0..24).map(|i| engine.submit_rank_tail(i % N, 0, (i + 1) % N)).collect();
+    drop(engine);
+    // Every ticket must resolve: answered before shutdown, or failed by it
+    // — never left pending (a hung wait() would time the test out).
+    let mut answered = 0;
+    let mut failed = 0;
+    for ticket in tickets {
+        match catch_unwind(AssertUnwindSafe(|| ticket.wait())) {
+            Ok(rank) => {
+                assert!(rank >= 1.0);
+                answered += 1;
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_else(|| "non-string panic".into());
+                assert!(msg.contains("engine shut down"), "unexpected failure: {msg}");
+                failed += 1;
+            }
+        }
+    }
+    assert_eq!(answered + failed, 24);
+    assert!(failed > 0, "expected the shutdown to catch at least one pending query");
+}
+
+#[test]
+fn answered_tickets_survive_engine_drop() {
+    let scored = Arc::new(AtomicUsize::new(0));
+    let engine = KgEngine::with_filter(Slow { scored }, Default::default()).build();
+    let score = engine.submit_score(1, 0, 2);
+    let rank = engine.submit_rank_tail(1, 0, 2);
+    // The score request sits ahead of the rank request in the queue, so
+    // once the rank is answered the score ticket must be settled too.
+    assert_eq!(rank.wait(), 1.0 + (N as f64 - 1.0) / 2.0); // all-ties row, self excluded
+    drop(engine);
+    // Waiting after the drop returns the answer computed before shutdown.
+    assert_eq!(score.wait(), 0.0);
+}
+
+fn assert_panic_propagates(native: bool) {
+    let engine = KgEngine::with_filter(Grenade { trip_on: 5, native }, Default::default())
+        .threads(3)
+        .block(8)
+        .build();
+    // A healthy query first: the crew is up.
+    assert!(engine.rank_tail(0, 0, 1) >= 1.0);
+    // The tripping query must panic on the caller, not hang the crew.
+    let tripped = catch_unwind(AssertUnwindSafe(|| engine.rank_tail(5, 0, 1)));
+    let msg = match tripped {
+        Ok(rank) => panic!("tripping query answered with rank {rank}"),
+        Err(payload) => {
+            payload.downcast_ref::<String>().cloned().unwrap_or_else(|| "non-string panic".into())
+        }
+    };
+    assert!(
+        msg.contains("panicked") && msg.contains("grenade tripped"),
+        "panic did not carry the original message: {msg}"
+    );
+    // The engine is poisoned: later requests fail fast with the original
+    // cause instead of queueing forever…
+    let later = catch_unwind(AssertUnwindSafe(|| engine.score(0, 0, 0)));
+    assert!(later.is_err(), "poisoned engine accepted new work");
+    // …and drop still shuts the crew down without deadlocking.
+    drop(engine);
+}
+
+#[test]
+fn worker_panic_propagates_entity_shard_mode() {
+    assert_panic_propagates(true);
+}
+
+#[test]
+fn worker_panic_propagates_query_split_mode() {
+    assert_panic_propagates(false);
+}
+
+#[test]
+fn model_panic_in_score_requests_poisons_cleanly() {
+    let engine = KgEngine::with_filter(Grenade { trip_on: 2, native: false }, Default::default())
+        .threads(2)
+        .build();
+    let good = engine.submit_score(0, 0, 1);
+    let bad = engine.submit_score(2, 0, 1);
+    assert_eq!(good.wait(), 0.0);
+    assert!(catch_unwind(AssertUnwindSafe(|| bad.wait())).is_err());
+    drop(engine); // no hang after poisoning via the score path
+}

@@ -1,0 +1,322 @@
+//! Equivalence suite for the serving engine: every [`KgEngine`] response —
+//! score, filtered rank, top-k — must be **bit-identical** to the
+//! sequential per-query [`LinkPredictor`] reference, for every shipped
+//! model family, any worker-thread count, any batch block size, and any
+//! interleaving of concurrently submitting clients.
+//!
+//! This is the serving counterpart of `kg-eval`'s batch/shard equivalence
+//! suites: the engine's batching queue may group queries into arbitrary
+//! blocks depending on arrival timing, and its crew shards each block
+//! across threads — none of which may show in any answer, because shard
+//! scores are bit-identical slices of the full-table rows and the
+//! rank/top-k primitives are shared with the per-query path.
+
+use kg_core::{FilterIndex, Triple};
+use kg_eval::ranking::{filtered_rank, top_k};
+use kg_linalg::SeededRng;
+use kg_models::blm::classics;
+use kg_models::nnm::{GenApprox, NnmConfig};
+use kg_models::tdm::{TdmConfig, TransE};
+use kg_models::{BatchScorer, BlmModel, Embeddings, LinkPredictor};
+use kg_serve::KgEngine;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const N_ENTITIES: usize = 40;
+const N_RELATIONS: usize = 3;
+
+/// The all-ties degenerate case: every answer is decided purely by tie
+/// counting and deterministic tie-breaking.
+struct Flat {
+    n: usize,
+}
+
+impl LinkPredictor for Flat {
+    fn n_entities(&self) -> usize {
+        self.n
+    }
+    fn score_triple(&self, _: usize, _: usize, _: usize) -> f32 {
+        0.125
+    }
+    fn score_tails(&self, _: usize, _: usize, out: &mut [f32]) {
+        out.fill(0.125);
+    }
+    fn score_heads(&self, _: usize, _: usize, out: &mut [f32]) {
+        out.fill(0.125);
+    }
+}
+
+impl BatchScorer for Flat {}
+
+/// One request drawn by the property, plus its reference answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    Score { h: usize, r: usize, t: usize },
+    RankTail { h: usize, r: usize, t: usize },
+    RankHead { h: usize, r: usize, t: usize },
+    TopKTails { h: usize, r: usize, k: usize },
+    TopKHeads { r: usize, t: usize, k: usize },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Answer {
+    Score(f32),
+    Rank(f64),
+    TopK(Vec<(usize, f32)>),
+}
+
+fn decode(raw: &[(u8, usize, usize, usize, usize)]) -> Vec<Op> {
+    raw.iter()
+        .map(|&(kind, a, b, c, k)| match kind % 5 {
+            0 => Op::Score { h: a, r: b, t: c },
+            1 => Op::RankTail { h: a, r: b, t: c },
+            2 => Op::RankHead { h: a, r: b, t: c },
+            3 => Op::TopKTails { h: a, r: b, k },
+            _ => Op::TopKHeads { r: b, t: c, k },
+        })
+        .collect()
+}
+
+/// The sequential per-query reference: one score row at a time through
+/// [`LinkPredictor`], ranks and top-k via the shared `kg-eval` primitives.
+fn reference(model: &dyn LinkPredictor, filter: &FilterIndex, op: Op) -> Answer {
+    let n = model.n_entities();
+    let mut row = vec![0.0f32; n];
+    match op {
+        Op::Score { h, r, t } => Answer::Score(model.score_triple(h, r, t)),
+        Op::RankTail { h, r, t } => {
+            model.score_tails(h, r, &mut row);
+            let known = filter.tails(kg_core::EntityId(h as u32), kg_core::RelationId(r as u32));
+            Answer::Rank(filtered_rank(&row, t, known))
+        }
+        Op::RankHead { h, r, t } => {
+            model.score_heads(r, t, &mut row);
+            let known = filter.heads(kg_core::RelationId(r as u32), kg_core::EntityId(t as u32));
+            Answer::Rank(filtered_rank(&row, h, known))
+        }
+        Op::TopKTails { h, r, k } => {
+            model.score_tails(h, r, &mut row);
+            Answer::TopK(top_k(&row, k))
+        }
+        Op::TopKHeads { r, t, k } => {
+            model.score_heads(r, t, &mut row);
+            Answer::TopK(top_k(&row, k))
+        }
+    }
+}
+
+fn engine_answer(engine: &KgEngine, op: Op) -> Answer {
+    match op {
+        Op::Score { h, r, t } => Answer::Score(engine.score(h, r, t)),
+        Op::RankTail { h, r, t } => Answer::Rank(engine.rank_tail(h, r, t)),
+        Op::RankHead { h, r, t } => Answer::Rank(engine.rank_head(h, r, t)),
+        Op::TopKTails { h, r, k } => Answer::TopK(engine.top_k_tails(h, r, k)),
+        Op::TopKHeads { r, t, k } => Answer::TopK(engine.top_k_heads(r, t, k)),
+    }
+}
+
+/// A filter with repeated `(h, r)` / `(r, t)` groups so filtered ranking
+/// actually excludes candidates.
+fn filter(seed: u64) -> FilterIndex {
+    let mut rng = SeededRng::new(seed);
+    FilterIndex::build(
+        &(0..60)
+            .map(|i| {
+                if i % 4 == 0 {
+                    Triple::new(2, 1, rng.below(N_ENTITIES) as u32)
+                } else {
+                    Triple::new(
+                        rng.below(N_ENTITIES) as u32,
+                        rng.below(N_RELATIONS) as u32,
+                        rng.below(N_ENTITIES) as u32,
+                    )
+                }
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Drive `ops` through an engine from `clients` concurrently submitting
+/// threads and assert each answer equals the sequential reference, bit for
+/// bit. The model is shared as an `Arc` — the pointer forwarding impls
+/// keep its batch/shard overrides — so one set of parameters backs both
+/// the engine and the reference path.
+fn assert_serve_matches_reference<M>(
+    model: Arc<M>,
+    name: &str,
+    ops: &[Op],
+    threads: usize,
+    block: usize,
+) where
+    M: BatchScorer + Send + Sync + 'static,
+{
+    let fi = filter(0x5E21);
+    let expected: Vec<Answer> = ops.iter().map(|&op| reference(&*model, &fi, op)).collect();
+
+    for clients in [1usize, 3] {
+        let engine = Arc::new(
+            KgEngine::with_filter(Arc::clone(&model), fi.clone())
+                .threads(threads)
+                .block(block)
+                .build(),
+        );
+        let chunk = ops.len().div_ceil(clients).max(1);
+        let answers = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (slice_idx, slice) in ops.chunks(chunk).enumerate() {
+                let engine = Arc::clone(&engine);
+                handles.push(scope.spawn(move || {
+                    let got: Vec<Answer> =
+                        slice.iter().map(|&op| engine_answer(&engine, op)).collect();
+                    (slice_idx, got)
+                }));
+            }
+            let mut merged: Vec<Vec<Answer>> = vec![Vec::new(); handles.len()];
+            for handle in handles {
+                let (slice_idx, got) = handle.join().expect("client thread panicked");
+                merged[slice_idx] = got;
+            }
+            merged.concat()
+        });
+        assert_eq!(
+            answers, expected,
+            "{name}: serve answers diverged (threads={threads}, block={block}, clients={clients})"
+        );
+    }
+}
+
+/// Raw op tuples: ids stay in range by construction, k up to beyond-table.
+fn raw_ops(
+    len: std::ops::Range<usize>,
+) -> impl Strategy<Value = Vec<(u8, usize, usize, usize, usize)>> {
+    prop::collection::vec(
+        (0u8..5, 0usize..N_ENTITIES, 0usize..N_RELATIONS, 0usize..N_ENTITIES, 0usize..50),
+        len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// BLM classics: native entity-sharded crew, every thread count.
+    #[test]
+    fn blm_classics_bit_identical(
+        spec_idx in 0usize..4,
+        n_threads in 1usize..=8,
+        raw in raw_ops(12..30),
+    ) {
+        let (name, spec) = classics::all().swap_remove(spec_idx);
+        let mut rng = SeededRng::new(0xB0 + spec_idx as u64);
+        let model = BlmModel::new(spec, Embeddings::init(N_ENTITIES, N_RELATIONS, 16, &mut rng));
+        assert_serve_matches_reference(Arc::new(model), name, &decode(&raw), n_threads, 64);
+    }
+
+    /// Tiny block sizes force many partial batches — including block(1),
+    /// the unbatched one-at-a-time dispatch.
+    #[test]
+    fn block_size_never_shows(
+        block in prop::sample::select(vec![1usize, 2, 7, 64]),
+        n_threads in 1usize..=4,
+        raw in raw_ops(8..20),
+    ) {
+        let mut rng = SeededRng::new(0xB10C + block as u64);
+        let model = BlmModel::new(
+            classics::complex(),
+            Embeddings::init(N_ENTITIES, N_RELATIONS, 16, &mut rng),
+        );
+        assert_serve_matches_reference(Arc::new(model), "ComplEx", &decode(&raw), n_threads, block);
+    }
+
+    /// TransE reports no native shard scoring, so the crew splits query
+    /// rows — the other worker layout, same bit-identity.
+    #[test]
+    fn tdm_query_split_crew_bit_identical(
+        n_threads in 1usize..=8,
+        seed in 0u64..1_000,
+        raw in raw_ops(8..20),
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let cfg = TdmConfig { dim: 12, ..Default::default() };
+        let model = TransE::init(N_ENTITIES, N_RELATIONS, cfg, &mut rng);
+        assert_serve_matches_reference(Arc::new(model), "TransE", &decode(&raw), n_threads, 64);
+    }
+
+    /// The Gen-Approx MLP: query-network forward + row-restricted GEMM.
+    #[test]
+    fn nnm_bit_identical(n_threads in 1usize..=6, raw in raw_ops(8..16)) {
+        let mut rng = SeededRng::new(0x99);
+        let cfg = NnmConfig { dim: 16, epochs: 0, lr: 0.1, l2: 1e-4 };
+        let model = GenApprox::init(N_ENTITIES, N_RELATIONS, cfg, &mut rng);
+        assert_serve_matches_reference(Arc::new(model), "GenApprox", &decode(&raw), n_threads, 64);
+    }
+}
+
+/// The constant scorer: every rank is pure tie counting, every top-k is
+/// pure id tie-breaking — the all-ties case the deterministic ordering
+/// contract exists for.
+#[test]
+fn constant_scorer_all_ties_is_deterministic() {
+    let ops: Vec<Op> = (0..N_ENTITIES)
+        .flat_map(|i| {
+            [
+                Op::RankTail { h: i, r: 1, t: (i * 7) % N_ENTITIES },
+                Op::TopKTails { h: i, r: 0, k: 5 },
+                Op::TopKHeads { r: 1, t: i, k: N_ENTITIES + 3 },
+            ]
+        })
+        .collect();
+    for threads in [1usize, 3, 8] {
+        assert_serve_matches_reference(Arc::new(Flat { n: N_ENTITIES }), "Flat", &ops, threads, 16);
+    }
+}
+
+/// A shared `Arc<dyn BatchScorer + Send + Sync>` model — the
+/// object-safety satellite end to end: the same trait object backs the
+/// engine and the reference path.
+#[test]
+fn arc_dyn_model_serves_bit_identically() {
+    let mut rng = SeededRng::new(0xA2C);
+    let shared: Arc<dyn BatchScorer + Send + Sync> = Arc::new(BlmModel::new(
+        classics::simple(),
+        Embeddings::init(N_ENTITIES, N_RELATIONS, 16, &mut rng),
+    ));
+    let fi = filter(0xA2C);
+    let engine = KgEngine::with_filter(Arc::clone(&shared), fi.clone()).threads(4).block(8).build();
+    for i in 0..10 {
+        let (h, r, t) = (i * 3 % N_ENTITIES, i % N_RELATIONS, (i * 11 + 1) % N_ENTITIES);
+        assert_eq!(
+            Answer::Rank(engine.rank_tail(h, r, t)),
+            reference(&shared, &fi, Op::RankTail { h, r, t })
+        );
+        assert_eq!(
+            Answer::TopK(engine.top_k_heads(r, t, 7)),
+            reference(&shared, &fi, Op::TopKHeads { r, t, k: 7 })
+        );
+    }
+}
+
+/// Out-of-range entity ids are rejected at submission, on the caller's
+/// thread, instead of poisoning the crew.
+#[test]
+#[should_panic(expected = "out of range")]
+fn out_of_range_entity_is_rejected_at_submit() {
+    let engine = KgEngine::with_filter(Flat { n: N_ENTITIES }, FilterIndex::default()).build();
+    let _ = engine.rank_tail(N_ENTITIES, 0, 0);
+}
+
+/// `builder` learns the relation vocabulary from the graph, so a bad
+/// relation id is likewise a caller-side panic, not an engine poisoning.
+#[test]
+#[should_panic(expected = "relation id")]
+fn out_of_range_relation_is_rejected_when_bound_known() {
+    let graph = kg_core::Dataset::with_vocab(
+        "toy",
+        N_ENTITIES,
+        N_RELATIONS,
+        vec![Triple::new(0, 0, 1)],
+        vec![],
+        vec![],
+    );
+    let engine = KgEngine::builder(Flat { n: N_ENTITIES }, &graph).build();
+    let _ = engine.top_k_tails(0, N_RELATIONS, 3);
+}

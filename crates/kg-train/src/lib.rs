@@ -2,7 +2,7 @@
 //!
 //! Implements Alg. 1 (stochastic training of KGE) with the paper's choices:
 //! Adagrad (Sec. V-A2), the multi-class loss ("we use the multi-class loss
-//! [19] since it currently achieves the best performance", Sec. II-A) and
+//! \[19\] since it currently achieves the best performance", Sec. II-A) and
 //! mini-batches. A negative-sampling logistic loss is provided for the loss
 //! ablation.
 //!

@@ -1,14 +1,16 @@
 //! Quickstart: generate a synthetic KG, train a SimplE-structured bilinear
-//! model, and evaluate filtered link prediction.
+//! model, and serve filtered link prediction through the [`KgEngine`]
+//! facade.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use kg_core::{DatasetStats, FilterIndex};
+use kg_core::DatasetStats;
 use kg_datagen::{preset, Preset, Scale};
-use kg_eval::ranking::evaluate_parallel;
+use kg_eval::RankMetrics;
 use kg_models::blm::classics;
+use kg_serve::KgEngine;
 use kg_train::{train, TrainConfig};
 
 fn main() {
@@ -23,19 +25,48 @@ fn main() {
     println!("\ntraining SimplE: d={} epochs={} lr={}", cfg.dim, cfg.epochs, cfg.lr);
     let model = train(&classics::simple(), &ds, &cfg);
 
-    // 3. Filtered link prediction on the test split.
-    let filter = FilterIndex::from_dataset(&ds);
-    let metrics = evaluate_parallel(&model, &ds.test, &filter, 4);
+    // 3. Serve the trained model: the engine batches incoming single
+    //    queries into GEMM blocks and shards them across 4 workers, with
+    //    answers bit-identical to the per-query reference.
+    let engine = KgEngine::builder(model, &ds).threads(4).block(64).build();
+
+    // Filtered link prediction on the test split, one request per query —
+    // submit everything up front, then fold the ranks into the metrics.
+    let tickets: Vec<_> = ds
+        .test
+        .iter()
+        .map(|tr| {
+            (
+                engine.submit_rank_tail(tr.h.idx(), tr.r.idx(), tr.t.idx()),
+                engine.submit_rank_head(tr.h.idx(), tr.r.idx(), tr.t.idx()),
+            )
+        })
+        .collect();
+    let mut metrics = RankMetrics::zero();
+    for (tail, head) in tickets {
+        metrics.accumulate(tail.wait());
+        metrics.accumulate(head.wait());
+    }
+    let metrics = metrics.normalised();
     println!(
         "\ntest: MRR {:.3}  MR {:.1}  Hits@1 {:.1}%  Hits@10 {:.1}%  ({} queries)",
         metrics.mrr,
         metrics.mr,
         metrics.hits1 * 100.0,
         metrics.hits10 * 100.0,
-        metrics.n_queries
+        metrics.n_queries,
     );
 
-    // 4. The structure we just trained, drawn the way the paper draws g(r).
+    // 4. Request-level serving: complete one test query.
+    let tr = ds.test[0];
+    println!(
+        "\ntop-5 tails for (h={}, r={}): {:?}",
+        tr.h.idx(),
+        tr.r.idx(),
+        engine.top_k_tails(tr.h.idx(), tr.r.idx(), 5)
+    );
+
+    // 5. The structure we just trained, drawn the way the paper draws g(r).
     println!("\nSimplE as a unified block matrix (Fig. 1d):");
     print!("{}", classics::simple().render());
     println!("formula: {}", classics::simple().formula());

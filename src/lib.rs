@@ -2,7 +2,8 @@
 //!
 //! The interesting code lives in the member crates:
 //! [`autosf`] (the search), [`kg_models`] (scoring functions), [`kg_train`]
-//! (training), [`kg_eval`] (metrics), [`kg_datagen`] (synthetic benchmarks),
+//! (training), [`kg_eval`] (metrics), [`kg_serve`] (the online
+//! query-batching serving engine), [`kg_datagen`] (synthetic benchmarks),
 //! [`kg_core`] (the KG data model) and [`kg_linalg`] (dense math).
 //!
 //! This crate exists to host the runnable `examples/` and the cross-crate
@@ -14,4 +15,5 @@ pub use kg_datagen;
 pub use kg_eval;
 pub use kg_linalg;
 pub use kg_models;
+pub use kg_serve;
 pub use kg_train;
