@@ -41,6 +41,17 @@ pub enum Direction {
     Heads,
 }
 
+impl Direction {
+    /// The other scoring direction — tail queries pair with head queries in
+    /// the serving dispatcher's dual-direction draining.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::Tails => Direction::Heads,
+            Direction::Heads => Direction::Tails,
+        }
+    }
+}
+
 /// Even entity-shard boundaries for `n_shards` workers over an
 /// `n_entities`-row table: `n_shards + 1` non-decreasing cut points with
 /// `bounds[w] = ⌊w · n / s⌋`, so shard widths differ by at most one row and
@@ -113,6 +124,32 @@ pub fn plan_shards(model: &dyn BatchScorer, n_workers: usize) -> Vec<WorkerShard
     } else {
         (0..n_workers).map(|worker| WorkerShard::Queries { worker, n_workers }).collect()
     }
+}
+
+/// Partition a crew of `n_workers` into two sub-crews and plan each one's
+/// shards independently — the layout behind dual-direction draining in the
+/// serving dispatcher: when both tail and head queries are queued, sub-crew
+/// A (the first `n_workers / 2` workers) scores one direction's block while
+/// sub-crew B (the rest — the larger half when `n_workers` is odd) scores
+/// the other, so one direction running dry never idles half the engine.
+///
+/// Each returned plan is a complete [`plan_shards`] layout over the *whole*
+/// entity table (or all query rows) for its sub-crew's thread count: a
+/// sub-crew scores its block exactly as a full crew of that size would, so
+/// every shard slice keeps the engine's bit-identity contract and a
+/// sub-crew's stitched block equals the full-crew stitched block byte for
+/// byte. Worker indices inside each plan are sub-crew-local; the caller
+/// maps them onto its global crew.
+///
+/// # Panics
+/// Panics if `n_workers < 2` — a one-worker crew has nothing to split.
+pub fn split_plan(
+    model: &dyn BatchScorer,
+    n_workers: usize,
+) -> (Vec<WorkerShard>, Vec<WorkerShard>) {
+    assert!(n_workers >= 2, "splitting a crew needs at least two workers");
+    let half = n_workers / 2;
+    (plan_shards(model, half), plan_shards(model, n_workers - half))
 }
 
 /// Dispatch one worker's slice of a query block to the matching
@@ -203,6 +240,47 @@ mod tests {
         let plan = plan_shards(&staged, 3);
         assert_eq!(plan.len(), 3);
         assert!(matches!(plan[2], WorkerShard::Queries { worker: 2, n_workers: 3 }));
+    }
+
+    #[test]
+    fn split_plan_gives_two_complete_sub_crew_layouts() {
+        let native = Ramp { n: 10, native: true };
+        for n_workers in [2usize, 3, 5, 8] {
+            let (a, b) = split_plan(&native, n_workers);
+            assert_eq!(a.len(), (n_workers / 2).min(native.n));
+            assert_eq!(b.len(), (n_workers - n_workers / 2).min(native.n));
+            // Each sub-plan partitions the whole table on its own.
+            for plan in [&a, &b] {
+                let mut next = 0;
+                for shard in plan {
+                    match shard {
+                        WorkerShard::Entities(r) => {
+                            assert_eq!(r.start, next);
+                            next = r.end;
+                        }
+                        _ => unreachable!("native model plans entity shards"),
+                    }
+                }
+                assert_eq!(next, native.n, "sub-plan must cover the full table");
+            }
+        }
+
+        // Staged models: each sub-crew splits all query rows among itself.
+        let staged = Ramp { n: 10, native: false };
+        let (a, b) = split_plan(&staged, 5);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 3);
+        let mut covered = Vec::new();
+        for shard in &b {
+            covered.extend(shard.rows(7));
+        }
+        assert_eq!(covered, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two workers")]
+    fn split_plan_rejects_single_worker_crews() {
+        let _ = split_plan(&Ramp { n: 4, native: true }, 1);
     }
 
     #[test]

@@ -197,8 +197,17 @@ fn rank_from_counts(better: i64, ties: i64) -> f64 {
 /// ```
 ///
 /// # Panics
-/// Panics if `target >= scores.len()`.
+/// Panics — with an explicit message, before any indexing — if
+/// `target >= scores.len()`; in particular an **empty score table** is
+/// always rejected this way (there is no entity to rank, so no rank
+/// exists), instead of surfacing as an unhelpful slice-index panic from
+/// deep inside the count sweep.
 pub fn filtered_rank(scores: &[f32], target: usize, known_others: &[EntityId]) -> f64 {
+    assert!(
+        target < scores.len(),
+        "filtered_rank: target entity {target} out of range for a {}-entity score table",
+        scores.len()
+    );
     let (better, ties) = shard_filtered_counts(scores, 0, scores[target], target, known_others);
     rank_from_counts(better, ties)
 }
@@ -876,6 +885,34 @@ mod tests {
             let got = top_k(&scores, k);
             assert_eq!(got.len(), k);
             assert!(got.iter().enumerate().all(|(i, &(e, s))| e == i && s == 0.25), "{got:?}");
+        }
+    }
+
+    #[test]
+    fn filtered_rank_rejects_empty_table_with_explicit_message() {
+        // An empty score table must fail the documented early bound check,
+        // not an anonymous `scores[target]` index panic.
+        let err = std::panic::catch_unwind(|| filtered_rank(&[], 0, &[]))
+            .expect_err("empty table must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("target entity 0 out of range for a 0-entity score table"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "target entity 7 out of range for a 3-entity score table")]
+    fn filtered_rank_rejects_out_of_range_target() {
+        filtered_rank(&[1.0, 2.0, 3.0], 7, &[]);
+    }
+
+    #[test]
+    fn top_k_on_empty_table_is_empty_for_any_k() {
+        // The graceful counterpart: top-k over no entities is no entities,
+        // never a panic — pinned so the serving facade can rely on it.
+        for k in [0usize, 1, 64] {
+            assert_eq!(top_k(&[], k), vec![]);
         }
     }
 

@@ -49,6 +49,10 @@ impl LinkPredictor for BlmModel {
         self.emb.n_entities()
     }
 
+    fn n_relations(&self) -> Option<usize> {
+        Some(self.emb.n_relations())
+    }
+
     fn score_triple(&self, h: usize, r: usize, t: usize) -> f32 {
         self.spec.score(
             self.emb.ent.row(h),

@@ -159,6 +159,10 @@ impl LinkPredictor for GenApprox {
         self.emb.n_entities()
     }
 
+    fn n_relations(&self) -> Option<usize> {
+        Some(self.emb.n_relations())
+    }
+
     /// Symmetrised score: the model is direction-specific by construction
     /// (two networks), so the triple score averages both directions.
     fn score_triple(&self, h: usize, r: usize, t: usize) -> f32 {

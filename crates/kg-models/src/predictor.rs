@@ -12,6 +12,20 @@ pub trait LinkPredictor {
     /// Number of entities the model ranks over.
     fn n_entities(&self) -> usize;
 
+    /// Number of relations the model can score, when it has a relation
+    /// vocabulary of its own — `None` when the model genuinely cannot tell
+    /// (a learned scorer always can; ad-hoc test scorers often cannot).
+    ///
+    /// Consumers use this to validate relation ids *before* dispatching a
+    /// query: `kg-serve` rejects an out-of-range id at submit time, on the
+    /// caller's thread, instead of letting it panic a worker. Every shipped
+    /// model overrides this; the default exists so minimal
+    /// [`LinkPredictor`] impls (oracles, constant scorers) stay one-method
+    /// simple.
+    fn n_relations(&self) -> Option<usize> {
+        None
+    }
+
     /// Plausibility score of one triple (higher = more plausible).
     fn score_triple(&self, h: usize, r: usize, t: usize) -> f32;
 
@@ -31,6 +45,9 @@ macro_rules! forward_link_predictor {
         impl<T: LinkPredictor + ?Sized> LinkPredictor for $ptr {
             fn n_entities(&self) -> usize {
                 (**self).n_entities()
+            }
+            fn n_relations(&self) -> Option<usize> {
+                (**self).n_relations()
             }
             fn score_triple(&self, h: usize, r: usize, t: usize) -> f32 {
                 (**self).score_triple(h, r, t)

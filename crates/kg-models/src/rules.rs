@@ -248,6 +248,10 @@ impl LinkPredictor for RuleModel {
         self.n_entities
     }
 
+    fn n_relations(&self) -> Option<usize> {
+        Some(self.rules_by_head.len())
+    }
+
     fn score_triple(&self, h: usize, r: usize, t: usize) -> f32 {
         let mut out = vec![0.0f32; self.n_entities];
         self.apply_tail_rules(EntityId(h as u32), RelationId(r as u32), &mut out);

@@ -123,6 +123,10 @@ impl LinkPredictor for RotatE {
         self.ent.rows()
     }
 
+    fn n_relations(&self) -> Option<usize> {
+        Some(self.phase.rows())
+    }
+
     fn score_triple(&self, h: usize, r: usize, t: usize) -> f32 {
         -self.distance(h, r, t)
     }

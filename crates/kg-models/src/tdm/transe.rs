@@ -92,6 +92,10 @@ impl LinkPredictor for TransE {
         self.ent.rows()
     }
 
+    fn n_relations(&self) -> Option<usize> {
+        Some(self.rel.rows())
+    }
+
     fn score_triple(&self, h: usize, r: usize, t: usize) -> f32 {
         -self.distance(h, r, t)
     }

@@ -122,6 +122,10 @@ impl LinkPredictor for TransH {
         self.ent.rows()
     }
 
+    fn n_relations(&self) -> Option<usize> {
+        Some(self.rel.rows())
+    }
+
     fn score_triple(&self, h: usize, r: usize, t: usize) -> f32 {
         -self.distance_sq(h, r, t)
     }

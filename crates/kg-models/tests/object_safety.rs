@@ -44,6 +44,11 @@ fn arc_dyn_batch_scorer_forwards_overrides() {
     assert!(native_dyn, "native_shard_scoring must forward through Arc<dyn>");
     assert_eq!(scores_dyn, reference, "Arc<dyn> batch scores diverged from concrete model");
 
+    // The relation-vocabulary bound — what lets `kg-serve` reject a bad
+    // relation id at submit time — must survive the trait object too.
+    assert_eq!(concrete.n_relations(), Some(2));
+    assert_eq!(shared.n_relations(), Some(2), "n_relations must forward through Arc<dyn>");
+
     // And the trait object still hands out bit-identical shard columns.
     let mut scratch = BatchScratch::new();
     let mut shard_block = vec![0.0f32; 2 * 3];

@@ -1,22 +1,48 @@
-//! The [`KgEngine`] facade: a query-batching frontend over the sharded
-//! scoring engine.
+//! The [`KgEngine`] facade: a query-batching, latency-aware frontend over
+//! the sharded scoring engine.
 //!
 //! # Architecture
 //!
 //! Clients submit single link-prediction requests from any thread; the
-//! engine accumulates them in a queue. A dispatcher thread drains the queue
-//! in blocks of up to `block` same-direction queries and hands each block
-//! to a **persistent worker crew** — the same
-//! [`kg_eval::engine::plan_shards`] split the offline parallel ranker uses:
-//! models with [`kg_models::BatchScorer::native_shard_scoring`] get the
-//! entity table cut into even contiguous shards (one worker per shard,
-//! row-restricted GEMM, each shard cache-resident in its worker), other
-//! models get the block's query rows split full-width. Workers score
-//! through [`kg_eval::engine::score_block_shard`] into reusable buffers
+//! engine accumulates them in per-class FIFO queues (triple scores, tail
+//! row queries, head row queries). A dispatcher thread cuts blocks of up to
+//! `block` same-class queries and hands each block to a **persistent worker
+//! crew** — the same [`kg_eval::engine::plan_shards`] split the offline
+//! parallel ranker uses: models with
+//! [`kg_models::BatchScorer::native_shard_scoring`] get the entity table
+//! cut into even contiguous shards (row-restricted GEMM, each shard
+//! cache-resident in its worker), other models get the block's query rows
+//! split full-width. Workers score through
+//! [`kg_eval::engine::score_block_shard`] into reusable buffers
 //! ([`kg_models::BatchScratch`] per worker, zero steady-state allocation),
 //! the dispatcher stitches the shard columns back into full score rows and
 //! answers each request with the shared per-query primitives
 //! ([`kg_eval::ranking::filtered_rank`], [`kg_eval::ranking::top_k`]).
+//!
+//! # Scheduling policy
+//!
+//! The dispatcher is **FIFO within each class, oldest class first**: the
+//! class whose front request has waited longest is served next, so no class
+//! starves. Two latency-aware refinements sit on top:
+//!
+//! * **Linger** ([`KgEngineBuilder::linger`], default zero): a partially
+//!   filled row block may wait a bounded time for co-batchable queries
+//!   before it is cut — the deadline is the front request's arrival time
+//!   plus the linger budget, so no request is ever delayed by more than the
+//!   budget. Microseconds of added latency buy full-block GEMM locality.
+//! * **Split-crew dual-direction draining** ([`KgEngineBuilder::split_crew`],
+//!   default on): when tail *and* head queries are both queued and the crew
+//!   has at least two workers, the crew is partitioned into two sub-crews
+//!   (each re-planned with [`kg_eval::engine::split_plan`]) and one block
+//!   per direction is scored concurrently. Mixed workloads no longer
+//!   serialise by direction: a deep backlog in one direction cannot
+//!   head-of-line-block the other, and one direction running dry never
+//!   idles half the engine. While both lanes drain, triple-score requests
+//!   are answered inline between lane completions.
+//!
+//! [`KgEngine::stats`] exposes a lock-free [`EngineStats`] snapshot
+//! (queries served, blocks cut, mean block fill, split blocks, per-class
+//! queue depths) so operators and benchmarks can watch the scheduler work.
 //!
 //! # Bit-identity
 //!
@@ -24,29 +50,46 @@
 //! per-query output — the [`kg_models::BatchScorer`] contract — so the
 //! stitched row equals what [`kg_models::LinkPredictor::score_tails`] /
 //! `score_heads` would have written, byte for byte, regardless of batch
-//! composition, arrival order, thread count or block size. Ranks and top-k
-//! are then computed by the same helpers a per-query caller would use, so
-//! every response is **bit-identical to the sequential reference**
-//! (`tests/serve_equivalence.rs` pins this for every shipped model family).
+//! composition, arrival order, thread count, block size, linger budget or
+//! crew split. Ranks and top-k are then computed by the same helpers a
+//! per-query caller would use, so every response is **bit-identical to the
+//! sequential reference** under every scheduler configuration
+//! (`tests/serve_equivalence.rs` pins this for every shipped model family
+//! and every knob).
 //!
 //! # Failure semantics
 //!
-//! A panic inside a model's scoring override is caught by the worker,
-//! poisons the engine, and propagates to every affected caller's `wait()` —
-//! requests never hang, matching the ranking engine's barrier-poisoning
-//! behaviour. Dropping the engine signals shutdown, fails still-pending
-//! tickets, and joins the crew.
+//! Malformed requests are rejected **at submit time**, on the caller's
+//! thread: entity ids are checked against the model's table, relation ids
+//! against the relation vocabulary — which [`KgEngine::builder`] takes from
+//! the graph and [`KgEngine::with_filter`] derives from the model's own
+//! [`kg_models::LinkPredictor::n_relations`], so a bad id panics the caller
+//! instead of a worker.
+//!
+//! A panic *inside* a model's scoring code (the residual case: a model that
+//! cannot declare its bounds, or a genuinely fallible override) is caught
+//! by the worker and **isolated to the offending request**: the dispatcher
+//! rescores the affected block one query at a time through the per-query
+//! reference path — bit-identical by contract — fails only the requests
+//! whose own query panics, and answers the rest. The engine stays healthy
+//! for every other client. Only infrastructure failures (the worker crew
+//! hanging up, the dispatcher itself panicking) poison the engine, failing
+//! pending and future requests with the original cause; requests never
+//! hang. Dropping the engine signals shutdown, fails still-pending tickets
+//! and joins the crew.
 
 use crate::ticket::{RankTicket, Reply, ScoreTicket, TicketInner, TopKTicket};
 use kg_core::{Dataset, EntityId, FilterIndex, RelationId};
-use kg_eval::engine::{plan_shards, score_block_shard, Direction, WorkerShard, BLOCK};
+use kg_eval::engine::{plan_shards, score_block_shard, split_plan, Direction, WorkerShard, BLOCK};
 use kg_eval::ranking::{filtered_rank, top_k};
 use kg_models::{BatchScorer, BatchScratch};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// The model type the engine serves: any [`BatchScorer`] behind a shared
 /// pointer, so one set of trained parameters backs every worker thread.
@@ -91,6 +134,20 @@ impl Request {
     }
 }
 
+/// One request waiting in a class queue.
+#[derive(Debug)]
+struct Queued {
+    /// Global arrival sequence number — the oldest-class-first key.
+    seq: u64,
+    /// Arrival time — the linger deadline anchor.
+    arrived: Instant,
+    request: Request,
+    ticket: Arc<TicketInner>,
+}
+
+/// A batch cut off a class queue, ready for dispatch.
+type Batch = Vec<(Request, Arc<TicketInner>)>;
+
 /// Queue shared between clients, dispatcher and `Drop`.
 ///
 /// Requests live in one FIFO deque per [`Class`], tagged with a global
@@ -99,18 +156,28 @@ impl Request {
 /// per request, no rescanning or rebuilding, whatever the class mix.
 #[derive(Debug, Default)]
 struct QueueState {
-    score: VecDeque<(u64, Request, Arc<TicketInner>)>,
-    tails: VecDeque<(u64, Request, Arc<TicketInner>)>,
-    heads: VecDeque<(u64, Request, Arc<TicketInner>)>,
+    score: VecDeque<Queued>,
+    tails: VecDeque<Queued>,
+    heads: VecDeque<Queued>,
     next_seq: u64,
     shutdown: bool,
-    /// Set once a worker (or the model itself) panics: every in-flight,
-    /// pending and future request fails with this message.
+    /// Set on an infrastructure failure (worker crew hung up, dispatcher
+    /// panicked): every in-flight, pending and future request fails with
+    /// this message. Model panics do *not* poison — they are isolated to
+    /// the offending request.
     poisoned: Option<String>,
 }
 
 impl QueueState {
-    fn queue_mut(&mut self, class: Class) -> &mut VecDeque<(u64, Request, Arc<TicketInner>)> {
+    fn queue(&self, class: Class) -> &VecDeque<Queued> {
+        match class {
+            Class::Score => &self.score,
+            Class::Row(Direction::Tails) => &self.tails,
+            Class::Row(Direction::Heads) => &self.heads,
+        }
+    }
+
+    fn queue_mut(&mut self, class: Class) -> &mut VecDeque<Queued> {
         match class {
             Class::Score => &mut self.score,
             Class::Row(Direction::Tails) => &mut self.tails,
@@ -118,14 +185,12 @@ impl QueueState {
         }
     }
 
-    fn push(&mut self, request: Request, ticket: Arc<TicketInner>) {
+    fn push(&mut self, request: Request, ticket: Arc<TicketInner>, stats: &StatCells) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue_mut(request.class()).push_back((seq, request, ticket));
-    }
-
-    fn is_empty(&self) -> bool {
-        self.score.is_empty() && self.tails.is_empty() && self.heads.is_empty()
+        let class = request.class();
+        self.queue_mut(class).push_back(Queued { seq, arrived: Instant::now(), request, ticket });
+        stats.depth(class).fetch_add(1, Relaxed);
     }
 
     /// The class whose front request has waited longest (global FIFO
@@ -133,26 +198,97 @@ impl QueueState {
     fn oldest_class(&self) -> Option<Class> {
         [Class::Score, Class::Row(Direction::Tails), Class::Row(Direction::Heads)]
             .into_iter()
-            .filter_map(|class| {
-                let queue = match class {
-                    Class::Score => &self.score,
-                    Class::Row(Direction::Tails) => &self.tails,
-                    Class::Row(Direction::Heads) => &self.heads,
-                };
-                queue.front().map(|(seq, _, _)| (*seq, class))
-            })
+            .filter_map(|class| self.queue(class).front().map(|q| (q.seq, class)))
             .min_by_key(|(seq, _)| *seq)
             .map(|(_, class)| class)
     }
 
+    /// Cut up to `max` requests off the front of `class`'s queue.
+    fn pop_block(&mut self, class: Class, max: usize, stats: &StatCells) -> Batch {
+        let queue = self.queue_mut(class);
+        let take = queue.len().min(max);
+        stats.depth(class).fetch_sub(take as u64, Relaxed);
+        queue.drain(..take).map(|q| (q.request, q.ticket)).collect()
+    }
+
     /// Fail every queued request with `why`, emptying the queues.
-    fn drain_fail(&mut self, why: &str) {
-        for queue in [&mut self.score, &mut self.tails, &mut self.heads] {
-            for (_, _, ticket) in queue.drain(..) {
-                ticket.fail(why);
+    fn drain_fail(&mut self, why: &str, stats: &StatCells) {
+        for class in [Class::Score, Class::Row(Direction::Tails), Class::Row(Direction::Heads)] {
+            let queue = self.queue_mut(class);
+            stats.queries_failed.fetch_add(queue.len() as u64, Relaxed);
+            stats.depth(class).store(0, Relaxed);
+            for q in queue.drain(..) {
+                q.ticket.fail(why);
             }
         }
     }
+}
+
+/// Lock-free scheduler counters (all `Relaxed` — each counter is exact,
+/// but a snapshot may straddle an in-flight block).
+#[derive(Debug, Default)]
+struct StatCells {
+    queries_served: AtomicU64,
+    queries_failed: AtomicU64,
+    blocks_cut: AtomicU64,
+    block_fill: AtomicU64,
+    split_blocks: AtomicU64,
+    depth_score: AtomicU64,
+    depth_tails: AtomicU64,
+    depth_heads: AtomicU64,
+}
+
+impl StatCells {
+    fn depth(&self, class: Class) -> &AtomicU64 {
+        match class {
+            Class::Score => &self.depth_score,
+            Class::Row(Direction::Tails) => &self.depth_tails,
+            Class::Row(Direction::Heads) => &self.depth_heads,
+        }
+    }
+
+    /// Record a row block handed to (a sub-crew of) the worker crew.
+    fn record_block(&self, fill: usize, split: bool) {
+        self.blocks_cut.fetch_add(1, Relaxed);
+        self.block_fill.fetch_add(fill as u64, Relaxed);
+        if split {
+            self.split_blocks.fetch_add(1, Relaxed);
+        }
+    }
+}
+
+/// A lock-free snapshot of the scheduler's counters — see
+/// [`KgEngine::stats`].
+///
+/// Counters are monotone except the queue depths, which track the live
+/// queues. Reading a snapshot never takes the queue lock, so it can be
+/// polled from a metrics thread at any rate; individual counters are exact
+/// but one snapshot may straddle an in-flight block (e.g. `blocks_cut`
+/// already incremented, `queries_served` not yet).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStats {
+    /// Requests answered successfully since the engine started.
+    pub queries_served: u64,
+    /// Requests failed (model panic, shutdown, poisoning, rejected push).
+    pub queries_failed: u64,
+    /// Row blocks dispatched to the crew (triple-score batches are
+    /// answered inline and not counted here).
+    pub blocks_cut: u64,
+    /// Mean queries per dispatched row block — how full the batching queue
+    /// manages to cut blocks (the GEMM-locality measure a linger budget
+    /// improves). Zero before the first block.
+    pub mean_block_fill: f64,
+    /// Row blocks scored by a half crew while the opposite direction had
+    /// work in flight or queued — how often split-crew mode engaged. (A
+    /// direction that outlives the other is handed back to the full crew
+    /// and counts as ordinary blocks again.)
+    pub split_blocks: u64,
+    /// Triple-score requests currently queued.
+    pub depth_score: u64,
+    /// Tail row queries currently queued.
+    pub depth_tails: u64,
+    /// Head row queries currently queued.
+    pub depth_heads: u64,
 }
 
 /// State shared by the engine handle, the dispatcher and submitters.
@@ -161,21 +297,28 @@ struct Shared {
     filter: FilterIndex,
     n_entities: usize,
     /// Relation vocabulary bound when known ([`KgEngine::builder`] takes it
-    /// from the graph; [`KgEngineBuilder::relations`] sets it explicitly).
-    /// `None` skips submit-time relation checks — a bad relation id then
-    /// panics inside the model and poisons the engine.
+    /// from the graph, [`KgEngine::with_filter`] from the model's own
+    /// [`kg_models::LinkPredictor::n_relations`];
+    /// [`KgEngineBuilder::relations`] overrides explicitly). `None` skips
+    /// submit-time relation checks — a bad relation id then panics inside
+    /// the model and fails that request.
     n_relations: Option<usize>,
     block: usize,
+    linger: Duration,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
+    stats: StatCells,
 }
 
-/// One scoring assignment for a worker: the whole block's queries (the
-/// worker slices its own rows for query-split shards) plus the reusable
-/// output buffer it fills and sends back.
+/// One scoring assignment for a worker: the block's queries (the worker
+/// slices its own rows for query-split shards), the shard to score — per
+/// job, because sub-crew layouts differ from the full-crew layout — the
+/// lane the result routes back to, and the reusable output buffer.
 struct Job {
     dir: Direction,
     queries: Arc<Vec<(usize, usize)>>,
+    shard: WorkerShard,
+    lane: usize,
     out: Vec<f32>,
 }
 
@@ -187,6 +330,7 @@ enum WorkerMsg {
 /// A worker's answer: its filled buffer, or the panic it caught.
 struct WorkerDone {
     worker: usize,
+    lane: usize,
     out: Result<Vec<f32>, String>,
 }
 
@@ -220,12 +364,18 @@ pub struct KgEngineBuilder {
     n_relations: Option<usize>,
     threads: usize,
     block: usize,
+    linger: Duration,
+    split_crew: bool,
 }
 
 impl KgEngineBuilder {
     /// Size of the persistent worker crew (default 1). Models with native
     /// shard scoring get one even entity shard per worker (capped at the
-    /// table size); others get the block's query rows split evenly.
+    /// table size); others get the block's query rows split evenly. The
+    /// crew is clamped to the entity count — a worker per entity is the
+    /// most any layout can use, so `threads(1_000)` over a 12-entity model
+    /// builds a 12-worker crew instead of parking 988 threads on
+    /// permanently empty shards.
     ///
     /// ```
     /// # use kg_models::{blm::classics, BlmModel, Embeddings};
@@ -257,11 +407,59 @@ impl KgEngineBuilder {
         self
     }
 
+    /// Let a partially filled row block wait up to `budget` for
+    /// co-batchable queries before it is cut (default zero: cut as soon as
+    /// the crew is free, today's latency-first behaviour). The deadline is
+    /// anchored to the block's *oldest* request, so no query is ever
+    /// delayed more than `budget` by lingering; a block that fills to
+    /// [`KgEngineBuilder::block`] is cut immediately. Microseconds of
+    /// added latency buy full-block GEMM locality on trickling traffic.
+    ///
+    /// ```
+    /// # use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// # use std::time::Duration;
+    /// # let mut rng = kg_linalg::SeededRng::new(21);
+    /// # let model = BlmModel::new(classics::simple(), Embeddings::init(10, 2, 8, &mut rng));
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default())
+    ///     .linger(Duration::from_micros(200))
+    ///     .build();
+    /// assert_eq!(engine.rank_tail(0, 0, 1), engine.rank_tail(0, 0, 1)); // answers unchanged
+    /// ```
+    pub fn linger(mut self, budget: Duration) -> Self {
+        self.linger = budget;
+        self
+    }
+
+    /// Enable or disable dual-direction draining (default enabled): with
+    /// two or more workers, a crew may split into two sub-crews and score
+    /// one tail and one head block concurrently whenever both directions
+    /// are queued. Disabling restores the strictly serialised
+    /// one-block-at-a-time dispatcher (the microbenchmark's baseline).
+    /// Answers are bit-identical either way.
+    ///
+    /// ```
+    /// # use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// # let mut rng = kg_linalg::SeededRng::new(22);
+    /// # let model = BlmModel::new(classics::simple(), Embeddings::init(10, 2, 8, &mut rng));
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default())
+    ///     .threads(2)
+    ///     .split_crew(false)
+    ///     .build();
+    /// assert!(engine.rank_head(0, 0, 1) >= 1.0);
+    /// ```
+    pub fn split_crew(mut self, enabled: bool) -> Self {
+        self.split_crew = enabled;
+        self
+    }
+
     /// Declare the relation vocabulary size so out-of-range relation ids
     /// are rejected at submission, on the caller's thread, instead of
-    /// panicking a worker and poisoning the whole engine.
-    /// [`KgEngine::builder`] sets this from the graph automatically;
-    /// [`KgEngine::with_filter`] leaves it unset.
+    /// panicking inside a worker. Rarely needed explicitly:
+    /// [`KgEngine::builder`] sets this from the graph, and
+    /// [`KgEngine::with_filter`] already derives it from the model's own
+    /// [`kg_models::LinkPredictor::n_relations`] — this override exists for
+    /// models that cannot report a bound (it is then the caller's only way
+    /// to get submit-time validation).
     ///
     /// ```
     /// # use kg_models::{blm::classics, BlmModel, Embeddings};
@@ -295,22 +493,33 @@ impl KgEngineBuilder {
     pub fn build(self) -> KgEngine {
         assert!(self.threads > 0, "KgEngine needs at least one worker thread");
         assert!(self.block > 0, "KgEngine needs a block size of at least one query");
+        // Clamp the crew: beyond one worker per entity every layout hands
+        // out width-0 entity shards or empty query slices — threads that
+        // would park forever doing nothing.
+        let threads = self.threads.min(self.model.n_entities().max(1));
         let shared = Arc::new(Shared {
             n_entities: self.model.n_entities(),
             model: self.model,
             filter: self.filter,
             n_relations: self.n_relations,
             block: self.block,
+            linger: self.linger,
             queue: Mutex::new(QueueState::default()),
             queue_cv: Condvar::new(),
+            stats: StatCells::default(),
         });
-        // The crew layout is fixed for the engine's lifetime: the same
-        // shard plan the offline parallel ranker would pick.
-        let plan = plan_shards(&shared.model, self.threads);
+        // Crew layouts are fixed for the engine's lifetime: the full-crew
+        // plan (the same shard plan the offline parallel ranker would
+        // pick) and, when dual-direction draining is possible, one plan
+        // per sub-crew.
+        let full_plan = plan_shards(&shared.model, threads);
+        let n_workers = full_plan.len();
+        let split_plans =
+            (self.split_crew && n_workers >= 2).then(|| split_plan(&shared.model, n_workers));
         let (done_tx, done_rx) = channel::<WorkerDone>();
-        let mut senders = Vec::with_capacity(plan.len());
-        let mut workers = Vec::with_capacity(plan.len());
-        for (idx, shard) in plan.iter().cloned().enumerate() {
+        let mut senders = Vec::with_capacity(n_workers);
+        let mut workers = Vec::with_capacity(n_workers);
+        for idx in 0..n_workers {
             let (job_tx, job_rx) = channel::<WorkerMsg>();
             senders.push(job_tx);
             let model = Arc::clone(&shared.model);
@@ -319,7 +528,7 @@ impl KgEngineBuilder {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("kg-serve-worker-{idx}"))
-                    .spawn(move || worker_loop(model, shard, n_entities, idx, job_rx, done))
+                    .spawn(move || worker_loop(model, n_entities, idx, job_rx, done))
                     .expect("spawn kg-serve worker"),
             );
         }
@@ -327,7 +536,9 @@ impl KgEngineBuilder {
         let dispatcher_shared = Arc::clone(&shared);
         let dispatcher = std::thread::Builder::new()
             .name("kg-serve-dispatcher".to_string())
-            .spawn(move || dispatcher_thread(dispatcher_shared, plan, senders, done_rx))
+            .spawn(move || {
+                dispatcher_thread(dispatcher_shared, full_plan, split_plans, senders, done_rx)
+            })
             .expect("spawn kg-serve dispatcher");
         KgEngine { shared, dispatcher: Some(dispatcher), workers }
     }
@@ -335,7 +546,9 @@ impl KgEngineBuilder {
 
 /// An online link-prediction engine: request-level scoring, ranking and
 /// top-k over a shared model, with single queries transparently batched
-/// into GEMM blocks and sharded across a persistent worker crew.
+/// into GEMM blocks and sharded across a persistent worker crew by a
+/// latency-aware dispatcher (see the [crate docs](crate) for the
+/// scheduling policy).
 ///
 /// Construct via [`KgEngine::builder`] (filtered ranking against a
 /// [`Dataset`]'s known positives) or [`KgEngine::with_filter`] (explicit —
@@ -368,7 +581,8 @@ pub struct KgEngine {
 impl KgEngine {
     /// Start building an engine that serves `model` with filtered ranking
     /// against every known positive of `graph` (train + valid + test — the
-    /// standard filtered-evaluation convention).
+    /// standard filtered-evaluation convention). The graph also supplies
+    /// the relation vocabulary bound for submit-time validation.
     ///
     /// `model` is anything implementing [`BatchScorer`] — a concrete model,
     /// or an already-shared `Arc<dyn BatchScorer + Send + Sync>` (the
@@ -393,7 +607,11 @@ impl KgEngine {
     }
 
     /// Start building an engine with an explicit filter index (use
-    /// `FilterIndex::default()` for unfiltered ranking).
+    /// `FilterIndex::default()` for unfiltered ranking). The relation
+    /// vocabulary bound is derived from the model's own
+    /// [`kg_models::LinkPredictor::n_relations`] when it reports one, so an
+    /// out-of-range relation id is rejected at submit time instead of
+    /// panicking a worker — [`KgEngineBuilder::relations`] overrides it.
     ///
     /// ```
     /// use kg_models::{blm::classics, BlmModel, Embeddings};
@@ -406,12 +624,15 @@ impl KgEngine {
         model: M,
         filter: FilterIndex,
     ) -> KgEngineBuilder {
+        let n_relations = model.n_relations();
         KgEngineBuilder {
             model: Arc::new(model),
             filter,
-            n_relations: None,
+            n_relations,
             threads: 1,
             block: BLOCK,
+            linger: Duration::ZERO,
+            split_crew: true,
         }
     }
 
@@ -428,7 +649,8 @@ impl KgEngine {
         self.shared.n_entities
     }
 
-    /// Size of the worker crew this engine was built with.
+    /// Size of the worker crew this engine runs (after clamping to the
+    /// entity count — see [`KgEngineBuilder::threads`]).
     pub fn threads(&self) -> usize {
         self.workers.len()
     }
@@ -436,6 +658,40 @@ impl KgEngine {
     /// Maximum queries per scoring block this engine was built with.
     pub fn block(&self) -> usize {
         self.shared.block
+    }
+
+    /// A lock-free snapshot of the scheduler counters — see
+    /// [`EngineStats`]. Never blocks submitters or the dispatcher.
+    ///
+    /// ```
+    /// # use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// # let mut rng = kg_linalg::SeededRng::new(23);
+    /// # let model = BlmModel::new(classics::simple(), Embeddings::init(10, 2, 8, &mut rng));
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// let _ = engine.rank_tail(0, 0, 1);
+    /// let stats = engine.stats();
+    /// assert_eq!(stats.queries_served, 1);
+    /// assert_eq!(stats.blocks_cut, 1);
+    /// assert_eq!(stats.mean_block_fill, 1.0);
+    /// ```
+    pub fn stats(&self) -> EngineStats {
+        let s = &self.shared.stats;
+        let blocks_cut = s.blocks_cut.load(Relaxed);
+        let block_fill = s.block_fill.load(Relaxed);
+        EngineStats {
+            queries_served: s.queries_served.load(Relaxed),
+            queries_failed: s.queries_failed.load(Relaxed),
+            blocks_cut,
+            mean_block_fill: if blocks_cut == 0 {
+                0.0
+            } else {
+                block_fill as f64 / blocks_cut as f64
+            },
+            split_blocks: s.split_blocks.load(Relaxed),
+            depth_score: s.depth_score.load(Relaxed),
+            depth_tails: s.depth_tails.load(Relaxed),
+            depth_heads: s.depth_heads.load(Relaxed),
+        }
     }
 
     /// Plausibility score of one triple — bit-identical to
@@ -583,7 +839,7 @@ impl KgEngine {
 
     /// Reject an out-of-range relation id on the caller's thread when the
     /// vocabulary bound is known — one malformed request must not panic a
-    /// worker and poison the engine for every other client.
+    /// worker, and clients learn about their bad input at the submit site.
     fn check_relation(&self, r: usize) {
         if let Some(n) = self.shared.n_relations {
             assert!(r < n, "relation id {r} out of range for a {n}-relation graph");
@@ -597,11 +853,13 @@ impl KgEngine {
         let ticket = TicketInner::new();
         let mut q = self.shared.queue.lock().expect("serve queue lock");
         if let Some(why) = &q.poisoned {
+            self.shared.stats.queries_failed.fetch_add(1, Relaxed);
             ticket.fail(why);
         } else if q.shutdown {
+            self.shared.stats.queries_failed.fetch_add(1, Relaxed);
             ticket.fail("engine shut down with the query still pending");
         } else {
-            q.push(request, Arc::clone(&ticket));
+            q.push(request, Arc::clone(&ticket), &self.shared.stats);
             self.shared.queue_cv.notify_one();
         }
         ticket
@@ -611,7 +869,7 @@ impl KgEngine {
 impl Drop for KgEngine {
     /// Signal shutdown, fail still-pending requests, and join the
     /// dispatcher and every worker — never blocks on queued work and never
-    /// leaks a thread, even after a worker panic poisoned the engine.
+    /// leaks a thread, even after the engine was poisoned.
     fn drop(&mut self) {
         {
             let mut q = self.shared.queue.lock().expect("serve queue lock");
@@ -629,12 +887,12 @@ impl Drop for KgEngine {
     }
 }
 
-/// Worker-crew thread: score whatever [`Job`]s arrive against this
-/// worker's fixed shard, catching panics so a failing model override
-/// reaches clients as an error instead of a deadlock.
+/// Worker-crew thread: score whatever [`Job`]s arrive against the shard
+/// each job carries (full-crew and sub-crew layouts share the workers),
+/// catching panics so a failing model override reaches the dispatcher as
+/// an error instead of a dead thread.
 fn worker_loop(
     model: SharedModel,
-    shard: WorkerShard,
     n_entities: usize,
     idx: usize,
     jobs: Receiver<WorkerMsg>,
@@ -644,168 +902,461 @@ fn worker_loop(
     while let Ok(WorkerMsg::Job(job)) = jobs.recv() {
         let mut out = job.out;
         let scored = catch_unwind(AssertUnwindSafe(|| {
-            let rows = shard.rows(job.queries.len());
-            let width = shard.width(n_entities);
+            let rows = job.shard.rows(job.queries.len());
+            let width = job.shard.width(n_entities);
             let queries = &job.queries[rows];
             out.resize(queries.len() * width, 0.0);
-            score_block_shard(&model, job.dir, queries, &shard, &mut out, &mut scratch);
+            score_block_shard(&model, job.dir, queries, &job.shard, &mut out, &mut scratch);
         }));
         let result = match scored {
             Ok(()) => Ok(out),
             Err(payload) => Err(panic_message(payload)),
         };
-        if done.send(WorkerDone { worker: idx, out: result }).is_err() {
+        if done.send(WorkerDone { worker: idx, lane: job.lane, out: result }).is_err() {
             return; // dispatcher gone: engine is shutting down
         }
     }
 }
 
-/// Dispatcher thread: drain the queue in same-class blocks, fan each block
-/// out to the crew, stitch the shard results and answer the tickets. Wraps
-/// the loop in `catch_unwind` so an unexpected dispatcher panic still fails
-/// outstanding tickets instead of stranding their clients.
+/// What the dispatcher decided to do after waiting (and possibly
+/// lingering) on the queue.
+enum Decision {
+    Shutdown,
+    /// A batch of triple-score requests, answered inline.
+    Scores(Batch),
+    /// One same-direction row block for the full crew.
+    Single(Direction, Batch),
+    /// Both directions are queued (and the crew can split): enter the
+    /// dual-lane draining regime, which cuts its own blocks.
+    Split,
+}
+
+/// Dispatcher thread: wait for work, cut blocks, fan them out to the crew
+/// (whole or split), stitch the shard results and answer the tickets.
+/// Wraps the loop in `catch_unwind` so an unexpected dispatcher panic
+/// still fails outstanding tickets instead of stranding their clients.
 fn dispatcher_thread(
     shared: Arc<Shared>,
-    plan: Vec<WorkerShard>,
+    full_plan: Vec<WorkerShard>,
+    split_plans: Option<(Vec<WorkerShard>, Vec<WorkerShard>)>,
     senders: Vec<Sender<WorkerMsg>>,
     done: Receiver<WorkerDone>,
 ) {
-    let crashed =
-        catch_unwind(AssertUnwindSafe(|| dispatcher_loop(&shared, &plan, &senders, &done)));
+    let crashed = catch_unwind(AssertUnwindSafe(|| {
+        dispatcher_loop(&shared, &full_plan, split_plans.as_ref(), &senders, &done)
+    }));
     let why = match crashed {
         Ok(()) => return, // clean shutdown: tickets already settled
         Err(payload) => format!("dispatcher panicked: {}", panic_message(payload)),
     };
     let mut q = shared.queue.lock().expect("serve queue lock");
     q.poisoned.get_or_insert_with(|| why.clone());
-    q.drain_fail(&why);
+    q.drain_fail(&why, &shared.stats);
     // Dropping `senders` (when this thread exits) closes the job channels
     // and the workers drain out on their own.
 }
 
 fn dispatcher_loop(
     shared: &Shared,
-    plan: &[WorkerShard],
+    full_plan: &[WorkerShard],
+    split_plans: Option<&(Vec<WorkerShard>, Vec<WorkerShard>)>,
     senders: &[Sender<WorkerMsg>],
     done: &Receiver<WorkerDone>,
 ) {
-    let n_workers = plan.len();
-    let mut batch: Vec<(Request, Arc<TicketInner>)> = Vec::with_capacity(shared.block);
     // Reusable buffers: one compact block per worker (round-tripped through
-    // the job channel) and the stitched full-width block.
-    let mut pool: Vec<Option<Vec<f32>>> = (0..n_workers).map(|_| Some(Vec::new())).collect();
-    let mut full: Vec<f32> = Vec::new();
+    // the job channel) and one stitched full-width block per lane.
+    let mut pool: Vec<Option<Vec<f32>>> = (0..senders.len()).map(|_| Some(Vec::new())).collect();
+    let mut stitched = [Vec::new(), Vec::new()];
     loop {
-        // Phase 1: wait for work (or shutdown), then cut one batch off the
-        // front of the class queue whose head request is oldest — FIFO
-        // within each class, oldest class first, O(block) per cut. Arrival
-        // order decides which requests share a block but never their
-        // answers.
-        let class = {
-            let mut q = shared.queue.lock().expect("serve queue lock");
-            while q.is_empty() && !q.shutdown {
-                q = shared.queue_cv.wait(q).expect("serve queue wait");
-            }
-            if q.shutdown {
-                q.drain_fail("engine shut down with the query still pending");
+        match next_decision(shared, split_plans.is_some()) {
+            Decision::Shutdown => {
+                let mut q = shared.queue.lock().expect("serve queue lock");
+                q.drain_fail("engine shut down with the query still pending", &shared.stats);
+                drop(q);
                 for sender in senders {
                     let _ = sender.send(WorkerMsg::Shutdown);
                 }
                 return;
             }
-            let class = q.oldest_class().expect("non-empty queue has an oldest class");
-            batch.clear();
-            let queue = q.queue_mut(class);
-            while batch.len() < shared.block {
-                match queue.pop_front() {
-                    Some((_, request, ticket)) => batch.push((request, ticket)),
-                    None => break,
-                }
+            Decision::Scores(batch) => answer_scores(shared, batch),
+            Decision::Single(dir, batch) => {
+                shared.stats.record_block(batch.len(), false);
+                run_block(
+                    shared,
+                    dir,
+                    batch,
+                    full_plan,
+                    0,
+                    0,
+                    senders,
+                    done,
+                    &mut pool,
+                    &mut stitched[0],
+                );
             }
-            class
-        };
-
-        match class {
-            // Triple scores are O(dim) each — no row to shard, answer
-            // directly with the per-query reference call.
-            Class::Score => {
-                let mut failed: Option<String> = None;
-                for (request, ticket) in batch.drain(..) {
-                    if let Some(why) = &failed {
-                        ticket.fail(why);
-                        continue;
-                    }
-                    let Request::Score { h, r, t } = request else {
-                        unreachable!("score batch holds score requests")
-                    };
-                    let model = &shared.model;
-                    match catch_unwind(AssertUnwindSafe(|| model.score_triple(h, r, t))) {
-                        Ok(score) => ticket.fulfill(Reply::Score(score)),
-                        Err(payload) => {
-                            let why = format!("model panicked: {}", panic_message(payload));
-                            ticket.fail(&why);
-                            poison(shared, &why);
-                            failed = Some(why);
-                        }
-                    }
-                }
-            }
-            // Row queries: one block, the whole crew.
-            Class::Row(dir) => {
-                let queries: Arc<Vec<(usize, usize)>> =
-                    Arc::new(batch.iter().map(|(request, _)| request.query()).collect());
-                let mut failure: Option<String> = None;
-                let mut dispatched = 0;
-                for (w, sender) in senders.iter().enumerate() {
-                    let job = Job {
-                        dir,
-                        queries: Arc::clone(&queries),
-                        out: pool[w].take().expect("worker buffer in pool"),
-                    };
-                    if sender.send(WorkerMsg::Job(job)).is_ok() {
-                        dispatched += 1;
-                    } else {
-                        // A worker can only be gone if the crew is already
-                        // tearing down; don't wait for its result.
-                        failure.get_or_insert("worker crew hung up".to_string());
-                        pool[w] = Some(Vec::new());
-                    }
-                }
-                for _ in 0..dispatched {
-                    match done.recv() {
-                        Ok(WorkerDone { worker, out: Ok(buf) }) => pool[worker] = Some(buf),
-                        Ok(WorkerDone { worker, out: Err(why) }) => {
-                            let why = format!("worker panicked: {why}");
-                            failure.get_or_insert(why);
-                            pool[worker] = Some(Vec::new());
-                        }
-                        Err(_) => {
-                            failure.get_or_insert("worker crew hung up".to_string());
-                            break;
-                        }
-                    }
-                }
-                if let Some(why) = failure {
-                    for (_, ticket) in batch.drain(..) {
-                        ticket.fail(&why);
-                    }
-                    poison(shared, &why);
-                    continue;
-                }
-                stitch(plan, &pool, queries.len(), shared.n_entities, &mut full);
-                for (i, (request, ticket)) in batch.drain(..).enumerate() {
-                    let row = &full[i * shared.n_entities..(i + 1) * shared.n_entities];
-                    ticket.fulfill(answer(shared, &request, row));
-                }
+            Decision::Split => {
+                let (plan_a, plan_b) = split_plans.expect("split decision requires sub-crew plans");
+                run_split_regime(shared, plan_a, plan_b, senders, done, &mut pool, &mut stitched);
             }
         }
+    }
+}
+
+/// Wait until there is something to do, apply the linger budget, and
+/// decide the next dispatch — see the module docs for the policy.
+fn next_decision(shared: &Shared, can_split: bool) -> Decision {
+    let mut q = shared.queue.lock().expect("serve queue lock");
+    loop {
+        if q.shutdown {
+            return Decision::Shutdown;
+        }
+        let Some(class) = q.oldest_class() else {
+            q = shared.queue_cv.wait(q).expect("serve queue wait");
+            continue;
+        };
+        if let Class::Row(dir) = class {
+            // Linger: an under-filled row block may wait for co-batchable
+            // arrivals until its oldest request's deadline. Re-evaluated
+            // from scratch after every wake-up, so a filled block, a
+            // passed deadline or a shutdown all cut immediately.
+            if !shared.linger.is_zero() && q.queue(class).len() < shared.block {
+                let deadline = q.queue(class).front().expect("oldest class is non-empty").arrived
+                    + shared.linger;
+                if let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
+                    let (guard, _) = shared
+                        .queue_cv
+                        .wait_timeout(q, remaining)
+                        .expect("serve queue linger wait");
+                    q = guard;
+                    continue;
+                }
+            }
+            if can_split && !q.queue(Class::Row(dir.opposite())).is_empty() {
+                return Decision::Split;
+            }
+            let batch = q.pop_block(class, shared.block, &shared.stats);
+            return Decision::Single(dir, batch);
+        }
+        let batch = q.pop_block(class, shared.block, &shared.stats);
+        return Decision::Scores(batch);
+    }
+}
+
+/// Answer a batch of triple-score requests inline — O(dim) each, no row to
+/// shard. A panicking `score_triple` fails its own ticket only.
+fn answer_scores(shared: &Shared, batch: Batch) {
+    for (request, ticket) in batch {
+        let Request::Score { h, r, t } = request else {
+            unreachable!("score batch holds score requests")
+        };
+        let model = &shared.model;
+        match catch_unwind(AssertUnwindSafe(|| model.score_triple(h, r, t))) {
+            Ok(score) => {
+                shared.stats.queries_served.fetch_add(1, Relaxed);
+                ticket.fulfill(Reply::Score(score));
+            }
+            Err(payload) => {
+                shared.stats.queries_failed.fetch_add(1, Relaxed);
+                ticket.fail(&format!("model panicked: {}", panic_message(payload)));
+            }
+        }
+    }
+}
+
+/// Fan one row block out to the crew slice `plan` (workers
+/// `base .. base + plan.len()`), wait for every shard, stitch and answer.
+/// A model panic falls back to per-query isolation; a hung-up crew poisons
+/// the engine.
+#[allow(clippy::too_many_arguments)] // internal: mirrors the dispatcher's shared-state layout
+fn run_block(
+    shared: &Shared,
+    dir: Direction,
+    mut batch: Batch,
+    plan: &[WorkerShard],
+    base: usize,
+    lane: usize,
+    senders: &[Sender<WorkerMsg>],
+    done: &Receiver<WorkerDone>,
+    pool: &mut [Option<Vec<f32>>],
+    stitched: &mut Vec<f32>,
+) {
+    let queries: Arc<Vec<(usize, usize)>> =
+        Arc::new(batch.iter().map(|(request, _)| request.query()).collect());
+    let mut hangup = false;
+    let mut model_panic: Option<String> = None;
+    let mut dispatched = 0;
+    for (i, shard) in plan.iter().enumerate() {
+        let w = base + i;
+        let job = Job {
+            dir,
+            queries: Arc::clone(&queries),
+            shard: shard.clone(),
+            lane,
+            out: pool[w].take().expect("worker buffer in pool"),
+        };
+        if senders[w].send(WorkerMsg::Job(job)).is_ok() {
+            dispatched += 1;
+        } else {
+            // A worker can only be gone if the crew is already tearing
+            // down; don't wait for its result.
+            hangup = true;
+            pool[w] = Some(Vec::new());
+        }
+    }
+    for _ in 0..dispatched {
+        match done.recv() {
+            Ok(WorkerDone { worker, out: Ok(buf), .. }) => pool[worker] = Some(buf),
+            Ok(WorkerDone { worker, out: Err(why), .. }) => {
+                model_panic.get_or_insert(why);
+                pool[worker] = Some(Vec::new());
+            }
+            Err(_) => {
+                hangup = true;
+                break;
+            }
+        }
+    }
+    if hangup {
+        let why = "worker crew hung up".to_string();
+        fail_batch(shared, &mut batch, &why);
+        poison(shared, &why);
+        return;
+    }
+    if model_panic.is_some() {
+        answer_block_isolating(shared, dir, batch);
+        return;
+    }
+    stitch(plan, &pool[base..base + plan.len()], queries.len(), shared.n_entities, stitched);
+    // Count before fulfilling: the ticket lock orders this store before
+    // any client that has seen its answer can read the stats.
+    shared.stats.queries_served.fetch_add(batch.len() as u64, Relaxed);
+    for (i, (request, ticket)) in batch.drain(..).enumerate() {
+        let row = &stitched[i * shared.n_entities..(i + 1) * shared.n_entities];
+        ticket.fulfill(answer(shared, &request, row));
+    }
+}
+
+/// The dual-direction draining regime: two sub-crews, one lane per
+/// direction, each lane re-cutting a new block the moment its previous one
+/// is answered — so a backlog in one direction never head-of-line-blocks
+/// the other, and the dispatcher's stitching/ranking of one lane overlaps
+/// the other lane's scoring. Triple-score requests are answered inline
+/// between lane events. Returns to the serialised loop once both
+/// directions run dry (or on shutdown, leaving queued work to the main
+/// loop's shutdown path).
+fn run_split_regime(
+    shared: &Shared,
+    plan_a: &[WorkerShard],
+    plan_b: &[WorkerShard],
+    senders: &[Sender<WorkerMsg>],
+    done: &Receiver<WorkerDone>,
+    pool: &mut [Option<Vec<f32>>],
+    stitched: &mut [Vec<f32>; 2],
+) {
+    /// One lane's in-flight block (None while the lane idles).
+    struct Inflight {
+        batch: Batch,
+        queries: Arc<Vec<(usize, usize)>>,
+        outstanding: usize,
+        model_panic: bool,
+    }
+    // Lane 0 drains tails on workers 0..plan_a.len(); lane 1 drains heads
+    // on workers half.. — the `split_plan` layout.
+    let half = senders.len() / 2;
+    let lanes = [(Direction::Tails, plan_a, 0usize), (Direction::Heads, plan_b, half)];
+    let mut inflight: [Option<Inflight>; 2] = [None, None];
+    loop {
+        // Triple scores need no crew: answer whatever queued, so they are
+        // never starved by a long dual-direction drain.
+        loop {
+            let batch = {
+                let mut q = shared.queue.lock().expect("serve queue lock");
+                q.pop_block(Class::Score, shared.block, &shared.stats)
+            };
+            if batch.is_empty() {
+                break;
+            }
+            answer_scores(shared, batch);
+        }
+        // Refill idle lanes (unless shutting down or poisoned — the main
+        // loop handles those once in-flight work lands). A lane only cuts
+        // while there is genuinely dual-direction work (the other lane in
+        // flight or its queue non-empty): once one direction runs dry, the
+        // regime winds down and hands the surviving backlog back to the
+        // serialised loop's *full* crew instead of draining it at half
+        // throughput. The linger budget applies here too — an under-filled
+        // lane block inside its deadline stays queued — but without a
+        // timed wait: deferred cuts are re-examined at the next lane
+        // event, and if both lanes end up deferred the regime exits to the
+        // main loop, whose linger wait is a proper timed sleep.
+        for (lane, &(dir, plan, base)) in lanes.iter().enumerate() {
+            if inflight[lane].is_some() {
+                continue;
+            }
+            let batch = {
+                let mut q = shared.queue.lock().expect("serve queue lock");
+                let dual =
+                    inflight[1 - lane].is_some() || !q.queue(Class::Row(dir.opposite())).is_empty();
+                let lingering = |q: &QueueState| {
+                    !shared.linger.is_zero()
+                        && q.queue(Class::Row(dir)).len() < shared.block
+                        && q.queue(Class::Row(dir))
+                            .front()
+                            .is_some_and(|front| front.arrived.elapsed() < shared.linger)
+                };
+                if q.shutdown || q.poisoned.is_some() || !dual || lingering(&q) {
+                    Vec::new()
+                } else {
+                    q.pop_block(Class::Row(dir), shared.block, &shared.stats)
+                }
+            };
+            if batch.is_empty() {
+                continue;
+            }
+            shared.stats.record_block(batch.len(), true);
+            let mut batch = batch;
+            let queries: Arc<Vec<(usize, usize)>> =
+                Arc::new(batch.iter().map(|(request, _)| request.query()).collect());
+            let mut outstanding = 0;
+            let mut hangup = false;
+            for (i, shard) in plan.iter().enumerate() {
+                let w = base + i;
+                let job = Job {
+                    dir,
+                    queries: Arc::clone(&queries),
+                    shard: shard.clone(),
+                    lane,
+                    out: pool[w].take().expect("worker buffer in pool"),
+                };
+                if senders[w].send(WorkerMsg::Job(job)).is_ok() {
+                    outstanding += 1;
+                } else {
+                    hangup = true;
+                    pool[w] = Some(Vec::new());
+                }
+            }
+            if hangup {
+                // A worker can only be gone if the crew is tearing down:
+                // fail the batch now (emptying it) and poison. Results of
+                // jobs already sent are still routed below — with the
+                // batch empty, lane completion just recycles the buffers.
+                let why = "worker crew hung up".to_string();
+                fail_batch(shared, &mut batch, &why);
+                poison(shared, &why);
+            }
+            if outstanding > 0 {
+                inflight[lane] = Some(Inflight { batch, queries, outstanding, model_panic: false });
+            }
+        }
+        if inflight.iter().all(Option::is_none) {
+            return;
+        }
+        // Wait for one worker result and route it to its lane.
+        match done.recv() {
+            Ok(WorkerDone { worker, lane, out }) => {
+                match out {
+                    Ok(buf) => pool[worker] = Some(buf),
+                    Err(_why) => {
+                        if let Some(block) = &mut inflight[lane] {
+                            block.model_panic = true;
+                        }
+                        pool[worker] = Some(Vec::new());
+                    }
+                }
+                let finished = match &mut inflight[lane] {
+                    Some(block) => {
+                        block.outstanding -= 1;
+                        block.outstanding == 0
+                    }
+                    None => false, // lane already failed by the hangup path
+                };
+                if finished {
+                    let block = inflight[lane].take().expect("finished lane has a block");
+                    let (dir, plan, base) = lanes[lane];
+                    let mut batch = block.batch;
+                    if batch.is_empty() {
+                        continue; // failed by the hangup path while in flight
+                    }
+                    if block.model_panic {
+                        answer_block_isolating(shared, dir, batch);
+                        continue;
+                    }
+                    stitch(
+                        plan,
+                        &pool[base..base + plan.len()],
+                        block.queries.len(),
+                        shared.n_entities,
+                        &mut stitched[lane],
+                    );
+                    // Count before fulfilling — see `run_block`.
+                    shared.stats.queries_served.fetch_add(batch.len() as u64, Relaxed);
+                    for (i, (request, ticket)) in batch.drain(..).enumerate() {
+                        let row =
+                            &stitched[lane][i * shared.n_entities..(i + 1) * shared.n_entities];
+                        ticket.fulfill(answer(shared, &request, row));
+                    }
+                }
+            }
+            Err(_) => {
+                // Every worker hung up mid-flight: fail both lanes and
+                // poison.
+                let why = "worker crew hung up".to_string();
+                for block in inflight.iter_mut() {
+                    if let Some(mut block) = block.take() {
+                        fail_batch(shared, &mut block.batch, &why);
+                    }
+                }
+                poison(shared, &why);
+                return;
+            }
+        }
+    }
+}
+
+/// A worker panicked while scoring this block: isolate the failure by
+/// rescoring each request alone through the per-query reference path
+/// (bit-identical to the batched path by the [`BatchScorer`] contract).
+/// Only requests whose own query panics fail — with the model's original
+/// message — and every other request is answered; the engine stays
+/// healthy.
+fn answer_block_isolating(shared: &Shared, dir: Direction, mut batch: Batch) {
+    let mut row = vec![0.0f32; shared.n_entities];
+    for (request, ticket) in batch.drain(..) {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let (first, second) = request.query();
+            match dir {
+                Direction::Tails => shared.model.score_tails(first, second, &mut row),
+                Direction::Heads => shared.model.score_heads(first, second, &mut row),
+            }
+            answer(shared, &request, &row)
+        }));
+        match result {
+            Ok(reply) => {
+                shared.stats.queries_served.fetch_add(1, Relaxed);
+                ticket.fulfill(reply);
+            }
+            Err(payload) => {
+                shared.stats.queries_failed.fetch_add(1, Relaxed);
+                ticket.fail(&format!("model panicked: {}", panic_message(payload)));
+            }
+        }
+    }
+}
+
+/// Fail every ticket of a batch with `why` (counted before failing, so a
+/// client that saw its failure also sees it in the stats).
+fn fail_batch(shared: &Shared, batch: &mut Batch, why: &str) {
+    shared.stats.queries_failed.fetch_add(batch.len() as u64, Relaxed);
+    for (_, ticket) in batch.drain(..) {
+        ticket.fail(why);
     }
 }
 
 /// Copy each worker's compact shard block back into full-width score rows.
 /// Entity shards are column ranges, query shards are row ranges; both are
 /// bit-identical slices of the reference row, so `full` ends up exactly as
-/// the per-query path would have written it.
+/// the per-query path would have written it. `pool` is the slice of worker
+/// buffers aligned with `plan` (sub-crews pass their own window).
 fn stitch(
     plan: &[WorkerShard],
     pool: &[Option<Vec<f32>>],
@@ -851,10 +1402,10 @@ fn answer(shared: &Shared, request: &Request, row: &[f32]) -> Reply {
 }
 
 /// Permanently fail the engine: every pending and future request gets
-/// `why`. Mirrors the offline engine's barrier poisoning — after a panic
-/// nothing hangs, everything reports the original failure.
+/// `why`. Reserved for infrastructure failures (hung-up crew, dispatcher
+/// panic) — model panics are isolated per request instead.
 fn poison(shared: &Shared, why: &str) {
     let mut q = shared.queue.lock().expect("serve queue lock");
     q.poisoned.get_or_insert_with(|| why.to_string());
-    q.drain_fail(why);
+    q.drain_fail(why, &shared.stats);
 }

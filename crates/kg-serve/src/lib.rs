@@ -1,5 +1,5 @@
 //! `kg-serve` — online link-prediction serving over the sharded scoring
-//! engine.
+//! engine, behind a latency-aware batching dispatcher.
 //!
 //! The offline pipeline (training, evaluation, AutoSF search) reaches the
 //! batched GEMM/shard seam through bulk entry points; this crate is the
@@ -13,7 +13,36 @@
 //! GEMM and cache locality the per-query path gives up, while every
 //! response stays **bit-identical** to the per-query
 //! [`kg_models::LinkPredictor`] reference — whatever the batch composition,
-//! arrival order or thread count.
+//! arrival order, thread count or scheduler configuration.
+//!
+//! # Scheduling policy
+//!
+//! The dispatcher serves requests **FIFO within each class** (triple
+//! scores, tail row queries, head row queries), picking the **class whose
+//! oldest request has waited longest** — so no class starves, and arrival
+//! order decides which requests share a GEMM block but never their
+//! answers. Two latency-aware knobs refine the policy:
+//!
+//! * **Linger** ([`KgEngineBuilder::linger`], default zero): an
+//!   under-filled row block may wait a bounded time — anchored to its
+//!   oldest request's arrival — for co-batchable queries, trading
+//!   microseconds of latency for full-block GEMM locality.
+//! * **Split-crew dual-direction draining**
+//!   ([`KgEngineBuilder::split_crew`], default on): when both directions
+//!   are queued, the crew splits into two sub-crews that drain one tail
+//!   and one head block concurrently, so a deep backlog in one direction
+//!   cannot head-of-line-block the other.
+//!
+//! [`KgEngine::stats`] returns a lock-free [`EngineStats`] snapshot
+//! (queries served, blocks cut, mean block fill, split blocks, queue
+//! depths) for operators and benchmarks.
+//!
+//! Malformed requests are rejected at submit time on the caller's thread —
+//! entity ids against the model's table, relation ids against the bound
+//! the engine learns from the graph ([`KgEngine::builder`]) or from the
+//! model itself ([`kg_models::LinkPredictor::n_relations`]); a panic
+//! inside a model's scoring code fails only the offending request (the
+//! block is rescored per query), never the engine.
 //!
 //! ```
 //! use kg_core::{Dataset, Triple};
@@ -30,10 +59,11 @@
 //! let rank = engine.rank_tail(0, 0, 1);
 //! let best = engine.top_k_tails(0, 0, 5);
 //! assert!(score.is_finite() && rank >= 1.0 && best.len() == 5);
+//! assert_eq!(engine.stats().queries_served, 3);
 //! ```
 
 mod engine;
 mod ticket;
 
-pub use engine::{KgEngine, KgEngineBuilder};
+pub use engine::{EngineStats, KgEngine, KgEngineBuilder};
 pub use ticket::{RankTicket, ScoreTicket, TopKTicket};

@@ -58,6 +58,11 @@ impl TicketInner {
         }
     }
 
+    /// `true` once the engine has answered or failed this request.
+    pub(crate) fn is_settled(&self) -> bool {
+        !matches!(*self.state.lock().expect("ticket lock"), State::Pending)
+    }
+
     /// Block until answered; panics if the engine failed the request.
     fn wait_reply(&self) -> Reply {
         let mut state = self.state.lock().expect("ticket lock");
@@ -94,6 +99,15 @@ macro_rules! ticket_type {
                     Reply::$variant(v) => v,
                     other => unreachable!("ticket answered with mismatched reply {other:?}"),
                 }
+            }
+
+            /// `true` once the engine has settled this request (answered
+            /// it, or failed it) — a non-blocking probe: once it returns
+            /// `true`, `wait()` returns (or propagates the failure)
+            /// without blocking. Useful for polling many outstanding
+            /// tickets without committing a thread to each.
+            pub fn is_settled(&self) -> bool {
+                self.inner.is_settled()
             }
         }
     };

@@ -1,8 +1,9 @@
 //! Lifecycle guarantees of [`KgEngine`]: dropping the engine never
-//! deadlocks or leaks workers (even with queries still pending), and a
-//! panic inside a model's scoring override propagates to the affected
-//! callers instead of hanging the crew — the serving counterpart of the
-//! offline engine's barrier-poisoning tests.
+//! deadlocks or leaks workers (even with queries still pending), malformed
+//! ids are rejected at submit time, a panic inside a model's scoring code
+//! fails **only the offending request** — the engine stays healthy for
+//! every other client — and the scheduler knobs (linger, split-crew,
+//! thread clamping) behave as documented.
 
 use kg_models::{BatchScorer, LinkPredictor};
 use kg_serve::KgEngine;
@@ -69,6 +70,29 @@ impl BatchScorer for Grenade {
     }
 }
 
+/// A model that knows no relation bound (`n_relations() == None`) and
+/// panics — like a real embedding table would — when handed a relation id
+/// beyond its two relations. The worst case the submit-time check cannot
+/// cover, so the engine's per-request isolation has to.
+struct NoBound;
+
+impl LinkPredictor for NoBound {
+    fn n_entities(&self) -> usize {
+        N
+    }
+    fn score_triple(&self, _: usize, r: usize, _: usize) -> f32 {
+        [0.5f32, 0.25][r]
+    }
+    fn score_tails(&self, _: usize, r: usize, out: &mut [f32]) {
+        out.fill([0.5f32, 0.25][r]);
+    }
+    fn score_heads(&self, r: usize, _: usize, out: &mut [f32]) {
+        out.fill([0.5f32, 0.25][r]);
+    }
+}
+
+impl BatchScorer for NoBound {}
+
 #[test]
 fn drop_without_queries_joins_cleanly() {
     for threads in [1, 4] {
@@ -96,6 +120,7 @@ fn drop_with_pending_queries_neither_hangs_nor_strands_tickets() {
     let mut answered = 0;
     let mut failed = 0;
     for ticket in tickets {
+        assert!(ticket.is_settled(), "ticket left unsettled after engine drop");
         match catch_unwind(AssertUnwindSafe(|| ticket.wait())) {
             Ok(rank) => {
                 assert!(rank >= 1.0);
@@ -124,21 +149,31 @@ fn answered_tickets_survive_engine_drop() {
     // The score request sits ahead of the rank request in the queue, so
     // once the rank is answered the score ticket must be settled too.
     assert_eq!(rank.wait(), 1.0 + (N as f64 - 1.0) / 2.0); // all-ties row, self excluded
+    assert!(score.is_settled());
     drop(engine);
     // Waiting after the drop returns the answer computed before shutdown.
     assert_eq!(score.wait(), 0.0);
 }
 
-fn assert_panic_propagates(native: bool) {
+/// A scoring panic fails only the offending request: healthy queries in
+/// the same block (and after it) are still answered, the engine never
+/// poisons, and the panic reaches the offending caller with the model's
+/// original message.
+fn assert_panic_is_isolated(native: bool) {
     let engine = KgEngine::with_filter(Grenade { trip_on: 5, native }, Default::default())
         .threads(3)
         .block(8)
         .build();
     // A healthy query first: the crew is up.
     assert!(engine.rank_tail(0, 0, 1) >= 1.0);
-    // The tripping query must panic on the caller, not hang the crew.
-    let tripped = catch_unwind(AssertUnwindSafe(|| engine.rank_tail(5, 0, 1)));
-    let msg = match tripped {
+    // Submit a block mixing healthy queries around the tripping one; only
+    // the tripping ticket may fail.
+    let before = engine.submit_rank_tail(2, 0, 1);
+    let tripping = engine.submit_rank_tail(5, 0, 1);
+    let after = engine.submit_rank_tail(3, 0, 1);
+    assert!(before.wait() >= 1.0, "healthy query before the panic must be answered");
+    assert!(after.wait() >= 1.0, "healthy query after the panic must be answered");
+    let msg = match catch_unwind(AssertUnwindSafe(|| tripping.wait())) {
         Ok(rank) => panic!("tripping query answered with rank {rank}"),
         Err(payload) => {
             payload.downcast_ref::<String>().cloned().unwrap_or_else(|| "non-string panic".into())
@@ -148,32 +183,155 @@ fn assert_panic_propagates(native: bool) {
         msg.contains("panicked") && msg.contains("grenade tripped"),
         "panic did not carry the original message: {msg}"
     );
-    // The engine is poisoned: later requests fail fast with the original
-    // cause instead of queueing forever…
-    let later = catch_unwind(AssertUnwindSafe(|| engine.score(0, 0, 0)));
-    assert!(later.is_err(), "poisoned engine accepted new work");
+    // The engine is NOT poisoned: other clients keep getting answers.
+    assert!(engine.rank_tail(0, 0, 1) >= 1.0, "engine must stay healthy after an isolated panic");
+    assert_eq!(engine.score(0, 0, 0), 0.0);
+    let stats = engine.stats();
+    assert_eq!(stats.queries_failed, 1, "exactly the tripping request fails");
+    assert_eq!(stats.queries_served, 5);
     // …and drop still shuts the crew down without deadlocking.
     drop(engine);
 }
 
 #[test]
-fn worker_panic_propagates_entity_shard_mode() {
-    assert_panic_propagates(true);
+fn scoring_panic_is_isolated_entity_shard_mode() {
+    assert_panic_is_isolated(true);
 }
 
 #[test]
-fn worker_panic_propagates_query_split_mode() {
-    assert_panic_propagates(false);
+fn scoring_panic_is_isolated_query_split_mode() {
+    assert_panic_is_isolated(false);
 }
 
 #[test]
-fn model_panic_in_score_requests_poisons_cleanly() {
+fn model_panic_in_score_requests_fails_only_that_ticket() {
     let engine = KgEngine::with_filter(Grenade { trip_on: 2, native: false }, Default::default())
         .threads(2)
         .build();
     let good = engine.submit_score(0, 0, 1);
     let bad = engine.submit_score(2, 0, 1);
+    let also_good = engine.submit_score(1, 0, 1);
     assert_eq!(good.wait(), 0.0);
     assert!(catch_unwind(AssertUnwindSafe(|| bad.wait())).is_err());
-    drop(engine); // no hang after poisoning via the score path
+    assert_eq!(also_good.wait(), 0.0, "score requests after the panic must still be answered");
+    assert_eq!(engine.score(3, 0, 1), 0.0, "engine must stay healthy after a score panic");
+    drop(engine); // no hang after an isolated score-path panic
+}
+
+/// **Regression (the PR's headline bug):** `KgEngine::with_filter` used to
+/// leave the relation bound unset, so an out-of-range relation id sailed
+/// past the submit-time check, panicked a worker, and poisoned the engine
+/// for every other client. The builder now derives the bound from the
+/// model's own `n_relations()`: the bad id is rejected on the caller's
+/// thread and the engine keeps serving.
+#[test]
+fn with_filter_derives_the_relation_bound_from_the_model() {
+    let mut rng = kg_linalg::SeededRng::new(0xBAD);
+    let model = kg_models::BlmModel::new(
+        kg_models::blm::classics::distmult(),
+        kg_models::Embeddings::init(N, 2, 8, &mut rng),
+    );
+    // No `.relations(..)` — the bound must come from the model itself.
+    let engine = KgEngine::with_filter(model, Default::default()).threads(2).build();
+    let rejected = catch_unwind(AssertUnwindSafe(|| engine.rank_tail(0, 99, 1)));
+    let msg = match rejected {
+        Ok(rank) => panic!("out-of-range relation answered with rank {rank}"),
+        Err(payload) => {
+            payload.downcast_ref::<String>().cloned().unwrap_or_else(|| "non-string panic".into())
+        }
+    };
+    assert!(
+        msg.contains("relation id 99 out of range"),
+        "expected a submit-time rejection, got: {msg}"
+    );
+    // Rejected at submit: nothing reached the crew, nothing was poisoned,
+    // nothing even entered the queue.
+    let stats = engine.stats();
+    assert_eq!(stats.queries_served + stats.queries_failed + stats.depth_tails, 0);
+    assert!(engine.rank_tail(0, 1, 1) >= 1.0, "engine must keep serving other clients");
+}
+
+/// The residual case the bound cannot cover — a model that reports no
+/// `n_relations()` — must not poison the engine either: the worker-side
+/// panic is caught and fails only the malformed request's ticket.
+#[test]
+fn unknown_bound_relation_panic_fails_only_its_own_ticket() {
+    let engine = KgEngine::with_filter(NoBound, Default::default()).threads(2).block(8).build();
+    let good = engine.submit_rank_tail(0, 0, 1);
+    let bad = engine.submit_rank_tail(0, 7, 1); // relation 7 of 2: model panics
+    let also_good = engine.submit_rank_tail(0, 1, 1);
+    assert!(good.wait() >= 1.0);
+    assert!(also_good.wait() >= 1.0, "healthy request in the same block must be answered");
+    assert!(catch_unwind(AssertUnwindSafe(|| bad.wait())).is_err());
+    // One poisoned client never takes the engine down for the rest.
+    assert!(engine.rank_head(1, 0, 2) >= 1.0);
+    assert_eq!(engine.stats().queries_failed, 1);
+    drop(engine);
+}
+
+/// `threads(n)` far above the entity count used to build width-0 shards
+/// whose workers parked forever; the crew is now clamped to the table
+/// size for every model family.
+#[test]
+fn oversized_crews_are_clamped_to_the_entity_count() {
+    for native in [true, false] {
+        let engine = KgEngine::with_filter(Grenade { trip_on: N, native }, Default::default())
+            .threads(1000)
+            .build();
+        assert_eq!(engine.threads(), N, "native={native}");
+        assert!(engine.rank_tail(0, 0, 1) >= 1.0);
+        assert!(engine.rank_head(1, 0, 2) >= 1.0);
+        drop(engine); // joins N workers, not 1000
+    }
+}
+
+/// With a linger budget, queries trickling in well inside the budget are
+/// accumulated into one block instead of being cut one by one.
+#[test]
+fn linger_accumulates_trickling_queries_into_full_blocks() {
+    let engine = KgEngine::with_filter(Grenade { trip_on: N, native: true }, Default::default())
+        .threads(2)
+        .block(64)
+        .linger(Duration::from_millis(400))
+        .build();
+    // All submissions land within a few microseconds — far inside the
+    // linger budget — so the dispatcher cuts them as one block.
+    let tickets: Vec<_> = (0..16).map(|i| engine.submit_rank_tail(i % N, 0, 1)).collect();
+    for ticket in tickets {
+        assert!(ticket.wait() >= 1.0);
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.queries_served, 16);
+    assert!(
+        stats.blocks_cut <= 2,
+        "linger should have batched 16 trickled queries into at most 2 blocks, cut {}",
+        stats.blocks_cut
+    );
+    assert!(stats.mean_block_fill >= 8.0, "mean fill {}", stats.mean_block_fill);
+}
+
+/// With both directions backlogged and at least two workers, the
+/// dispatcher splits the crew and drains tail and head blocks
+/// concurrently — observable through the stats counters, with every
+/// ticket still resolving.
+#[test]
+fn split_crew_engages_on_mixed_direction_backlogs() {
+    let scored = Arc::new(AtomicUsize::new(0));
+    let engine = KgEngine::with_filter(Slow { scored }, Default::default())
+        .threads(2)
+        .block(4)
+        .split_crew(true)
+        .build();
+    let tails: Vec<_> = (0..12).map(|i| engine.submit_rank_tail(i % N, 0, 1)).collect();
+    let heads: Vec<_> = (0..12).map(|i| engine.submit_rank_head(1, 0, i % N)).collect();
+    for ticket in tails.into_iter().chain(heads) {
+        assert!(ticket.wait() >= 1.0); // no starvation: every ticket resolves
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.queries_served, 24);
+    assert!(
+        stats.split_blocks > 0,
+        "a 12+12 mixed backlog on a 2-worker crew must engage split-crew draining"
+    );
+    assert_eq!(stats.depth_tails + stats.depth_heads, 0, "queues drained");
 }

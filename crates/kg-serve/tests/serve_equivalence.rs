@@ -21,6 +21,7 @@ use kg_models::{BatchScorer, BlmModel, Embeddings, LinkPredictor};
 use kg_serve::KgEngine;
 use proptest::prelude::*;
 use std::sync::Arc;
+use std::time::Duration;
 
 const N_ENTITIES: usize = 40;
 const N_RELATIONS: usize = 3;
@@ -150,6 +151,24 @@ fn assert_serve_matches_reference<M>(
 ) where
     M: BatchScorer + Send + Sync + 'static,
 {
+    assert_serve_matches_reference_cfg(model, name, ops, threads, block, Duration::ZERO, true);
+}
+
+/// [`assert_serve_matches_reference`] with the latency-aware scheduler
+/// knobs explicit: a linger budget and split-crew on/off. Also asserts
+/// that **every ticket resolves** (no starvation: the per-engine stats
+/// account for every submitted op, none failed, queues drained).
+fn assert_serve_matches_reference_cfg<M>(
+    model: Arc<M>,
+    name: &str,
+    ops: &[Op],
+    threads: usize,
+    block: usize,
+    linger: Duration,
+    split_crew: bool,
+) where
+    M: BatchScorer + Send + Sync + 'static,
+{
     let fi = filter(0x5E21);
     let expected: Vec<Answer> = ops.iter().map(|&op| reference(&*model, &fi, op)).collect();
 
@@ -158,6 +177,8 @@ fn assert_serve_matches_reference<M>(
             KgEngine::with_filter(Arc::clone(&model), fi.clone())
                 .threads(threads)
                 .block(block)
+                .linger(linger)
+                .split_crew(split_crew)
                 .build(),
         );
         let chunk = ops.len().div_ceil(clients).max(1);
@@ -180,7 +201,20 @@ fn assert_serve_matches_reference<M>(
         });
         assert_eq!(
             answers, expected,
-            "{name}: serve answers diverged (threads={threads}, block={block}, clients={clients})"
+            "{name}: serve answers diverged (threads={threads}, block={block}, \
+             clients={clients}, linger={linger:?}, split_crew={split_crew})"
+        );
+        let stats = engine.stats();
+        assert_eq!(
+            stats.queries_served,
+            ops.len() as u64,
+            "{name}: every submitted op must be answered exactly once"
+        );
+        assert_eq!(stats.queries_failed, 0, "{name}: no op may fail");
+        assert_eq!(
+            stats.depth_score + stats.depth_tails + stats.depth_heads,
+            0,
+            "{name}: queues must drain"
         );
     }
 }
@@ -193,6 +227,26 @@ fn raw_ops(
         (0u8..5, 0usize..N_ENTITIES, 0usize..N_RELATIONS, 0usize..N_ENTITIES, 0usize..50),
         len,
     )
+}
+
+/// Decode raw tuples into a mixed-direction-heavy workload: mostly tail
+/// and head rank queries (the traffic the dual-direction scheduler
+/// exists for), with the occasional score / top-k sprinkled in.
+fn decode_mixed(raw: &[(u8, usize, usize, usize, usize)]) -> Vec<Op> {
+    raw.iter()
+        .map(|&(kind, a, b, c, k)| match kind % 8 {
+            0..=2 => Op::RankTail { h: a, r: b, t: c },
+            3..=5 => Op::RankHead { h: a, r: b, t: c },
+            6 => Op::Score { h: a, r: b, t: c },
+            _ => {
+                if k % 2 == 0 {
+                    Op::TopKTails { h: a, r: b, k }
+                } else {
+                    Op::TopKHeads { r: b, t: c, k }
+                }
+            }
+        })
+        .collect()
 }
 
 proptest! {
@@ -248,6 +302,57 @@ proptest! {
         let cfg = NnmConfig { dim: 16, epochs: 0, lr: 0.1, l2: 1e-4 };
         let model = GenApprox::init(N_ENTITIES, N_RELATIONS, cfg, &mut rng);
         assert_serve_matches_reference(Arc::new(model), "GenApprox", &decode(&raw), n_threads, 64);
+    }
+
+    /// The latency-aware scheduler, every knob combination: mixed-direction
+    /// concurrent clients × linger budgets × split-crew on/off. None of it
+    /// may show in any answer (bit-identity), and every ticket must resolve
+    /// (no starvation) — the entity-sharded crew layout.
+    #[test]
+    fn scheduler_knobs_never_show_entity_shards(
+        linger_us in prop::sample::select(vec![0u64, 100, 2_000]),
+        split in prop::sample::select(vec![true, false]),
+        n_threads in 1usize..=6,
+        block in prop::sample::select(vec![3usize, 64]),
+        raw in raw_ops(12..28),
+    ) {
+        let mut rng = SeededRng::new(0x5C4ED + linger_us);
+        let model = BlmModel::new(
+            classics::complex(),
+            Embeddings::init(N_ENTITIES, N_RELATIONS, 16, &mut rng),
+        );
+        assert_serve_matches_reference_cfg(
+            Arc::new(model),
+            "ComplEx/scheduler",
+            &decode_mixed(&raw),
+            n_threads,
+            block,
+            Duration::from_micros(linger_us),
+            split,
+        );
+    }
+
+    /// Same knob sweep over a query-split crew (TransE reports no native
+    /// shard scoring), so both sub-crew layouts are exercised.
+    #[test]
+    fn scheduler_knobs_never_show_query_split(
+        linger_us in prop::sample::select(vec![0u64, 500]),
+        split in prop::sample::select(vec![true, false]),
+        n_threads in 2usize..=5,
+        raw in raw_ops(10..22),
+    ) {
+        let mut rng = SeededRng::new(0x7D1 + linger_us);
+        let cfg = TdmConfig { dim: 12, ..Default::default() };
+        let model = TransE::init(N_ENTITIES, N_RELATIONS, cfg, &mut rng);
+        assert_serve_matches_reference_cfg(
+            Arc::new(model),
+            "TransE/scheduler",
+            &decode_mixed(&raw),
+            n_threads,
+            8,
+            Duration::from_micros(linger_us),
+            split,
+        );
     }
 }
 

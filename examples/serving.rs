@@ -1,12 +1,17 @@
 //! Online serving: train a model once, then answer single link-prediction
 //! requests from many concurrent clients through the [`KgEngine`] facade —
-//! the query-batching frontend over the sharded scoring engine.
+//! the query-batching, latency-aware frontend over the sharded scoring
+//! engine.
 //!
 //! The engine accumulates whatever is pending (across all clients) into
 //! 64-query GEMM blocks and shards each block over a persistent worker
 //! crew, so heavy single-query traffic gets the same locality wins as
 //! offline batch evaluation, while every answer stays bit-identical to the
-//! per-query reference.
+//! per-query reference. Two scheduler knobs are shown: a small `linger`
+//! budget (an under-filled block waits a bounded time for co-batchable
+//! queries) and `split_crew` dual-direction draining (tail and head blocks
+//! score concurrently on half crews whenever both are queued), with the
+//! engine's own stats snapshot reporting how the scheduler did.
 //!
 //! ```sh
 //! cargo run --release --example serving
@@ -17,7 +22,7 @@ use kg_models::blm::classics;
 use kg_serve::KgEngine;
 use kg_train::{train, TrainConfig};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     // 1. Train a ComplEx-structured bilinear model on a synthetic graph.
@@ -28,8 +33,17 @@ fn main() {
     let queries: Vec<(usize, usize, usize)> =
         ds.test.iter().map(|tr| (tr.h.idx(), tr.r.idx(), tr.t.idx())).collect();
 
-    // 2. Spin up the serving engine: 4 shard workers, 64-query blocks.
-    let engine = Arc::new(KgEngine::builder(model, &ds).threads(4).block(64).build());
+    // 2. Spin up the serving engine: 4 shard workers, 64-query blocks, a
+    //    200 µs linger budget so trickling queries still fill blocks, and
+    //    split-crew draining for the mixed tail/head traffic below.
+    let engine = Arc::new(
+        KgEngine::builder(model, &ds)
+            .threads(4)
+            .block(64)
+            .linger(Duration::from_micros(200))
+            .split_crew(true)
+            .build(),
+    );
     println!(
         "engine up: {} entities, {} workers, block {}",
         engine.n_entities(),
@@ -74,5 +88,13 @@ fn main() {
         "\n{n_clients} clients served {total} rank queries in {:.1} ms ({:.0} queries/s)",
         secs * 1e3,
         total as f64 / secs
+    );
+
+    // 5. The scheduler's own accounting: how full the batching queue cut
+    //    its blocks and how often the crew split across directions.
+    let stats = engine.stats();
+    println!(
+        "scheduler: {} served, {} blocks (mean fill {:.1}), {} split-crew blocks",
+        stats.queries_served, stats.blocks_cut, stats.mean_block_fill, stats.split_blocks
     );
 }

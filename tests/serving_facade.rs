@@ -32,27 +32,49 @@ fn served_ranks_reproduce_offline_evaluation_bit_for_bit() {
     let offline = evaluate_parallel(&model, &ds.test, &filter, 4);
 
     let model = Arc::new(model);
-    let engine = KgEngine::builder(Arc::clone(&model), &ds).threads(4).block(64).build();
+    // Run the whole thing under both dispatcher regimes — strictly
+    // serialised and latency-aware (linger + split-crew): the mixed
+    // tail/head submission below engages dual-direction draining, and
+    // neither regime may move a single bit of the folded metrics.
+    for (linger_us, split) in [(0u64, false), (150, true)] {
+        let engine = KgEngine::builder(Arc::clone(&model), &ds)
+            .threads(4)
+            .block(64)
+            .linger(std::time::Duration::from_micros(linger_us))
+            .split_crew(split)
+            .build();
 
-    // Submit every test query up front (the batching queue groups them into
-    // blocks), then fold the answered ranks exactly the way the offline
-    // evaluator folds its own — same order, same f64 operations.
-    let tickets: Vec<_> = ds
-        .test
-        .iter()
-        .map(|tr| {
-            (
-                engine.submit_rank_tail(tr.h.idx(), tr.r.idx(), tr.t.idx()),
-                engine.submit_rank_head(tr.h.idx(), tr.r.idx(), tr.t.idx()),
-            )
-        })
-        .collect();
-    let mut served = RankMetrics::zero();
-    for (tail, head) in tickets {
-        served.accumulate(tail.wait());
-        served.accumulate(head.wait());
+        // Submit every test query up front (the batching queue groups them
+        // into blocks), then fold the answered ranks exactly the way the
+        // offline evaluator folds its own — same order, same f64
+        // operations.
+        let tickets: Vec<_> = ds
+            .test
+            .iter()
+            .map(|tr| {
+                (
+                    engine.submit_rank_tail(tr.h.idx(), tr.r.idx(), tr.t.idx()),
+                    engine.submit_rank_head(tr.h.idx(), tr.r.idx(), tr.t.idx()),
+                )
+            })
+            .collect();
+        let mut served = RankMetrics::zero();
+        for (tail, head) in tickets {
+            served.accumulate(tail.wait());
+            served.accumulate(head.wait());
+        }
+        assert_eq!(
+            served.normalised(),
+            offline,
+            "served metrics diverged from offline evaluation (linger={linger_us}µs, \
+             split_crew={split})"
+        );
+        // The scheduler accounted for every query and left nothing queued.
+        let stats = engine.stats();
+        assert_eq!(stats.queries_served, 2 * ds.test.len() as u64);
+        assert_eq!(stats.queries_failed, 0);
+        assert_eq!(stats.depth_tails + stats.depth_heads + stats.depth_score, 0);
     }
-    assert_eq!(served.normalised(), offline, "served metrics diverged from offline evaluation");
 }
 
 #[test]
