@@ -6,9 +6,15 @@
 //! (`evaluate`) at the paper's search dimension (d = 64) on a 10k-entity
 //! table — the workload the engine was built for. The serving section
 //! measures the same workload through `kg-serve`'s request-level facade,
-//! one-at-a-time dispatch (`block(1)`) vs 64-query batching. Results are
-//! printed and written to `BENCH_microbench.json` so speedups are tracked
-//! run to run.
+//! one-at-a-time dispatch (`block(1)`) vs 64-query batching. The kernel
+//! section A/Bs the explicit-SIMD backend against the forced-scalar
+//! reference (`KG_FORCE_SCALAR` would pin the whole process; here the
+//! public `*_scalar` entry points measure the fallback directly), and the
+//! `rank_100k_d64` scenario stretches the entity table past the shared
+//! cache — the regime the sharding layer was built for. Results are
+//! printed and written to `BENCH_microbench.json` — rows plus a metadata
+//! record of the detected CPU features and the dispatched kernel backend,
+//! so trajectories compared across machines are interpretable.
 //!
 //! Run with `cargo bench -p bench`.
 
@@ -16,7 +22,7 @@ use kg_core::{FilterIndex, Triple};
 use kg_eval::ranking::{
     evaluate, evaluate_parallel, evaluate_parallel_chunked, evaluate_sequential,
 };
-use kg_linalg::{gemm, Mat, SeededRng};
+use kg_linalg::{gemm, simd, vecops, Mat, SeededRng};
 use kg_models::blm::classics;
 use kg_models::{BatchScorer, BatchScratch, BlmModel, Embeddings, LinkPredictor};
 use kg_serve::KgEngine;
@@ -32,6 +38,30 @@ struct BenchRow {
     secs_per_iter: f64,
     throughput: Option<f64>,
     throughput_unit: Option<String>,
+    /// Which kernel backend this row's hot path dispatched to — `avx2` or
+    /// `scalar` for rows that touch the dispatched kernels (the per-query
+    /// ranking baseline counts: its GEMV is undispatched but its rank
+    /// sweep is the dispatched `count_cmp`), explicitly `scalar` for the
+    /// forced-scalar A/B rows, `None` for rows that never enter them
+    /// (e.g. the raw GEMV loop and the single-query scoring adapter).
+    backend: Option<String>,
+}
+
+/// Provenance for cross-machine trajectory comparisons: which CPU features
+/// the runner detected and which backend the one-time dispatch selected.
+#[derive(Debug, Serialize)]
+struct BenchMeta {
+    kernel_backend: String,
+    avx2_detected: bool,
+    fma_detected: bool,
+    force_scalar_env: bool,
+}
+
+/// The whole JSON artefact: metadata first, then the measurement rows.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    meta: BenchMeta,
+    rows: Vec<BenchRow>,
 }
 
 /// Best-of-5 wall-clock seconds per iteration of `f` — best-of smooths
@@ -49,8 +79,29 @@ fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
 }
 
 fn main() {
+    // Log the dispatch decision up front (the CI microbench job greps for
+    // this line) and freeze it for the row/meta provenance fields.
+    let backend = simd::active_backend().name();
+    let avx2_detected = simd::avx2_available();
+    #[cfg(target_arch = "x86_64")]
+    let fma_detected = std::arch::is_x86_feature_detected!("fma");
+    #[cfg(not(target_arch = "x86_64"))]
+    let fma_detected = false;
+    println!(
+        "cpu features: avx2={avx2_detected} fma={fma_detected} (is_x86_feature_detected) → \
+         kernel backend: {backend}{}",
+        if simd::force_scalar_requested() { " (forced scalar via KG_FORCE_SCALAR)" } else { "" }
+    );
+
     let mut rows: Vec<BenchRow> = Vec::new();
-    let mut record = |name: &str, iters: usize, secs: f64, thr: Option<(f64, &str)>| {
+    // `backend`: None for rows that never enter the dispatched kernels,
+    // Some(name) for rows that do (the active backend, or "scalar" for the
+    // explicit fallback rows).
+    let mut record = |name: &str,
+                      iters: usize,
+                      secs: f64,
+                      thr: Option<(f64, &str)>,
+                      row_backend: Option<&str>| {
         println!(
             "{name:<42} {:>12.3} µs/iter{}",
             secs * 1e6,
@@ -62,6 +113,7 @@ fn main() {
             secs_per_iter: secs,
             throughput: thr.map(|(v, _)| v),
             throughput_unit: thr.map(|(_, u)| u.to_string()),
+            backend: row_backend.map(str::to_string),
         });
     };
 
@@ -86,9 +138,24 @@ fn main() {
     let queries_per_iter = (2 * n_triples) as f64;
 
     let seq = time_best(1, || evaluate_sequential(&model, &triples, &filter));
-    record("rank_10k_d64_per_query_gemv", 1, seq, Some((queries_per_iter / seq, "queries/s")));
+    // The per-query baseline's scoring GEMV never dispatches, but its
+    // filtered-rank sweep is the dispatched `count_cmp` — so the row is
+    // backend-dependent and tagged as such.
+    record(
+        "rank_10k_d64_per_query_gemv",
+        1,
+        seq,
+        Some((queries_per_iter / seq, "queries/s")),
+        Some(backend),
+    );
     let bat = time_best(1, || evaluate(&model, &triples, &filter));
-    record("rank_10k_d64_batched_gemm", 1, bat, Some((queries_per_iter / bat, "queries/s")));
+    record(
+        "rank_10k_d64_batched_gemm",
+        1,
+        bat,
+        Some((queries_per_iter / bat, "queries/s")),
+        Some(backend),
+    );
     let speedup = seq / bat;
     println!("{:<42} {speedup:>11.2}x", "batched ranking speedup");
     assert_eq!(
@@ -112,6 +179,7 @@ fn main() {
             3,
             chunked,
             Some((queries_per_iter / chunked, "queries/s")),
+            Some(backend),
         );
         let sharded = time_best(3, || evaluate_parallel(&model, &triples, &filter, threads));
         record(
@@ -119,6 +187,7 @@ fn main() {
             3,
             sharded,
             Some((queries_per_iter / sharded, "queries/s")),
+            Some(backend),
         );
         println!(
             "{:<42} {:>11.2}x",
@@ -134,6 +203,59 @@ fn main() {
         evaluate_parallel(&model, &triples, &filter, 4),
         evaluate_sequential(&model, &triples, &filter),
         "sharded parallel ranking diverged from the sequential reference"
+    );
+
+    // ---- large tables: the entity table outgrows the shared cache ----
+    // 100k entities × d = 64 is a ~25.6 MiB table — past the L2/L3 of the
+    // CI runners — the regime entity-sharding was built for: each worker's
+    // shard stays resident in its private cache while chunked workers
+    // re-stream all 25 MiB per triple chunk. Recorded for trend-watching
+    // (wall-clock ratios at this size are runner-dependent); the
+    // bit-identity assert is the hard gate.
+    let big_entities = 100_000;
+    let big_triples: Vec<Triple> = (0..64)
+        .map(|_| {
+            Triple::new(
+                rng.below(big_entities) as u32,
+                rng.below(4) as u32,
+                rng.below(big_entities) as u32,
+            )
+        })
+        .collect();
+    let big_emb = Embeddings::init(big_entities, 4, dim, &mut rng);
+    let big_model = BlmModel::new(classics::complex(), big_emb);
+    let big_filter = FilterIndex::build(&big_triples);
+    let big_queries = (2 * big_triples.len()) as f64;
+    let big_batched = time_best(1, || evaluate(&big_model, &big_triples, &big_filter));
+    record(
+        "rank_100k_d64_batched_gemm",
+        1,
+        big_batched,
+        Some((big_queries / big_batched, "queries/s")),
+        Some(backend),
+    );
+    let big_chunked =
+        time_best(1, || evaluate_parallel_chunked(&big_model, &big_triples, &big_filter, 4));
+    record(
+        "rank_100k_d64_chunked_par4",
+        1,
+        big_chunked,
+        Some((big_queries / big_chunked, "queries/s")),
+        Some(backend),
+    );
+    let big_sharded = time_best(1, || evaluate_parallel(&big_model, &big_triples, &big_filter, 4));
+    record(
+        "rank_100k_d64_sharded_par4",
+        1,
+        big_sharded,
+        Some((big_queries / big_sharded, "queries/s")),
+        Some(backend),
+    );
+    println!("{:<42} {:>11.2}x", "100k sharded vs chunked at 4 threads", big_chunked / big_sharded);
+    assert_eq!(
+        evaluate_parallel(&big_model, &big_triples, &big_filter, 4),
+        evaluate(&big_model, &big_triples, &big_filter),
+        "sharded parallel ranking diverged from batched at 100k entities"
     );
 
     // ---- serving facade: one-at-a-time vs 64-query batched dispatch ----
@@ -156,6 +278,7 @@ fn main() {
         3,
         serve_unbatched,
         Some((n_triples as f64 / serve_unbatched, "queries/s")),
+        Some(backend),
     );
     let serve_batched = time_best(3, || {
         // Submit every ticket up front; the dispatcher drains the queue in
@@ -169,6 +292,7 @@ fn main() {
         3,
         serve_batched,
         Some((n_triples as f64 / serve_batched, "queries/s")),
+        Some(backend),
     );
     let serve_speedup = serve_unbatched / serve_batched;
     println!("{:<42} {serve_speedup:>11.2}x", "batched serving speedup");
@@ -241,20 +365,22 @@ fn main() {
         split_ranks = ranks;
     }
     assert_eq!(serial_ranks, split_ranks, "split-crew dispatch changed an answer");
-    record("serve_mixed_10k_d64_serialised_first_head", 5, serial_first, None);
-    record("serve_mixed_10k_d64_split_first_head", 5, split_first, None);
+    record("serve_mixed_10k_d64_serialised_first_head", 5, serial_first, None, Some(backend));
+    record("serve_mixed_10k_d64_split_first_head", 5, split_first, None, Some(backend));
     let mixed_total = (2 * mixed_half) as f64;
     record(
         "serve_mixed_10k_d64_serialised_drain",
         5,
         serial_drain,
         Some((mixed_total / serial_drain, "queries/s")),
+        Some(backend),
     );
     record(
         "serve_mixed_10k_d64_split_drain",
         5,
         split_drain,
         Some((mixed_total / split_drain, "queries/s")),
+        Some(backend),
     );
     let split_hol_speedup = serial_first / split_first;
     println!("{:<42} {split_hol_speedup:>11.2}x", "split-crew head-of-line speedup");
@@ -267,6 +393,11 @@ fn main() {
     drop(engine_split);
 
     // ---- raw kernels: 64-query block against the 10k × 64 table ----
+    // Dispatched (AVX2 where detected) vs forced-scalar A/B for each hot
+    // kernel. The explicit `*_scalar` entry points measure the fallback
+    // without re-launching the process under KG_FORCE_SCALAR; both
+    // backends produce bit-identical output, so the rows differ only in
+    // time.
     let block = 64usize;
     let mut q = Mat::zeros(block, dim);
     rng.fill_normal(1.0, q.as_mut_slice());
@@ -277,12 +408,42 @@ fn main() {
         }
         scores[0]
     });
-    record("kernel_64q_gemv_loop", 4, kernel_gemv, None);
+    record("kernel_64q_gemv_loop", 4, kernel_gemv, None, None);
     let kernel_gemm = time_best(4, || {
         gemm::gemm_nt(q.as_slice(), block, dim, &model.emb.ent, &mut scores);
         scores[0]
     });
-    record("kernel_64q_gemm_nt", 4, kernel_gemm, None);
+    record("kernel_64q_gemm_nt", 4, kernel_gemm, None, Some(backend));
+    let kernel_gemm_scalar = time_best(4, || {
+        gemm::gemm_nt_scalar(q.as_slice(), block, dim, &model.emb.ent, &mut scores);
+        scores[0]
+    });
+    record("kernel_64q_gemm_nt_scalar", 4, kernel_gemm_scalar, None, Some("scalar"));
+    let gemm_nt_simd_speedup = kernel_gemm_scalar / kernel_gemm;
+    println!("{:<42} {gemm_nt_simd_speedup:>11.2}x", "gemm_nt dispatched vs forced scalar");
+
+    // gemm_acc_t over the same block shape (the softmax backward's kernel).
+    let coeff: Vec<f32> = scores.clone();
+    let mut acc_out = vec![0.0f32; block * dim];
+    let kernel_acc = time_best(4, || {
+        gemm::gemm_acc_t(&coeff, block, &model.emb.ent, &mut acc_out);
+        acc_out[0]
+    });
+    record("kernel_64q_gemm_acc_t", 4, kernel_acc, None, Some(backend));
+    let kernel_acc_scalar = time_best(4, || {
+        gemm::gemm_acc_t_scalar(&coeff, block, &model.emb.ent, &mut acc_out);
+        acc_out[0]
+    });
+    record("kernel_64q_gemm_acc_t_scalar", 4, kernel_acc_scalar, None, Some("scalar"));
+
+    // count_cmp over one 10k-entity score row (the rank-count sweep).
+    let sweep_row = &scores[..n_entities];
+    let threshold = sweep_row[n_entities / 2];
+    let sweep = time_best(64, || vecops::count_cmp(black_box(sweep_row), black_box(threshold)));
+    record("kernel_count_cmp_10k", 64, sweep, None, Some(backend));
+    let sweep_scalar =
+        time_best(64, || vecops::count_cmp_scalar(black_box(sweep_row), black_box(threshold)));
+    record("kernel_count_cmp_10k_scalar", 64, sweep_scalar, None, Some("scalar"));
 
     // ---- batch adapter overhead: one 64-query block through BatchScorer ----
     let mut scratch = BatchScratch::new();
@@ -292,7 +453,7 @@ fn main() {
         model.score_tails_batch(&tail_queries, &mut scores, &mut scratch);
         scores[0]
     });
-    record("score_tails_batch_64q", 4, batch_call, None);
+    record("score_tails_batch_64q", 4, batch_call, None, Some(backend));
 
     // ---- single-triple scoring stays cheap (per-query adapter path) ----
     let mut one = vec![0.0f32; n_entities];
@@ -300,9 +461,18 @@ fn main() {
         model.score_tails(7, 1, &mut one);
         one[0]
     });
-    record("score_tails_single_query", 16, single, None);
+    record("score_tails_single_query", 16, single, None, None);
 
-    let json = serde_json::to_string_pretty(&rows).expect("serialise bench rows");
+    let report = BenchReport {
+        meta: BenchMeta {
+            kernel_backend: backend.to_string(),
+            avx2_detected,
+            fma_detected,
+            force_scalar_env: simd::force_scalar_requested(),
+        },
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialise bench report");
     // Anchor to the workspace root whatever cwd cargo hands the bench.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_microbench.json");
     std::fs::write(path, &json).expect("write BENCH_microbench.json");
@@ -340,4 +510,21 @@ fn main() {
         split_hol_speedup >= 1.2,
         "split-crew head-of-line speedup regressed below 1.2x serialised: {split_hol_speedup:.2}x"
     );
+    // The explicit-SIMD backend has to actually pay for itself: when the
+    // dispatcher selected AVX2, the dispatched gemm_nt must beat the
+    // forced-scalar reference by >= 1.3x on the headline 64-query kernel
+    // (the measured gap is well above the gate; 1.3x catches a dispatch
+    // seam that quietly falls back or a SIMD kernel that stops being
+    // faster). On scalar-only machines the two rows measure the same
+    // kernel and the ratio is recorded ungated for parity tracking.
+    if simd::active_backend() == simd::Backend::Avx2 {
+        assert!(
+            gemm_nt_simd_speedup >= 1.3,
+            "AVX2 gemm_nt regressed below 1.3x the scalar reference: {gemm_nt_simd_speedup:.2}x"
+        );
+    } else {
+        println!(
+            "(scalar backend active: gemm_nt parity {gemm_nt_simd_speedup:.2}x recorded, no gate)"
+        );
+    }
 }

@@ -24,5 +24,5 @@ pub use classification::{accuracy, make_negatives, tune_thresholds, Thresholds};
 pub use curves::{Curve, CurvePoint};
 pub use ranking::{
     evaluate, evaluate_parallel, evaluate_parallel_chunked, evaluate_parallel_sharded,
-    evaluate_sequential, filtered_rank, shard_bounds, top_k, RankMetrics,
+    evaluate_sequential, filtered_rank, shard_bounds, top_k, top_k_into, RankMetrics,
 };

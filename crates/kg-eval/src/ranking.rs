@@ -230,6 +230,19 @@ pub fn filtered_rank(scores: &[f32], target: usize, known_others: &[EntityId]) -
 /// assert_eq!(kg_eval::ranking::top_k(&scores, 0), vec![]);
 /// ```
 pub fn top_k(scores: &[f32], k: usize) -> Vec<(usize, f32)> {
+    let mut entries = Vec::new();
+    top_k_into(scores, k, &mut entries);
+    entries
+}
+
+/// [`top_k`] into a caller-owned buffer: `entries` is cleared, used as the
+/// selection scratch (it grows to `scores.len()` pairs while selecting)
+/// and left holding exactly the top-`k` result, in the same deterministic
+/// order as [`top_k`]. Reusing one buffer across calls makes the
+/// steady-state selection allocation-free — the serving dispatcher keeps
+/// one per lane, so a top-k request no longer allocates an
+/// `n_entities`-entry `Vec` per query on the hot path.
+pub fn top_k_into(scores: &[f32], k: usize, entries: &mut Vec<(usize, f32)>) {
     // NaN sorts strictly below every real score (-∞ included) and NaNs tie
     // only with each other, so even all-NaN tables order deterministically
     // by the id tiebreak.
@@ -248,18 +261,18 @@ pub fn top_k(scores: &[f32], k: usize) -> Vec<(usize, f32)> {
             }
         }
     }
+    entries.clear();
     let k = k.min(scores.len());
     if k == 0 {
-        return Vec::new();
+        return;
     }
-    let mut entries: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+    entries.extend(scores.iter().copied().enumerate());
     if k < entries.len() {
         // Partition the k best to the front, then order just those.
         entries.select_nth_unstable_by(k - 1, better);
         entries.truncate(k);
     }
     entries.sort_unstable_by(better);
-    entries
 }
 
 /// Reusable buffers for ranking one block of triples — allocate once per
@@ -905,6 +918,29 @@ mod tests {
     #[should_panic(expected = "target entity 7 out of range for a 3-entity score table")]
     fn filtered_rank_rejects_out_of_range_target() {
         filtered_rank(&[1.0, 2.0, 3.0], 7, &[]);
+    }
+
+    #[test]
+    fn top_k_into_reuses_buffer_and_matches_allocating_wrapper() {
+        let scores = [0.5f32, 2.0, 0.5, 3.0, 2.0];
+        let mut buf: Vec<(usize, f32)> = Vec::new();
+        for k in [0usize, 1, 3, 5, 99] {
+            top_k_into(&scores, k, &mut buf);
+            assert_eq!(buf, top_k(&scores, k), "k={k}");
+        }
+        // Stale contents from a previous (larger) result never leak.
+        top_k_into(&scores, 4, &mut buf);
+        top_k_into(&scores, 1, &mut buf);
+        assert_eq!(buf, vec![(3, 3.0)]);
+        top_k_into(&[], 7, &mut buf);
+        assert!(buf.is_empty());
+        // The scratch grows once and is then reused, never reallocated.
+        top_k_into(&scores, 2, &mut buf);
+        let cap = buf.capacity();
+        for _ in 0..3 {
+            top_k_into(&scores, 2, &mut buf);
+            assert_eq!(buf.capacity(), cap, "steady-state calls must not reallocate");
+        }
     }
 
     #[test]

@@ -20,26 +20,93 @@
 //! Blocking therefore only reorders *which output is computed when*, never
 //! how any single output is computed. The equivalence suite in
 //! `kg-eval/tests/batch_equivalence.rs` and the proptests here pin this down.
+//!
+//! **Backend dispatch.** Each public kernel exists in two implementations:
+//! the portable scalar reference (kept public as [`gemm_nt_scalar`],
+//! [`gemm_nt_rows_scalar`], [`gemm_acc_t_scalar`] for A/B benchmarking and
+//! equivalence testing) and the explicit AVX2 kernels in [`crate::simd`].
+//! The entry points here pick a backend **once per process** via
+//! [`crate::simd::active_backend`]: AVX2 when the CPU reports it at
+//! runtime, scalar everywhere else or when the `KG_FORCE_SCALAR` env knob
+//! pins the fallback. Because the scalar kernels vectorise across
+//! *independent outputs* (the `NT_UNROLL` accumulator chains), the AVX2
+//! kernels can assign one lane per output and use separate multiply and
+//! add intrinsics — **no FMA contraction, lane-per-output only** — so both
+//! backends produce bit-identical bytes and every equivalence suite is the
+//! dispatch seam's safety net. Any future backend (BLAS, GPU) that cannot
+//! meet that bar must be gated behind a relaxed-equivalence suite instead;
+//! see [`crate::simd`] for the full contract.
 
 use crate::matrix::Mat;
+use crate::simd;
 use crate::vecops;
 
 /// Entity-table rows per tile. The tile is transposed once into the
 /// thread-local scratch (`NT_ROW_TILE · k` floats — 8 KiB at the search
 /// dimension d = 64) and then reused by every query of the block.
-const NT_ROW_TILE: usize = 32;
+pub(crate) const NT_ROW_TILE: usize = 32;
 
 /// Entity rows computed concurrently per query: one SIMD-friendly group.
 /// Each row keeps its own strict sequential accumulator (bit-identity);
 /// the width buys lane-parallelism across the FP-add latency chain that
-/// serialises a lone dot product.
-const NT_UNROLL: usize = 8;
+/// serialises a lone dot product — and maps one-to-one onto the 8 `f32`
+/// lanes of an AVX2 register in the explicit backend.
+pub(crate) const NT_UNROLL: usize = 8;
 
 thread_local! {
     /// Transposed-tile scratch for [`gemm_nt`], grown on demand so the
-    /// steady-state kernel allocates nothing.
+    /// steady-state kernel allocates nothing. Shared by both backends via
+    /// [`with_tile_scratch`].
     static TILE_SCRATCH: std::cell::RefCell<Vec<f32>> =
         const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Run `f` over this thread's transposed-tile scratch, grown to
+/// `NT_ROW_TILE · k` floats — the single scratch both the scalar and the
+/// AVX2 `gemm_nt` drivers use, so backends never differ in allocation
+/// behaviour.
+pub(crate) fn with_tile_scratch<R>(k: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    TILE_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        if scratch.len() < NT_ROW_TILE * k {
+            scratch.resize(NT_ROW_TILE * k, 0.0);
+        }
+        f(&mut scratch[..NT_ROW_TILE * k])
+    })
+}
+
+/// The shape preconditions every `gemm_nt_rows` backend enforces —
+/// defined once so the backends cannot drift in what they accept or in
+/// the panic messages the tests pin.
+pub(crate) fn check_nt_rows_shapes(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &Mat,
+    rows: &std::ops::Range<usize>,
+    out: &[f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm_nt: A shape mismatch");
+    assert_eq!(b.cols(), k, "gemm_nt: inner dimension mismatch");
+    assert!(
+        rows.start <= rows.end && rows.end <= b.rows(),
+        "gemm_nt: row range {rows:?} out of bounds for {} table rows",
+        b.rows()
+    );
+    assert_eq!(out.len(), m * rows.len(), "gemm_nt: out shape mismatch");
+}
+
+/// Transpose table rows `j0..j1` of `bs` (row stride `k`) into the tile:
+/// `tile[c·NT_ROW_TILE + u] = B[j0+u][c]`, so the `NT_UNROLL` operands of
+/// inner-loop step `c` sit contiguously. Copies only — no arithmetic — and
+/// defined once so both backends score the identical tile layout.
+pub(crate) fn transpose_tile(bs: &[f32], k: usize, j0: usize, j1: usize, tile: &mut [f32]) {
+    for u in 0..(j1 - j0) {
+        let b_row = &bs[(j0 + u) * k..(j0 + u + 1) * k];
+        for (c, &v) in b_row.iter().enumerate() {
+            tile[c * NT_ROW_TILE + u] = v;
+        }
+    }
 }
 
 /// `out = A · Bᵀ` where `A` is an `m × k` row-major slice of query vectors
@@ -58,6 +125,13 @@ thread_local! {
 /// Panics when the slice lengths disagree with `m`, `k` and `b`'s shape.
 pub fn gemm_nt(a: &[f32], m: usize, k: usize, b: &Mat, out: &mut [f32]) {
     gemm_nt_rows(a, m, k, b, 0..b.rows(), out);
+}
+
+/// The scalar reference backend of [`gemm_nt`], bypassing dispatch. Public
+/// for A/B benchmarking and backend-equivalence tests; every byte of `out`
+/// equals the dispatched kernel's.
+pub fn gemm_nt_scalar(a: &[f32], m: usize, k: usize, b: &Mat, out: &mut [f32]) {
+    gemm_nt_rows_scalar(a, m, k, b, 0..b.rows(), out);
 }
 
 /// Row-tile-range variant of [`gemm_nt`]: score the query block against only
@@ -87,35 +161,38 @@ pub fn gemm_nt_rows(
     rows: std::ops::Range<usize>,
     out: &mut [f32],
 ) {
-    assert_eq!(a.len(), m * k, "gemm_nt: A shape mismatch");
-    assert_eq!(b.cols(), k, "gemm_nt: inner dimension mismatch");
-    assert!(
-        rows.start <= rows.end && rows.end <= b.rows(),
-        "gemm_nt: row range {rows:?} out of bounds for {} table rows",
-        b.rows()
-    );
+    match simd::active_backend() {
+        // SAFETY: the AVX2 backend is only ever selected after
+        // `is_x86_feature_detected!("avx2")` confirmed CPU support.
+        #[cfg(target_arch = "x86_64")]
+        simd::Backend::Avx2 => unsafe { simd::avx2::gemm_nt_rows(a, m, k, b, rows, out) },
+        _ => gemm_nt_rows_scalar(a, m, k, b, rows, out),
+    }
+}
+
+/// The scalar reference backend of [`gemm_nt_rows`], bypassing dispatch.
+/// Public for A/B benchmarking and backend-equivalence tests; every byte
+/// of `out` equals the dispatched kernel's.
+///
+/// # Panics
+/// Same shape panics as [`gemm_nt_rows`].
+pub fn gemm_nt_rows_scalar(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &Mat,
+    rows: std::ops::Range<usize>,
+    out: &mut [f32],
+) {
+    check_nt_rows_shapes(a, m, k, b, &rows, out);
     let width = rows.len();
-    assert_eq!(out.len(), m * width, "gemm_nt: out shape mismatch");
     let bs = b.as_slice();
-    TILE_SCRATCH.with(|scratch| {
-        let mut scratch = scratch.borrow_mut();
-        if scratch.len() < NT_ROW_TILE * k {
-            scratch.resize(NT_ROW_TILE * k, 0.0);
-        }
-        let tile = &mut scratch[..NT_ROW_TILE * k];
+    with_tile_scratch(k, |tile| {
         let mut j0 = rows.start;
         while j0 < rows.end {
             let j1 = (j0 + NT_ROW_TILE).min(rows.end);
-            let tile_rows = j1 - j0;
-            let groups = tile_rows / NT_UNROLL;
-            // Transpose the tile: tile[c·T + u] = B[j0+u][c], so that the
-            // NT_UNROLL operands of inner-loop step `c` sit contiguously.
-            for u in 0..tile_rows {
-                let b_row = &bs[(j0 + u) * k..(j0 + u + 1) * k];
-                for (c, &v) in b_row.iter().enumerate() {
-                    tile[c * NT_ROW_TILE + u] = v;
-                }
-            }
+            let groups = (j1 - j0) / NT_UNROLL;
+            transpose_tile(bs, k, j0, j1, tile);
             for i in 0..m {
                 let a_row = &a[i * k..(i + 1) * k];
                 let out_row = &mut out[i * width..(i + 1) * width];
@@ -152,6 +229,22 @@ pub fn gemm_nt_rows(
 /// # Panics
 /// Panics when the slice lengths disagree with `m` and `b`'s shape.
 pub fn gemm_acc_t(s: &[f32], m: usize, b: &Mat, out: &mut [f32]) {
+    match simd::active_backend() {
+        // SAFETY: the AVX2 backend is only ever selected after
+        // `is_x86_feature_detected!("avx2")` confirmed CPU support.
+        #[cfg(target_arch = "x86_64")]
+        simd::Backend::Avx2 => unsafe { simd::avx2::gemm_acc_t(s, m, b, out) },
+        _ => gemm_acc_t_scalar(s, m, b, out),
+    }
+}
+
+/// The scalar reference backend of [`gemm_acc_t`], bypassing dispatch.
+/// Public for A/B benchmarking and backend-equivalence tests; every byte
+/// of `out` equals the dispatched kernel's.
+///
+/// # Panics
+/// Same shape panics as [`gemm_acc_t`].
+pub fn gemm_acc_t_scalar(s: &[f32], m: usize, b: &Mat, out: &mut [f32]) {
     let n = b.rows();
     let k = b.cols();
     assert_eq!(s.len(), m * n, "gemm_acc_t: S shape mismatch");
@@ -296,5 +389,48 @@ mod tests {
         let b = Mat::zeros(3, 4);
         let mut out = vec![0.0f32; 6];
         gemm_nt(&[0.0; 10], 2, 5, &b, &mut out);
+    }
+
+    /// The dispatched kernels must agree with the scalar reference byte
+    /// for byte — on an AVX2 machine this pits the SIMD backend against
+    /// scalar across unaligned shapes, ragged shard ranges and NaN/±0.0
+    /// payloads; on anything else it degenerates to scalar-vs-scalar and
+    /// the proptests in `tests/proptests.rs` carry the cross-backend load.
+    #[test]
+    fn dispatched_kernels_match_scalar_backend_bit_for_bit() {
+        let mut rng = SeededRng::new(99);
+        for (m, n, k) in [(1, 5, 3), (7, 33, 12), (5, NT_ROW_TILE * 2 + 3, 17), (3, 70, 64)] {
+            let a = rand_mat(&mut rng, m, k);
+            let mut b = rand_mat(&mut rng, n, k);
+            // Seed awkward payloads: NaN propagates through its own output
+            // only, signed zeros must round-trip untouched.
+            b.set(0, 0, f32::NAN);
+            b.set(n / 2, k / 2, -0.0);
+            let mut dispatched = vec![0.0f32; m * n];
+            gemm_nt(a.as_slice(), m, k, &b, &mut dispatched);
+            let mut scalar = vec![0.0f32; m * n];
+            gemm_nt_scalar(a.as_slice(), m, k, &b, &mut scalar);
+            assert_eq!(bits(&dispatched), bits(&scalar), "gemm_nt ({m},{n},{k})");
+
+            // Ragged, unroll-unaligned shard range.
+            let (j0, j1) = (1, n - 2);
+            let mut shard = vec![0.0f32; m * (j1 - j0)];
+            gemm_nt_rows(a.as_slice(), m, k, &b, j0..j1, &mut shard);
+            let mut shard_scalar = vec![0.0f32; m * (j1 - j0)];
+            gemm_nt_rows_scalar(a.as_slice(), m, k, &b, j0..j1, &mut shard_scalar);
+            assert_eq!(bits(&shard), bits(&shard_scalar), "gemm_nt_rows ({m},{n},{k})");
+
+            let s = rand_mat(&mut rng, m, n);
+            let mut acc = vec![0.0f32; m * k];
+            gemm_acc_t(s.as_slice(), m, &b, &mut acc);
+            let mut acc_scalar = vec![0.0f32; m * k];
+            gemm_acc_t_scalar(s.as_slice(), m, &b, &mut acc_scalar);
+            assert_eq!(bits(&acc), bits(&acc_scalar), "gemm_acc_t ({m},{n},{k})");
+        }
+    }
+
+    /// The shared cross-backend comparator (see [`crate::simd::canonical_bits`]).
+    fn bits(x: &[f32]) -> Vec<u32> {
+        crate::simd::canonical_bits(x)
     }
 }

@@ -14,6 +14,11 @@
 //!   entity-shard variant [`gemm::gemm_nt_rows`] and [`gemm::gemm_acc_t`])
 //!   behind the batched scoring engine; bit-identical per element to the
 //!   per-query GEMV paths they replace.
+//! * [`simd`] — the explicit AVX2 implementations of the four hot kernels
+//!   (`gemm_nt`, `gemm_nt_rows`, `gemm_acc_t`, `count_cmp`) plus the
+//!   one-time runtime dispatch that selects them; lane-per-output with
+//!   separate mul/add, so SIMD output is **bit-identical** to scalar and
+//!   every consumer inherits the speedup with zero call-site changes.
 //! * [`rng`] — seeded random initialisation (uniform, Box-Muller normal,
 //!   Xavier/Glorot).
 //! * [`optim`] — SGD / Adagrad / Adam with sparse row updates (Adagrad is the
@@ -29,6 +34,7 @@ pub mod matrix;
 pub mod mlp;
 pub mod optim;
 pub mod rng;
+pub mod simd;
 pub mod vecops;
 
 pub use matrix::Mat;

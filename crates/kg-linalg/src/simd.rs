@@ -1,0 +1,298 @@
+//! Explicit-SIMD kernel backend with one-time runtime dispatch.
+//!
+//! The four hot kernels of the scoring engine — [`crate::gemm::gemm_nt`],
+//! [`crate::gemm::gemm_nt_rows`], [`crate::gemm::gemm_acc_t`] and
+//! [`crate::vecops::count_cmp`] — ship in two implementations: the portable
+//! scalar reference (what every consumer ran before this module existed,
+//! kept public as `*_scalar`) and the explicit x86-64 AVX2 kernels in
+//! [`avx2`]. The public kernel entry points dispatch on
+//! [`active_backend`], which is resolved **once** per process:
+//!
+//! 1. if the [`FORCE_SCALAR_ENV`] environment variable (`KG_FORCE_SCALAR`)
+//!    is set to anything but `0` or the empty string, the scalar backend is
+//!    pinned — the A/B knob for benchmarking and for exercising the
+//!    fallback on CPUs that would dispatch to AVX2;
+//! 2. otherwise, if the CPU reports AVX2 at runtime
+//!    (`is_x86_feature_detected!("avx2")`), the AVX2 backend is selected;
+//! 3. on every other CPU and every non-x86-64 architecture, the scalar
+//!    backend runs — there is no compile-time feature to set and no
+//!    call-site change for consumers.
+//!
+//! # What the bit-identity contract demands of a backend
+//!
+//! Every backend must compute **each output element with the identical
+//! floating-point operations in the identical order** as the scalar
+//! reference. The scalar kernels already vectorise *across outputs* — 8
+//! independent accumulator chains in `gemm_nt`, per-column accumulators in
+//! `gemm_acc_t`, independent integer lanes in `count_cmp` — so the AVX2
+//! kernels simply assign one SIMD lane per output element and use
+//! **separate multiply and add intrinsics** (`_mm256_mul_ps` +
+//! `_mm256_add_ps`, never an FMA): each lane then performs exactly the
+//! scalar reference's rounding sequence and the results match bit for bit
+//! — signed zeros, infinities and the canonical NaNs of invalid operations
+//! (`0 · ∞`, `∞ − ∞`) included. The single exception is the payload bits
+//! of a NaN *propagated from the input*: IEEE 754 lets an operation return
+//! either operand's NaN payload, x86 returns the **first** operand's, and
+//! LLVM freely commutes the scalar multiply — so propagated payload bits
+//! are not pinned by either backend's source code. The contract there is
+//! "NaN exactly where the reference has NaN" (element-wise NaN masks
+//! coincide; ranking semantics never read NaN payloads), and since model
+//! embeddings are NaN-free, every real workload is fully bit-identical.
+//! A future backend that fuses
+//! multiply-add (FMA contraction), reassociates a reduction, or tiles
+//! *within* a single output's accumulation chain would break the contract
+//! and must live behind a relaxed-equivalence gate instead — see the
+//! ROADMAP's "Alternative backends" item.
+//!
+//! The equivalence proptests in `tests/proptests.rs` (SIMD vs scalar over
+//! unaligned lengths, ragged shard ranges, NaN and ±0.0 payloads) and the
+//! forced-scalar seam test in `tests/forced_scalar.rs` pin all of this
+//! down; the engine-level suites (`batch_equivalence`, `shard_equivalence`,
+//! `serve_equivalence`) inherit the guarantee unchanged.
+
+use std::sync::OnceLock;
+
+/// Environment variable that pins the scalar backend when set (to anything
+/// but `0` or the empty string). Read once, at the first kernel dispatch of
+/// the process — flipping it later has no effect.
+pub const FORCE_SCALAR_ENV: &str = "KG_FORCE_SCALAR";
+
+/// Which kernel implementation the dispatcher selected for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar reference kernels (`*_scalar`).
+    Scalar,
+    /// Explicit AVX2 kernels ([`avx2`]) — x86-64 with runtime-detected
+    /// AVX2 only.
+    Avx2,
+}
+
+impl Backend {
+    /// Stable lower-case name for logs and bench provenance records.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Whether [`FORCE_SCALAR_ENV`] currently requests the scalar backend.
+/// Unlike [`active_backend`] this reads the environment every call — the
+/// dispatch decision itself latches only the value seen at first use.
+pub fn force_scalar_requested() -> bool {
+    std::env::var_os(FORCE_SCALAR_ENV).is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Whether this CPU can run the AVX2 backend (runtime detection; `false`
+/// on every non-x86-64 architecture). Independent of the env knob — useful
+/// for tests that exercise both backends explicitly in one process.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The backend every dispatched kernel call uses, resolved once per
+/// process (env knob first, then CPU detection — see the module docs).
+pub fn active_backend() -> Backend {
+    static BACKEND: OnceLock<Backend> = OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        if !force_scalar_requested() && avx2_available() {
+            Backend::Avx2
+        } else {
+            Backend::Scalar
+        }
+    })
+}
+
+/// Bit patterns for cross-backend equality checks, with every NaN mapped
+/// to one canonical quiet pattern. This *is* the backend equality
+/// contract in code: finite values, signed zeros, infinities and
+/// invalid-operation indefinites must match raw, while the payload bits
+/// of a NaN propagated from a NaN input are the one IEEE detail operand
+/// order doesn't pin down (see the module docs) — canonicalising still
+/// checks "NaN exactly where the reference has NaN", because a NaN never
+/// maps to a non-NaN pattern. Every backend-equivalence suite compares
+/// through this one helper so the contract cannot drift between them.
+pub fn canonical_bits(x: &[f32]) -> Vec<u32> {
+    x.iter().map(|v| if v.is_nan() { 0x7fc0_0000 } else { v.to_bits() }).collect()
+}
+
+/// The explicit AVX2 kernels: one SIMD lane per output element, separate
+/// multiply and add (no FMA contraction), scalar ragged tails — every
+/// output byte equals the scalar reference's.
+///
+/// All functions here are `unsafe` for one reason only: the caller must
+/// guarantee the CPU supports AVX2 (`#[target_feature]` requirement).
+/// The dispatched entry points in [`crate::gemm`] and [`crate::vecops`]
+/// establish this via [`active_backend`]; tests may call these directly
+/// under an [`avx2_available`] guard. Shape preconditions are asserted
+/// exactly as in the scalar kernels.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use crate::gemm::{with_tile_scratch, NT_ROW_TILE, NT_UNROLL};
+    use crate::matrix::Mat;
+    use crate::vecops;
+    use std::arch::x86_64::*;
+
+    // The gemm_nt microkernel maps the scalar code's NT_UNROLL independent
+    // accumulator chains onto the 8 lanes of one `__m256`.
+    const _: () = assert!(NT_UNROLL == 8, "AVX2 gemm_nt assumes 8-wide unroll groups");
+
+    /// AVX2 [`crate::gemm::gemm_nt_rows`]: lanes = `NT_UNROLL` entity
+    /// rows per query, each lane its own strict sequential accumulator —
+    /// `acc[u] = acc[u] + a[c] · tile[c][u]` as two separate rounded
+    /// operations per step, exactly the scalar chain. The tile transpose
+    /// and the ragged tile tail (< 8 rows, plain [`vecops::dot`]) are the
+    /// scalar code paths verbatim.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (see [`super::avx2_available`]).
+    ///
+    /// # Panics
+    /// Same shape panics as [`crate::gemm::gemm_nt_rows`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemm_nt_rows(
+        a: &[f32],
+        m: usize,
+        k: usize,
+        b: &Mat,
+        rows: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        crate::gemm::check_nt_rows_shapes(a, m, k, b, &rows, out);
+        let width = rows.len();
+        let bs = b.as_slice();
+        with_tile_scratch(k, |tile| {
+            let mut j0 = rows.start;
+            while j0 < rows.end {
+                let j1 = (j0 + NT_ROW_TILE).min(rows.end);
+                let groups = (j1 - j0) / NT_UNROLL;
+                crate::gemm::transpose_tile(bs, k, j0, j1, tile);
+                for i in 0..m {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let out_row = &mut out[i * width..(i + 1) * width];
+                    let col0 = j0 - rows.start;
+                    for g in 0..groups {
+                        let base = g * NT_UNROLL;
+                        // 8 strict accumulator chains, one per lane:
+                        // mul then add, never fused.
+                        let mut acc = _mm256_setzero_ps();
+                        for (c, &av) in a_row.iter().enumerate() {
+                            let lanes = _mm256_loadu_ps(tile.as_ptr().add(c * NT_ROW_TILE + base));
+                            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(av), lanes));
+                        }
+                        _mm256_storeu_ps(out_row.as_mut_ptr().add(col0 + base), acc);
+                    }
+                    // Ragged tail of the tile: plain dots (scalar path).
+                    for j in (j0 + groups * NT_UNROLL)..j1 {
+                        out_row[j - rows.start] = vecops::dot(a_row, b.row(j));
+                    }
+                }
+                j0 = j1;
+            }
+        });
+    }
+
+    /// AVX2 [`crate::gemm::gemm_acc_t`]: lanes = 8 output columns, each
+    /// accumulating over table rows `r` in increasing order — per element
+    /// `out[c] = out[c] + s[r] · b[r][c]`, two separate rounded operations,
+    /// the scalar `axpy` step exactly. The `k % 8` column tail is scalar.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (see [`super::avx2_available`]).
+    ///
+    /// # Panics
+    /// Same shape panics as [`crate::gemm::gemm_acc_t`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemm_acc_t(s: &[f32], m: usize, b: &Mat, out: &mut [f32]) {
+        let n = b.rows();
+        let k = b.cols();
+        assert_eq!(s.len(), m * n, "gemm_acc_t: S shape mismatch");
+        assert_eq!(out.len(), m * k, "gemm_acc_t: out shape mismatch");
+        vecops::zero(out);
+        let wide = k - k % 8;
+        for r in 0..n {
+            let b_row = b.row(r);
+            for i in 0..m {
+                let coeff = s[i * n + r];
+                let coeff8 = _mm256_set1_ps(coeff);
+                let y = &mut out[i * k..(i + 1) * k];
+                let mut c = 0;
+                while c < wide {
+                    let yv = _mm256_loadu_ps(y.as_ptr().add(c));
+                    let xv = _mm256_loadu_ps(b_row.as_ptr().add(c));
+                    let sum = _mm256_add_ps(yv, _mm256_mul_ps(coeff8, xv));
+                    _mm256_storeu_ps(y.as_mut_ptr().add(c), sum);
+                    c += 8;
+                }
+                while c < k {
+                    y[c] += coeff * b_row[c];
+                    c += 1;
+                }
+            }
+        }
+    }
+
+    /// AVX2 [`crate::vecops::count_cmp`]: 8 floats compared per step with
+    /// ordered-quiet predicates (`_CMP_GT_OQ` / `_CMP_EQ_OQ` — the exact
+    /// IEEE semantics of the scalar `>` / `==`, so NaN counts as neither
+    /// and `+0.0 == -0.0` ties), each all-ones mask subtracted from its
+    /// own `u32` lane counter. Counts are order-independent integers, so
+    /// the lane arrangement cannot change the result; slices up to
+    /// `8 · 2³²` elements are exact.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (see [`super::avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn count_cmp(scores: &[f32], threshold: f32) -> (usize, usize) {
+        let t = _mm256_set1_ps(threshold);
+        let mut gt = _mm256_setzero_si256();
+        let mut eq = _mm256_setzero_si256();
+        let mut chunks = scores.chunks_exact(8);
+        for ch in chunks.by_ref() {
+            let v = _mm256_loadu_ps(ch.as_ptr());
+            // A true compare is an all-ones lane (-1 as i32): subtracting
+            // it increments the lane's counter branchlessly.
+            gt = _mm256_sub_epi32(gt, _mm256_castps_si256(_mm256_cmp_ps::<_CMP_GT_OQ>(v, t)));
+            eq = _mm256_sub_epi32(eq, _mm256_castps_si256(_mm256_cmp_ps::<_CMP_EQ_OQ>(v, t)));
+        }
+        let mut gt_lanes = [0u32; 8];
+        let mut eq_lanes = [0u32; 8];
+        _mm256_storeu_si256(gt_lanes.as_mut_ptr().cast::<__m256i>(), gt);
+        _mm256_storeu_si256(eq_lanes.as_mut_ptr().cast::<__m256i>(), eq);
+        let mut gt_total: usize = gt_lanes.iter().map(|&c| c as usize).sum();
+        let mut eq_total: usize = eq_lanes.iter().map(|&c| c as usize).sum();
+        for &s in chunks.remainder() {
+            gt_total += (s > threshold) as usize;
+            eq_total += (s == threshold) as usize;
+        }
+        (gt_total, eq_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_name_is_stable() {
+        assert_eq!(Backend::Scalar.name(), "scalar");
+        assert_eq!(Backend::Avx2.name(), "avx2");
+    }
+
+    #[test]
+    fn active_backend_is_latched_and_consistent() {
+        let first = active_backend();
+        assert_eq!(active_backend(), first, "dispatch decision must be stable");
+        if first == Backend::Avx2 {
+            assert!(avx2_available(), "AVX2 backend selected without CPU support");
+        }
+    }
+}

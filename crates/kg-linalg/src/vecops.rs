@@ -119,8 +119,27 @@ const CMP_LANES: usize = 4;
 /// counts exactly, which is what lets sharded ranking merge per-shard counts
 /// into bit-identical global ranks. Each lane counts into a `u32`, so slices
 /// up to `4 · 2³²` elements are exact.
+///
+/// Dispatches to the explicit AVX2 sweep ([`crate::simd::avx2::count_cmp`]
+/// on x86-64) when [`crate::simd::active_backend`] selected it — the
+/// counts are identical whatever the backend, because both lane layouts
+/// sum the same order-independent integers.
 #[inline]
 pub fn count_cmp(scores: &[f32], threshold: f32) -> (usize, usize) {
+    match crate::simd::active_backend() {
+        // SAFETY: the AVX2 backend is only ever selected after
+        // `is_x86_feature_detected!("avx2")` confirmed CPU support.
+        #[cfg(target_arch = "x86_64")]
+        crate::simd::Backend::Avx2 => unsafe { crate::simd::avx2::count_cmp(scores, threshold) },
+        _ => count_cmp_scalar(scores, threshold),
+    }
+}
+
+/// The scalar reference backend of [`count_cmp`], bypassing dispatch.
+/// Public for A/B benchmarking and backend-equivalence tests; returns the
+/// same counts as the dispatched sweep on every input.
+#[inline]
+pub fn count_cmp_scalar(scores: &[f32], threshold: f32) -> (usize, usize) {
     let mut gt = [0u32; CMP_LANES];
     let mut eq = [0u32; CMP_LANES];
     let mut chunks = scores.chunks_exact(CMP_LANES);
@@ -137,16 +156,43 @@ pub fn count_cmp(scores: &[f32], threshold: f32) -> (usize, usize) {
     (gt.iter().map(|&c| c as usize).sum(), eq.iter().map(|&c| c as usize).sum())
 }
 
+/// Accumulator lanes for [`softmax_inplace`]'s exponential sum — like
+/// [`CMP_LANES`], independent chains that vectorise instead of serialising
+/// on one `f32` accumulator.
+const SOFTMAX_LANES: usize = 4;
+
 /// Numerically-stable in-place softmax. Returns the log-sum-exp so callers
 /// can compute a cross-entropy loss without a second pass.
+///
+/// **Not bit-identity-contracted.** The exponential sum accumulates in
+/// `SOFTMAX_LANES` independent lanes (folded in a fixed order at the
+/// end), so while the function is fully deterministic, its sum — and
+/// therefore every normalised probability — differs in the last bits from
+/// a naive serial-sum softmax. This is safe *only* because softmax sits
+/// outside every bit-identity-contracted path: raw scores are ranked
+/// before any softmax, and every consumer that needs reproducibility
+/// (the multiclass losses' reference and block paths, NNM training)
+/// funnels through this one function, so batched-vs-sequential
+/// equivalence compares like with like. Do not compare its output against
+/// an external serial-sum reference at the bit level, and do not move it
+/// into a contracted path without re-serialising the sum.
 pub fn softmax_inplace(x: &mut [f32]) -> f32 {
     assert!(!x.is_empty(), "softmax of empty slice");
     let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0f32;
-    for xi in x.iter_mut() {
-        *xi = (*xi - max).exp();
-        sum += *xi;
+    let mut lanes = [0.0f32; SOFTMAX_LANES];
+    let mut chunks = x.chunks_exact_mut(SOFTMAX_LANES);
+    for ch in chunks.by_ref() {
+        for u in 0..SOFTMAX_LANES {
+            ch[u] = (ch[u] - max).exp();
+            lanes[u] += ch[u];
+        }
     }
+    for (u, xi) in chunks.into_remainder().iter_mut().enumerate() {
+        *xi = (*xi - max).exp();
+        lanes[u] += *xi;
+    }
+    // Fixed left-to-right lane fold: deterministic for every input length.
+    let sum = lanes.iter().sum::<f32>();
     let inv = 1.0 / sum;
     for xi in x.iter_mut() {
         *xi *= inv;
@@ -413,5 +459,45 @@ mod tests {
         assert_eq!(norm2_sq(&[3.0, 4.0]), 25.0);
         assert_eq!(norm2(&[3.0, 4.0]), 5.0);
         assert_eq!(norm1(&[-3.0, 4.0]), 7.0);
+    }
+
+    /// The dispatched sweep must agree with the scalar backend exactly —
+    /// including NaN payloads, signed zeros and every lane-ragged length.
+    #[test]
+    fn count_cmp_dispatched_matches_scalar_backend() {
+        for len in 0..35 {
+            let scores: Vec<f32> = (0..len)
+                .map(|i| match i % 7 {
+                    0 => f32::NAN,
+                    1 => 0.0,
+                    2 => -0.0,
+                    _ => (i % 5) as f32 - 2.0,
+                })
+                .collect();
+            for t in [-2.0, 0.0, -0.0, 1.0, f32::NAN] {
+                assert_eq!(
+                    count_cmp(&scores, t),
+                    count_cmp_scalar(&scores, t),
+                    "len {len} threshold {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_lane_sum_is_deterministic_and_close_to_serial() {
+        // Lane accumulation reorders the sum, so only closeness against a
+        // serial reference is promised — but repeat runs must be exact.
+        let base: Vec<f32> = (0..23).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let mut a = base.clone();
+        let lse_a = softmax_inplace(&mut a);
+        let mut b = base.clone();
+        let lse_b = softmax_inplace(&mut b);
+        assert_eq!(a, b, "softmax must be deterministic");
+        assert_eq!(lse_a, lse_b);
+        let max = base.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let serial: f32 = base.iter().map(|v| (v - max).exp()).sum();
+        let lse_serial = max + serial.ln();
+        assert!((lse_a - lse_serial).abs() < 1e-5, "{lse_a} vs serial {lse_serial}");
     }
 }

@@ -1,0 +1,108 @@
+//! The dispatch seam itself: force the scalar backend through the
+//! `KG_FORCE_SCALAR` env knob and prove (a) the dispatcher honours it and
+//! (b) the scalar fallback produces byte-identical output to the explicit
+//! AVX2 kernels — so a broken fallback cannot hide on AVX2 CI machines,
+//! where every other suite exercises only the dispatched (AVX2) path.
+//!
+//! Integration tests run in their own process, so setting the variable
+//! here — before any kernel has dispatched — is what latches the backend.
+//! Everything lives in one `#[test]` because the knob must be set before
+//! the first `active_backend()` call anywhere in the process, and the test
+//! harness runs sibling tests concurrently.
+
+use kg_linalg::rng::SeededRng;
+use kg_linalg::{gemm, simd, vecops, Mat};
+
+/// The shared cross-backend comparator: NaNs canonicalised, everything
+/// else raw — see [`simd::canonical_bits`] for the contract it encodes.
+fn bits(x: &[f32]) -> Vec<u32> {
+    simd::canonical_bits(x)
+}
+
+#[test]
+fn forced_scalar_dispatch_is_honoured_and_byte_equal_to_simd() {
+    // Latch the knob before anything can dispatch. (Safe in edition 2021;
+    // this is the only thread that has run yet in this test process.)
+    std::env::set_var(simd::FORCE_SCALAR_ENV, "1");
+    assert!(simd::force_scalar_requested(), "env knob must read back as set");
+    assert_eq!(
+        simd::active_backend(),
+        simd::Backend::Scalar,
+        "KG_FORCE_SCALAR must pin the scalar backend regardless of CPU features"
+    );
+
+    let mut rng = SeededRng::new(2026);
+    // Shapes unaligned with the 32-row tile, the 8-wide unroll and the
+    // 8/4-wide compare lanes, plus awkward payloads.
+    for (m, n, k) in [(1, 3, 5), (4, 29, 8), (7, 77, 13), (3, 130, 64)] {
+        let mut a = Mat::zeros(m, k);
+        rng.fill_normal(1.0, a.as_mut_slice());
+        let mut b = Mat::zeros(n, k);
+        rng.fill_normal(1.0, b.as_mut_slice());
+        b.set(0, 0, f32::NAN);
+        b.set(n / 2, k / 2, -0.0);
+        b.set(n - 1, 0, f32::INFINITY);
+
+        // The dispatched kernels must BE the scalar backend now.
+        let mut dispatched = vec![0.0f32; m * n];
+        gemm::gemm_nt(a.as_slice(), m, k, &b, &mut dispatched);
+        let mut scalar = vec![0.0f32; m * n];
+        gemm::gemm_nt_scalar(a.as_slice(), m, k, &b, &mut scalar);
+        assert_eq!(bits(&dispatched), bits(&scalar), "gemm_nt ignored the forced-scalar knob");
+
+        let (j0, j1) = (1, n - 1);
+        let mut shard = vec![0.0f32; m * (j1 - j0)];
+        gemm::gemm_nt_rows(a.as_slice(), m, k, &b, j0..j1, &mut shard);
+        let mut shard_scalar = vec![0.0f32; m * (j1 - j0)];
+        gemm::gemm_nt_rows_scalar(a.as_slice(), m, k, &b, j0..j1, &mut shard_scalar);
+        assert_eq!(bits(&shard), bits(&shard_scalar), "gemm_nt_rows ignored the knob");
+
+        let mut s = Mat::zeros(m, n);
+        rng.fill_normal(1.0, s.as_mut_slice());
+        let mut acc = vec![0.0f32; m * k];
+        gemm::gemm_acc_t(s.as_slice(), m, &b, &mut acc);
+        let mut acc_scalar = vec![0.0f32; m * k];
+        gemm::gemm_acc_t_scalar(s.as_slice(), m, &b, &mut acc_scalar);
+        assert_eq!(bits(&acc), bits(&acc_scalar), "gemm_acc_t ignored the knob");
+
+        let row = &dispatched[..n];
+        for t in [0.0f32, -0.0, 1.0, f32::NAN] {
+            assert_eq!(
+                vecops::count_cmp(row, t),
+                vecops::count_cmp_scalar(row, t),
+                "count_cmp ignored the knob (threshold {t})"
+            );
+        }
+
+        // And the forced fallback must still be byte-equal to the explicit
+        // SIMD kernels where the CPU has them — the cross-backend check
+        // that makes a silently-broken scalar path impossible to miss on
+        // AVX2 machines.
+        #[cfg(target_arch = "x86_64")]
+        if simd::avx2_available() {
+            let mut explicit = vec![0.0f32; m * n];
+            // SAFETY: guarded by runtime AVX2 detection.
+            unsafe { simd::avx2::gemm_nt_rows(a.as_slice(), m, k, &b, 0..n, &mut explicit) };
+            assert_eq!(bits(&explicit), bits(&scalar), "scalar and AVX2 gemm_nt diverged");
+
+            let mut explicit_acc = vec![0.0f32; m * k];
+            // SAFETY: guarded by runtime AVX2 detection.
+            unsafe { simd::avx2::gemm_acc_t(s.as_slice(), m, &b, &mut explicit_acc) };
+            assert_eq!(
+                bits(&explicit_acc),
+                bits(&acc_scalar),
+                "scalar and AVX2 gemm_acc_t diverged"
+            );
+
+            for t in [0.0f32, -0.0, 1.0, f32::NAN] {
+                // SAFETY: guarded by runtime AVX2 detection.
+                let counts = unsafe { simd::avx2::count_cmp(row, t) };
+                assert_eq!(
+                    counts,
+                    vecops::count_cmp_scalar(row, t),
+                    "scalar and AVX2 count_cmp diverged (threshold {t})"
+                );
+            }
+        }
+    }
+}

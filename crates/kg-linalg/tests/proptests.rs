@@ -131,6 +131,216 @@ proptest! {
     }
 }
 
+/// Cross-backend equivalence for the dispatched kernels: on an AVX2
+/// machine these run SIMD against the scalar reference (and additionally
+/// pit the explicit AVX2 kernels against scalar even when the
+/// `KG_FORCE_SCALAR` knob pinned the dispatcher — so the forced-scalar CI
+/// pass still cross-checks both backends); elsewhere they pin
+/// scalar-vs-scalar stability. All comparisons are on raw bit patterns, so
+/// NaN payloads and signed zeros count, and lengths/ranges are drawn to be
+/// unaligned with every tile, unroll and lane width.
+mod simd_props {
+    use super::*;
+    use kg_linalg::{gemm, simd, vecops, Mat};
+
+    /// `f32` payloads including NaN, ±0.0 and the infinities.
+    fn awkward(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+        prop::collection::vec((0u32..8, -100.0f32..100.0), n).prop_map(|raw| {
+            raw.into_iter()
+                .map(|(code, v)| match code {
+                    0 => f32::NAN,
+                    1 => 0.0,
+                    2 => -0.0,
+                    3 => f32::INFINITY,
+                    4 => f32::NEG_INFINITY,
+                    _ => v,
+                })
+                .collect()
+        })
+    }
+
+    /// NaN-free payloads (±0.0 and infinities still included): on these
+    /// the backends owe **raw** bit equality, invalid-op NaNs included.
+    fn awkward_no_nan(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+        awkward(n).prop_map(|v| v.into_iter().map(|x| if x.is_nan() { 1.5 } else { x }).collect())
+    }
+
+    /// The shared cross-backend comparator: NaNs canonicalised, everything
+    /// else raw — see [`simd::canonical_bits`] for the contract it encodes.
+    fn bits(x: &[f32]) -> Vec<u32> {
+        simd::canonical_bits(x)
+    }
+
+    /// Raw bit patterns, NaN payloads included — for NaN-free inputs.
+    fn raw_bits(x: &[f32]) -> Vec<u32> {
+        x.iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// Safe shims over the explicit AVX2 kernels: run the kernel and
+    /// return `true` under runtime detection, `false` (untouched output)
+    /// on CPUs and architectures without AVX2 — so the proptests compile
+    /// and pass everywhere while exercising the explicit backend wherever
+    /// it exists, even when `KG_FORCE_SCALAR` pinned the dispatcher.
+    fn avx2_gemm_nt_rows(
+        a: &[f32],
+        m: usize,
+        k: usize,
+        b: &Mat,
+        rows: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        if simd::avx2_available() {
+            // SAFETY: guarded by runtime AVX2 detection.
+            unsafe { simd::avx2::gemm_nt_rows(a, m, k, b, rows, out) };
+            return true;
+        }
+        let _ = (a, m, k, b, rows, out);
+        false
+    }
+
+    fn avx2_gemm_acc_t(s: &[f32], m: usize, b: &Mat, out: &mut [f32]) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        if simd::avx2_available() {
+            // SAFETY: guarded by runtime AVX2 detection.
+            unsafe { simd::avx2::gemm_acc_t(s, m, b, out) };
+            return true;
+        }
+        let _ = (s, m, b, out);
+        false
+    }
+
+    fn avx2_count_cmp(scores: &[f32], threshold: f32) -> Option<(usize, usize)> {
+        #[cfg(target_arch = "x86_64")]
+        if simd::avx2_available() {
+            // SAFETY: guarded by runtime AVX2 detection.
+            return Some(unsafe { simd::avx2::count_cmp(scores, threshold) });
+        }
+        let _ = (scores, threshold);
+        None
+    }
+
+    proptest! {
+        /// Dispatched `gemm_nt` == scalar `gemm_nt`, byte for byte, on
+        /// awkward payloads and unroll-unaligned table heights.
+        #[test]
+        fn gemm_nt_backends_bit_identical(
+            a in awkward(8..33),
+            b in awkward(0..400),
+            m in 1usize..5,
+        ) {
+            let k = a.len() / m;
+            prop_assume!(k > 0);
+            let n = b.len() / k;
+            let a = &a[..m * k];
+            let b = Mat::from_vec(n, k, b[..n * k].to_vec());
+            let mut dispatched = vec![0.0f32; m * n];
+            gemm::gemm_nt(a, m, k, &b, &mut dispatched);
+            let mut scalar = vec![0.0f32; m * n];
+            gemm::gemm_nt_scalar(a, m, k, &b, &mut scalar);
+            prop_assert_eq!(bits(&dispatched), bits(&scalar));
+            let mut explicit = vec![0.0f32; m * n];
+            if avx2_gemm_nt_rows(a, m, k, &b, 0..n, &mut explicit) {
+                prop_assert_eq!(bits(&explicit), bits(&scalar));
+            }
+        }
+
+        /// Dispatched `gemm_nt_rows` == scalar on arbitrary (ragged,
+        /// width-0, unaligned) shard ranges of an awkward table.
+        #[test]
+        fn gemm_nt_rows_backends_bit_identical(
+            a in awkward(6..25),
+            b in awkward(0..300),
+            lo in 0usize..1_000,
+            hi in 0usize..1_000,
+            m in 1usize..4,
+        ) {
+            let k = a.len() / m;
+            prop_assume!(k > 0);
+            let n = b.len() / k;
+            let a = &a[..m * k];
+            let b = Mat::from_vec(n, k, b[..n * k].to_vec());
+            let (lo, hi) = (lo % (n + 1), hi % (n + 1));
+            let (j0, j1) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let width = j1 - j0;
+            let mut dispatched = vec![0.0f32; m * width];
+            gemm::gemm_nt_rows(a, m, k, &b, j0..j1, &mut dispatched);
+            let mut scalar = vec![0.0f32; m * width];
+            gemm::gemm_nt_rows_scalar(a, m, k, &b, j0..j1, &mut scalar);
+            prop_assert_eq!(bits(&dispatched), bits(&scalar));
+            let mut explicit = vec![0.0f32; m * width];
+            if avx2_gemm_nt_rows(a, m, k, &b, j0..j1, &mut explicit) {
+                prop_assert_eq!(bits(&explicit), bits(&scalar));
+            }
+        }
+
+        /// Dispatched `gemm_acc_t` == scalar on awkward coefficient blocks
+        /// and lane-unaligned dimensions.
+        #[test]
+        fn gemm_acc_t_backends_bit_identical(
+            s in awkward(4..40),
+            b in awkward(0..300),
+            m in 1usize..4,
+        ) {
+            let n = s.len() / m;
+            prop_assume!(n > 0);
+            let k = b.len() / n;
+            prop_assume!(k > 0);
+            let s = &s[..m * n];
+            let b = Mat::from_vec(n, k, b[..n * k].to_vec());
+            let mut dispatched = vec![0.0f32; m * k];
+            gemm::gemm_acc_t(s, m, &b, &mut dispatched);
+            let mut scalar = vec![0.0f32; m * k];
+            gemm::gemm_acc_t_scalar(s, m, &b, &mut scalar);
+            prop_assert_eq!(bits(&dispatched), bits(&scalar));
+            let mut explicit = vec![0.0f32; m * k];
+            if avx2_gemm_acc_t(s, m, &b, &mut explicit) {
+                prop_assert_eq!(bits(&explicit), bits(&scalar));
+            }
+        }
+
+        /// NaN-free inputs (±0.0 and infinities included — invalid
+        /// operations may still produce NaN outputs) owe raw bit equality
+        /// across backends, payloads of those indefinites included.
+        #[test]
+        fn gemm_nt_backends_raw_bit_identical_without_input_nans(
+            a in awkward_no_nan(8..33),
+            b in awkward_no_nan(0..400),
+            m in 1usize..5,
+        ) {
+            let k = a.len() / m;
+            prop_assume!(k > 0);
+            let n = b.len() / k;
+            let a = &a[..m * k];
+            let b = Mat::from_vec(n, k, b[..n * k].to_vec());
+            let mut dispatched = vec![0.0f32; m * n];
+            gemm::gemm_nt(a, m, k, &b, &mut dispatched);
+            let mut scalar = vec![0.0f32; m * n];
+            gemm::gemm_nt_scalar(a, m, k, &b, &mut scalar);
+            prop_assert_eq!(raw_bits(&dispatched), raw_bits(&scalar));
+            let mut explicit = vec![0.0f32; m * n];
+            if avx2_gemm_nt_rows(a, m, k, &b, 0..n, &mut explicit) {
+                prop_assert_eq!(raw_bits(&explicit), raw_bits(&scalar));
+            }
+        }
+
+        /// Dispatched `count_cmp` == scalar on awkward payloads (NaN
+        /// thresholds included) at every lane-ragged length.
+        #[test]
+        fn count_cmp_backends_agree(
+            scores in awkward(0..70),
+            threshold in awkward(1..2),
+        ) {
+            let t = threshold[0];
+            let scalar = vecops::count_cmp_scalar(&scores, t);
+            prop_assert_eq!(vecops::count_cmp(&scores, t), scalar);
+            if let Some(explicit) = avx2_count_cmp(&scores, t) {
+                prop_assert_eq!(explicit, scalar);
+            }
+        }
+    }
+}
+
 mod matrix_props {
     use super::*;
     use kg_linalg::Mat;

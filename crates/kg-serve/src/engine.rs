@@ -81,7 +81,7 @@
 use crate::ticket::{RankTicket, Reply, ScoreTicket, TicketInner, TopKTicket};
 use kg_core::{Dataset, EntityId, FilterIndex, RelationId};
 use kg_eval::engine::{plan_shards, score_block_shard, split_plan, Direction, WorkerShard, BLOCK};
-use kg_eval::ranking::{filtered_rank, top_k};
+use kg_eval::ranking::{filtered_rank, top_k_into};
 use kg_models::{BatchScorer, BatchScratch};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -964,9 +964,11 @@ fn dispatcher_loop(
     done: &Receiver<WorkerDone>,
 ) {
     // Reusable buffers: one compact block per worker (round-tripped through
-    // the job channel) and one stitched full-width block per lane.
+    // the job channel), one stitched full-width block per lane, and one
+    // top-k selection scratch per lane.
     let mut pool: Vec<Option<Vec<f32>>> = (0..senders.len()).map(|_| Some(Vec::new())).collect();
     let mut stitched = [Vec::new(), Vec::new()];
+    let mut topk: [Vec<(usize, f32)>; 2] = [Vec::new(), Vec::new()];
     loop {
         match next_decision(shared, split_plans.is_some()) {
             Decision::Shutdown => {
@@ -992,11 +994,21 @@ fn dispatcher_loop(
                     done,
                     &mut pool,
                     &mut stitched[0],
+                    &mut topk[0],
                 );
             }
             Decision::Split => {
                 let (plan_a, plan_b) = split_plans.expect("split decision requires sub-crew plans");
-                run_split_regime(shared, plan_a, plan_b, senders, done, &mut pool, &mut stitched);
+                run_split_regime(
+                    shared,
+                    plan_a,
+                    plan_b,
+                    senders,
+                    done,
+                    &mut pool,
+                    &mut stitched,
+                    &mut topk,
+                );
             }
         }
     }
@@ -1079,6 +1091,7 @@ fn run_block(
     done: &Receiver<WorkerDone>,
     pool: &mut [Option<Vec<f32>>],
     stitched: &mut Vec<f32>,
+    topk: &mut Vec<(usize, f32)>,
 ) {
     let queries: Arc<Vec<(usize, usize)>> =
         Arc::new(batch.iter().map(|(request, _)| request.query()).collect());
@@ -1132,7 +1145,7 @@ fn run_block(
     shared.stats.queries_served.fetch_add(batch.len() as u64, Relaxed);
     for (i, (request, ticket)) in batch.drain(..).enumerate() {
         let row = &stitched[i * shared.n_entities..(i + 1) * shared.n_entities];
-        ticket.fulfill(answer(shared, &request, row));
+        ticket.fulfill(answer(shared, &request, row, topk));
     }
 }
 
@@ -1144,6 +1157,7 @@ fn run_block(
 /// between lane events. Returns to the serialised loop once both
 /// directions run dry (or on shutdown, leaving queued work to the main
 /// loop's shutdown path).
+#[allow(clippy::too_many_arguments)] // internal: mirrors the dispatcher's shared-state layout
 fn run_split_regime(
     shared: &Shared,
     plan_a: &[WorkerShard],
@@ -1152,6 +1166,7 @@ fn run_split_regime(
     done: &Receiver<WorkerDone>,
     pool: &mut [Option<Vec<f32>>],
     stitched: &mut [Vec<f32>; 2],
+    topk: &mut [Vec<(usize, f32)>; 2],
 ) {
     /// One lane's in-flight block (None while the lane idles).
     struct Inflight {
@@ -1293,7 +1308,7 @@ fn run_split_regime(
                     for (i, (request, ticket)) in batch.drain(..).enumerate() {
                         let row =
                             &stitched[lane][i * shared.n_entities..(i + 1) * shared.n_entities];
-                        ticket.fulfill(answer(shared, &request, row));
+                        ticket.fulfill(answer(shared, &request, row, &mut topk[lane]));
                     }
                 }
             }
@@ -1321,6 +1336,9 @@ fn run_split_regime(
 /// healthy.
 fn answer_block_isolating(shared: &Shared, dir: Direction, mut batch: Batch) {
     let mut row = vec![0.0f32; shared.n_entities];
+    // Failure path: a fresh top-k scratch per block is fine, but it is
+    // still reused across the batch's requests.
+    let mut topk: Vec<(usize, f32)> = Vec::new();
     for (request, ticket) in batch.drain(..) {
         let result = catch_unwind(AssertUnwindSafe(|| {
             let (first, second) = request.query();
@@ -1328,7 +1346,7 @@ fn answer_block_isolating(shared: &Shared, dir: Direction, mut batch: Batch) {
                 Direction::Tails => shared.model.score_tails(first, second, &mut row),
                 Direction::Heads => shared.model.score_heads(first, second, &mut row),
             }
-            answer(shared, &request, &row)
+            answer(shared, &request, &row, &mut topk)
         }));
         match result {
             Ok(reply) => {
@@ -1385,8 +1403,11 @@ fn stitch(
 }
 
 /// Answer one row request from its stitched full-width score row with the
-/// shared per-query primitives.
-fn answer(shared: &Shared, request: &Request, row: &[f32]) -> Reply {
+/// shared per-query primitives. `topk` is the caller's reusable selection
+/// scratch ([`top_k_into`] grows it to `n_entities` pairs once, then
+/// steady-state top-k answers allocate only the `k`-entry reply itself) —
+/// the dispatcher keeps one per lane so concurrent lanes never contend.
+fn answer(shared: &Shared, request: &Request, row: &[f32], topk: &mut Vec<(usize, f32)>) -> Reply {
     match *request {
         Request::Rank { dir: Direction::Tails, h, r, t } => {
             let known = shared.filter.tails(EntityId(h as u32), RelationId(r as u32));
@@ -1396,7 +1417,10 @@ fn answer(shared: &Shared, request: &Request, row: &[f32]) -> Reply {
             let known = shared.filter.heads(RelationId(r as u32), EntityId(t as u32));
             Reply::Rank(filtered_rank(row, h, known))
         }
-        Request::TopK { k, .. } => Reply::TopK(top_k(row, k)),
+        Request::TopK { k, .. } => {
+            top_k_into(row, k, topk);
+            Reply::TopK(topk.clone())
+        }
         Request::Score { .. } => unreachable!("score requests never reach the row path"),
     }
 }
