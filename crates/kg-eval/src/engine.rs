@@ -14,15 +14,22 @@
 //! * [`plan_shards`] — the entity-vs-query split decision, driven by
 //!   [`kg_models::BatchScorer::native_shard_scoring`];
 //! * [`score_block_shard`] — the dispatch from a worker's shard to the
-//!   right `BatchScorer` entry point.
+//!   right `BatchScorer` entry point;
+//! * [`PipelineSlots`] — the double-buffered per-block exchange state
+//!   (published target thresholds, per-worker count slots) behind the
+//!   pipelined cooperative ranker: two parity lanes ping-pong so the crew
+//!   scores step `N+1` while the lead worker still converts step `N`'s
+//!   merged counts to ranks.
 //!
 //! Everything here preserves the engine's **bit-identity contract**: shard
 //! scores are bit-identical column (or row) slices of the full-table
-//! per-query output, so how a block is split across workers never shows in
-//! the results.
+//! per-query output, and per-shard rank counts are integers whose merge is
+//! associative, so how a block is split across workers — or which pipeline
+//! stage it is in — never shows in the results.
 
 use kg_models::{BatchScorer, BatchScratch};
 use std::ops::Range;
+use std::sync::atomic::{AtomicI64, AtomicU32, Ordering::Relaxed};
 
 /// Queries scored per block — one GEMM against the entity table per
 /// direction: small enough that a block's score rows stay cache-resident
@@ -150,6 +157,96 @@ pub fn split_plan(
     assert!(n_workers >= 2, "splitting a crew needs at least two workers");
     let half = n_workers / 2;
     (plan_shards(model, half), plan_shards(model, n_workers - half))
+}
+
+/// One parity lane of [`PipelineSlots`]: the shared per-row exchange state
+/// for a single in-flight pipeline step (one block × direction).
+struct LaneSlots {
+    /// Each query row's target score as `f32` bits, published by the entity
+    /// shard that owns the target (query-split workers read their own rows
+    /// directly and never touch these).
+    thresholds: Vec<AtomicU32>,
+    /// Per-worker `greater` counts, laid out `worker * BLOCK + row` so a
+    /// worker's 2·[`BLOCK`] slots are contiguous — one plain store per row
+    /// instead of a contended per-row `fetch_add`.
+    better: Vec<AtomicI64>,
+    /// Per-worker `equal` counts, same layout as `better`.
+    ties: Vec<AtomicI64>,
+}
+
+/// Double-buffered shared state of the pipelined cooperative ranking
+/// engine: **two parity lanes** of per-row target thresholds and
+/// *per-worker* `(greater, equal)` count slots.
+///
+/// The engine runs one step per (block, direction) pair and assigns step
+/// `s` the lane `s % 2`. Per step each worker scores its shard, publishes
+/// the target thresholds it owns into the step's lane, crosses **one**
+/// barrier, and writes its shard's counts into its own slots of the same
+/// lane; the lead worker then converts the *previous* step's lane (parity
+/// `1 - s % 2`) into ranks while the rest of the crew is already scoring
+/// the next step — no worker ever waits on rank conversion.
+///
+/// All cells use `Relaxed` atomics: the engine's barrier is the only
+/// synchronisation. The ping-pong is safe because a lane written at step
+/// `s` is read by the lead strictly between the barriers of steps `s + 1`
+/// and `s + 2`, and rewritten only after the barrier of step `s + 2` —
+/// which the lead reaches only after finishing the read. Counts are
+/// integers and their merge is a plain sum over worker slots, so the rank
+/// of every row is bit-identical to the sequential reference no matter how
+/// the pipeline stages interleave.
+pub struct PipelineSlots {
+    n_workers: usize,
+    lanes: [LaneSlots; 2],
+}
+
+impl PipelineSlots {
+    /// Allocate both lanes for an `n_workers`-strong crew. All slots start
+    /// zeroed; every row a step reads is written during that same step.
+    pub fn new(n_workers: usize) -> Self {
+        assert!(n_workers > 0, "need at least one worker");
+        let lane = || LaneSlots {
+            thresholds: (0..BLOCK).map(|_| AtomicU32::new(0)).collect(),
+            better: (0..n_workers * BLOCK).map(|_| AtomicI64::new(0)).collect(),
+            ties: (0..n_workers * BLOCK).map(|_| AtomicI64::new(0)).collect(),
+        };
+        PipelineSlots { n_workers, lanes: [lane(), lane()] }
+    }
+
+    /// Publish query `row`'s target score (as `f32` bits) into `parity`'s
+    /// lane — called during the scoring phase by the entity shard that owns
+    /// the target.
+    pub fn publish_threshold(&self, parity: usize, row: usize, bits: u32) {
+        self.lanes[parity].thresholds[row].store(bits, Relaxed);
+    }
+
+    /// Read query `row`'s published target score from `parity`'s lane —
+    /// valid after the step's barrier.
+    pub fn threshold(&self, parity: usize, row: usize) -> f32 {
+        f32::from_bits(self.lanes[parity].thresholds[row].load(Relaxed))
+    }
+
+    /// Store `worker`'s `(greater, equal)` contribution for query `row`
+    /// into `parity`'s lane. Plain stores into worker-owned slots — the
+    /// single-merge replacement for the old per-row `fetch_add`s.
+    pub fn store_counts(&self, parity: usize, worker: usize, row: usize, better: i64, ties: i64) {
+        let lane = &self.lanes[parity];
+        lane.better[worker * BLOCK + row].store(better, Relaxed);
+        lane.ties[worker * BLOCK + row].store(ties, Relaxed);
+    }
+
+    /// Sum every worker's `(greater, equal)` contribution for query `row`
+    /// in `parity`'s lane — the lead worker's merge, valid from the barrier
+    /// *after* the step that wrote the lane until the barrier of the step
+    /// that rewrites it.
+    pub fn merged_counts(&self, parity: usize, row: usize) -> (i64, i64) {
+        let lane = &self.lanes[parity];
+        let mut counts = (0i64, 0i64);
+        for w in 0..self.n_workers {
+            counts.0 += lane.better[w * BLOCK + row].load(Relaxed);
+            counts.1 += lane.ties[w * BLOCK + row].load(Relaxed);
+        }
+        counts
+    }
 }
 
 /// Dispatch one worker's slice of a query block to the matching
@@ -336,6 +433,24 @@ mod tests {
         let mut scratch = BatchScratch::new();
         let shard = WorkerShard::Entities(2..2);
         score_block_shard(&model, Direction::Tails, &[(0, 0)], &shard, &mut [], &mut scratch);
+    }
+
+    #[test]
+    fn pipeline_slots_merge_per_worker_counts_and_keep_lanes_apart() {
+        let slots = PipelineSlots::new(3);
+        // Lane 0: three workers contribute to row 5; lane 1 stays untouched.
+        slots.store_counts(0, 0, 5, 2, 1);
+        slots.store_counts(0, 1, 5, 0, 4);
+        slots.store_counts(0, 2, 5, 7, 0);
+        assert_eq!(slots.merged_counts(0, 5), (9, 5));
+        assert_eq!(slots.merged_counts(1, 5), (0, 0));
+        // Overwriting a worker's slot replaces (not accumulates) its share.
+        slots.store_counts(0, 2, 5, 1, 1);
+        assert_eq!(slots.merged_counts(0, 5), (3, 6));
+        // Thresholds round-trip exact bit patterns per lane.
+        slots.publish_threshold(1, 0, (-0.0f32).to_bits());
+        assert_eq!(slots.threshold(1, 0).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(slots.threshold(0, 0).to_bits(), 0.0f32.to_bits());
     }
 
     #[test]

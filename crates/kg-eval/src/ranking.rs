@@ -22,12 +22,18 @@
 //! worker scores its contiguous entity shard (a disjoint column range of
 //! the conceptual score block) through
 //! [`kg_models::BatchScorer::score_tails_shard`], publishes the target
-//! scores that fall in its shard, counts its shard's `(greater, equal)`
-//! contributions with the branchless [`kg_linalg::vecops::count_cmp`]
-//! sweep, and merges them into shared integer accumulators. Integer counts
-//! over disjoint shards are order-independent, so the merged ranks — and
-//! therefore the metrics — are **bit-identical to
-//! [`evaluate_sequential`]** for *any* shard layout and thread count
+//! scores that fall in its shard, and counts its shard's
+//! `(greater, equal)` contributions with the branchless
+//! [`kg_linalg::vecops::count_cmp`] sweep — immediately after scoring,
+//! while the shard block is still hot in its private cache — into its own
+//! slots of the double-buffered [`engine::PipelineSlots`]. The steps
+//! (block × direction) flow through a **two-lane pipeline**: one barrier
+//! per step, after which the lead worker sums the *previous* step's
+//! per-worker slots into ranks and folds metrics while the rest of the
+//! crew is already scoring the next step. Integer counts over disjoint
+//! shards are order-independent, so the merged ranks — and therefore the
+//! metrics — are **bit-identical to [`evaluate_sequential`]** for *any*
+//! shard layout, thread count and pipeline interleaving
 //! (`tests/shard_equivalence.rs` pins this down). Models whose shard
 //! scoring would stage full-table rows anyway (no
 //! [`kg_models::BatchScorer::native_shard_scoring`]) get the block's
@@ -42,7 +48,7 @@ use kg_linalg::vecops;
 use kg_models::{BatchScorer, BatchScratch, LinkPredictor};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, Ordering::Relaxed};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::sync::Barrier;
 
 pub use crate::engine::shard_bounds;
@@ -437,30 +443,28 @@ pub fn evaluate_parallel<M: BatchScorer + Sync>(
 /// Zero-width shards are legal — their workers score nothing and contribute
 /// identity counts.
 ///
-/// Per block of [`engine::BLOCK`] triples and per direction, the workers run
-/// three barrier-separated phases:
-///
-/// 1. **score + publish**: each worker scores its shard for the whole query
-///    block ([`kg_models::BatchScorer::score_tails_shard`] /
-///    `score_heads_shard`) into its private shard-local block, and the
-///    worker whose shard contains a query's target stores that target's
-///    score (as `f32` bits) in the shared threshold slot;
-/// 2. **count**: each worker computes its shard's filtered
-///    `(greater, equal)` contributions (the engine's
-///    `shard_filtered_counts`) for
-///    every query row and `fetch_add`s them into the shared per-row
-///    accumulators;
-/// 3. **merge**: the lead worker turns each row's merged counts into a rank
-///    and resets the accumulators for the next direction.
+/// The work flows through the **double-buffered block pipeline**: one step
+/// per (block, direction) pair, one barrier per step. In a step each
+/// worker scores its shard for the whole query block
+/// ([`kg_models::BatchScorer::score_tails_shard`] / `score_heads_shard`)
+/// into its private shard-local block, publishes the target scores its
+/// shard owns (as `f32` bits) into the step's [`engine::PipelineSlots`]
+/// lane, crosses the step barrier, and immediately counts its still
+/// cache-hot shard's filtered `(greater, equal)` contributions
+/// (`shard_filtered_counts`) into its own per-worker slots of the same
+/// lane — plain stores, one merge per block, no per-row `fetch_add`. The
+/// lead worker then sums the *previous* step's lane into ranks and folds
+/// metrics while the rest of the crew has already moved on to scoring the
+/// next step: rank conversion never stalls the crew.
 ///
 /// **Bit-identity.** A shard's score elements are bit-identical to the
 /// corresponding columns of the full-table path (the [`BatchScorer`] shard
 /// contract), and per-shard counts are integers, so their merge is
-/// associative and order-independent — no matter how the shards race, every
-/// rank equals the sequential reference's rank exactly, and ranks are
-/// folded into the metrics in the sequential order (tail then head, triple
-/// by triple). The result is bit-identical to [`evaluate_sequential`] for
-/// any `bounds`.
+/// associative and order-independent — no matter how the shards race or
+/// which pipeline stage a block is in, every rank equals the sequential
+/// reference's rank exactly, and ranks are folded into the metrics in the
+/// sequential order (tail then head, triple by triple). The result is
+/// bit-identical to [`evaluate_sequential`] for any `bounds`.
 ///
 /// # Panics
 /// Panics if `bounds` is not a partition of `0..n_entities` as described,
@@ -484,9 +488,9 @@ pub fn evaluate_parallel_sharded<M: BatchScorer + Sync>(
     run_cooperative(model, triples, filter, shards)
 }
 
-/// Spawn one worker per entry of `shards` and run the barrier-phased
+/// Spawn one worker per entry of `shards` and run the pipelined
 /// cooperative engine over `triples` (see [`evaluate_parallel_sharded`] for
-/// the phase structure). The caller guarantees `shards` covers the work:
+/// the step structure). The caller guarantees `shards` covers the work:
 /// entity shards partition `0..n_entities`, query shards enumerate
 /// `0..n_workers`.
 fn run_cooperative<M: BatchScorer + Sync>(
@@ -502,36 +506,28 @@ fn run_cooperative<M: BatchScorer + Sync>(
     );
     let n_workers = shards.len();
     let barrier = Barrier::new(n_workers);
-    // Shared per-row state for the block in flight: the target's score
-    // (published as bits by the shard that owns the target) and the merged
-    // integer counts. Atomics + barriers keep the engine in safe code; the
-    // counts' `fetch_add` merge is commutative, so scheduling never shows.
-    let thresholds: Vec<AtomicU32> = (0..EVAL_BLOCK).map(|_| AtomicU32::new(0)).collect();
-    let better: Vec<AtomicI64> = (0..EVAL_BLOCK).map(|_| AtomicI64::new(0)).collect();
-    let ties: Vec<AtomicI64> = (0..EVAL_BLOCK).map(|_| AtomicI64::new(0)).collect();
+    // The double-buffered exchange state: two parity lanes of published
+    // target thresholds and per-worker count slots. Atomics + barriers
+    // keep the engine in safe code; the barrier is the only
+    // synchronisation the `Relaxed` cells need (see `PipelineSlots`).
+    let slots = engine::PipelineSlots::new(n_workers);
     // `Barrier` has no poisoning: a worker that panicked mid-phase would
     // leave the others waiting at the next rendezvous forever. Each worker
-    // catches its phase panics, raises this flag, and everyone aborts at
-    // the following barrier; the original panic is re-thrown on join.
-    let poisoned = AtomicBool::new(false);
+    // catches its phase panics and records the earliest *step index* at
+    // whose barrier check the whole crew must abort (`fetch_min`); the
+    // original panic is re-thrown on join. A plain "poisoned" bool is not
+    // enough: a fast worker that panics scoring step s+1 would set it
+    // while slow workers are still waking from step s's barrier, making
+    // them break one rendezvous earlier than the rest of the crew — a
+    // deadlock. Tagging the abort with a step pins every worker to the
+    // same barrier.
+    let poisoned = AtomicUsize::new(usize::MAX);
     let metrics = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_workers);
         for (w, shard) in shards.into_iter().enumerate() {
-            let (barrier, poisoned) = (&barrier, &poisoned);
-            let (thresholds, better, ties) = (&thresholds, &better, &ties);
+            let (barrier, poisoned, slots) = (&barrier, &poisoned, &slots);
             handles.push(scope.spawn(move || {
-                shard_worker(
-                    model,
-                    triples,
-                    filter,
-                    shard,
-                    w == 0,
-                    barrier,
-                    poisoned,
-                    thresholds,
-                    better,
-                    ties,
-                )
+                shard_worker(model, triples, filter, shard, w, barrier, poisoned, slots)
             }));
         }
         // Only the lead worker accumulates; the fold just picks it up. A
@@ -545,30 +541,70 @@ fn run_cooperative<M: BatchScorer + Sync>(
     metrics.normalised()
 }
 
-/// One worker of the cooperative engine: scores its [`WorkerShard`] for
-/// every block, merges its counts, and — when `lead` — folds the merged
-/// ranks into the metrics it returns (non-lead workers return zero
-/// metrics).
+/// The lead worker's conversion of one *completed* pipeline step: sum the
+/// per-worker count slots of the step's lane into ranks, staged per
+/// direction, and — when the step closes a block (heads direction) — fold
+/// that block's tail and head ranks into `metrics` interleaved, in the
+/// sequential per-triple order the reference path uses.
+fn convert_step(
+    slots: &engine::PipelineSlots,
+    step: usize,
+    block_len: usize,
+    tail_ranks: &mut [f64; EVAL_BLOCK],
+    head_ranks: &mut [f64; EVAL_BLOCK],
+    metrics: &mut RankMetrics,
+) {
+    // Step parity doubles as the direction: tails are even steps.
+    let tails = step % 2 == 0;
+    let ranks: &mut [f64] = if tails { &mut tail_ranks[..] } else { &mut head_ranks[..] };
+    for (i, rank) in ranks.iter_mut().take(block_len).enumerate() {
+        let (better, ties) = slots.merged_counts(step % 2, i);
+        *rank = rank_from_counts(better, ties);
+    }
+    if !tails {
+        for i in 0..block_len {
+            metrics.accumulate(tail_ranks[i]);
+            metrics.accumulate(head_ranks[i]);
+        }
+    }
+}
+
+/// One worker of the pipelined cooperative engine: scores its
+/// [`WorkerShard`] for every step, counts it into its own
+/// [`engine::PipelineSlots`] slots, and — when `worker == 0` (the lead) —
+/// converts each *previous* step's merged counts into ranks and folds them
+/// into the metrics it returns (non-lead workers return zero metrics).
 ///
-/// Every worker must execute the same barrier sequence, including workers
-/// with a zero-width entity shard or an empty query slice, whose scoring
-/// and counting phases are no-ops. A phase that panics (a model override,
-/// an out-of-range index) is caught, poisons the crew, and is re-thrown
-/// after every worker has left its last barrier — so failures propagate as
-/// panics instead of deadlocking the rendezvous.
-#[allow(clippy::too_many_arguments)] // internal: one call site, mirrors the shared-state layout
+/// One barrier per step. The worker's step `s` looks like:
+///
+/// 1. score the shard's slice of step `s`'s block and publish the target
+///    thresholds it owns into lane `s % 2`;
+/// 2. cross the step barrier — every shard scored, every target published;
+/// 3. count the still cache-hot shard scores into its own slots of lane
+///    `s % 2`; the lead additionally converts step `s - 1` (lane
+///    `1 - s % 2`) into ranks — overlapping the other workers, which move
+///    straight on to scoring step `s + 1` without waiting.
+///
+/// One final barrier after the last step lets the lead convert the last
+/// lane. Every worker must execute the same barrier sequence, including
+/// workers with a zero-width entity shard or an empty query slice, whose
+/// scoring and counting phases are no-ops. A phase that panics (a model
+/// override, an out-of-range index) is caught and poisons the crew with an
+/// *abort step*: every worker — fast ones already a step ahead included —
+/// leaves the pipeline at that step's barrier check, never one rendezvous
+/// early or late, and the original panic is re-thrown on join, so failures
+/// propagate instead of deadlocking the rendezvous.
 fn shard_worker<M: BatchScorer + ?Sized>(
     model: &M,
     triples: &[Triple],
     filter: &FilterIndex,
     shard: WorkerShard,
-    lead: bool,
+    worker: usize,
     barrier: &Barrier,
-    poisoned: &AtomicBool,
-    thresholds: &[AtomicU32],
-    better: &[AtomicI64],
-    ties: &[AtomicI64],
+    poisoned: &AtomicUsize,
+    slots: &engine::PipelineSlots,
 ) -> RankMetrics {
+    let lead = worker == 0;
     let mut scratch = BatchScratch::new();
     let mut queries: Vec<(usize, usize)> = Vec::with_capacity(EVAL_BLOCK);
     let mut scores = vec![
@@ -579,95 +615,134 @@ fn shard_worker<M: BatchScorer + ?Sized>(
                 EVAL_BLOCK.div_ceil(*n_workers) * model.n_entities(),
         }
     ];
-    // Rank staging (lead only): tails are merged a phase before heads but
-    // accumulated interleaved, in the sequential order.
+    // Rank staging (lead only): a step's ranks are converted one step after
+    // its counts land, but accumulated interleaved in the sequential order.
     let mut tail_ranks = [0.0f64; EVAL_BLOCK];
     let mut head_ranks = [0.0f64; EVAL_BLOCK];
     let mut metrics = RankMetrics::zero();
     let mut payload: Option<Box<dyn std::any::Any + Send>> = None;
-    'blocks: for block in triples.chunks(EVAL_BLOCK) {
-        for dir in [Direction::Tails, Direction::Heads] {
-            let tail_dir = dir == Direction::Tails;
-            // This worker's slice of the block: every query against an
-            // entity shard, or a slice of the queries against everything.
-            let rows = shard.rows(block.len());
-            let width = shard.width(model.n_entities());
-            let scored = catch_unwind(AssertUnwindSafe(|| {
-                queries.clear();
-                if tail_dir {
-                    queries.extend(block[rows.clone()].iter().map(|tr| (tr.h.idx(), tr.r.idx())));
-                } else {
-                    queries.extend(block[rows.clone()].iter().map(|tr| (tr.r.idx(), tr.t.idx())));
-                }
-                let out = &mut scores[..rows.len() * width];
-                engine::score_block_shard(&model, dir, &queries, &shard, out, &mut scratch);
-                // Entity mode exchanges target scores through the threshold
-                // slots (each target lives in exactly one shard); query mode
-                // reads them straight off its own full-width rows.
-                if let WorkerShard::Entities(range) = &shard {
-                    for (i, tr) in block.iter().enumerate() {
-                        let target = if tail_dir { tr.t.idx() } else { tr.h.idx() };
-                        if range.contains(&target) {
-                            let bits = out[i * width + (target - range.start)].to_bits();
-                            thresholds[i].store(bits, Relaxed);
-                        }
+    let blocks: Vec<&[Triple]> = triples.chunks(EVAL_BLOCK).collect();
+    let n_steps = blocks.len() * 2;
+    let mut aborted = false;
+    for step in 0..n_steps {
+        let block = blocks[step / 2];
+        // Step parity doubles as the direction (and the lane): tails are
+        // even steps, so consecutive steps always use opposite lanes.
+        let tail_dir = step % 2 == 0;
+        let dir = if tail_dir { Direction::Tails } else { Direction::Heads };
+        // This worker's slice of the block: every query against an entity
+        // shard, or a slice of the queries against everything.
+        let rows = shard.rows(block.len());
+        let width = shard.width(model.n_entities());
+        let scored = catch_unwind(AssertUnwindSafe(|| {
+            queries.clear();
+            if tail_dir {
+                queries.extend(block[rows.clone()].iter().map(|tr| (tr.h.idx(), tr.r.idx())));
+            } else {
+                queries.extend(block[rows.clone()].iter().map(|tr| (tr.r.idx(), tr.t.idx())));
+            }
+            let out = &mut scores[..rows.len() * width];
+            engine::score_block_shard(&model, dir, &queries, &shard, out, &mut scratch);
+            // Entity mode exchanges target scores through the threshold
+            // slots (each target lives in exactly one shard); query mode
+            // reads them straight off its own full-width rows.
+            if let WorkerShard::Entities(range) = &shard {
+                for (i, tr) in block.iter().enumerate() {
+                    let target = if tail_dir { tr.t.idx() } else { tr.h.idx() };
+                    if range.contains(&target) {
+                        let bits = out[i * width + (target - range.start)].to_bits();
+                        slots.publish_threshold(step % 2, i, bits);
                     }
                 }
-            }));
-            if let Err(p) = scored {
-                payload = Some(p);
-                poisoned.store(true, Relaxed);
             }
-            // Phase 1 done: every shard scored, every target published.
-            barrier.wait();
-            if poisoned.load(Relaxed) {
-                break 'blocks;
-            }
-            let counted = catch_unwind(AssertUnwindSafe(|| {
-                let out = &scores[..rows.len() * width];
-                for (local, tr) in block[rows.clone()].iter().enumerate() {
-                    let i = rows.start + local;
-                    let (target, known) = if tail_dir {
-                        (tr.t.idx(), filter.tails(tr.h, tr.r))
-                    } else {
-                        (tr.h.idx(), filter.heads(tr.r, tr.t))
-                    };
-                    let row = &out[local * width..(local + 1) * width];
-                    let (shard_start, threshold) = match &shard {
-                        WorkerShard::Entities(range) => {
-                            (range.start, f32::from_bits(thresholds[i].load(Relaxed)))
-                        }
-                        WorkerShard::Queries { .. } => (0, row[target]),
-                    };
-                    let (b, t) = shard_filtered_counts(row, shard_start, threshold, target, known);
-                    better[i].fetch_add(b, Relaxed);
-                    ties[i].fetch_add(t, Relaxed);
-                }
-            }));
-            if let Err(p) = counted {
-                payload = Some(p);
-                poisoned.store(true, Relaxed);
-            }
-            // Phase 2 done: per-shard counts merged.
-            barrier.wait();
-            if poisoned.load(Relaxed) {
-                break 'blocks;
-            }
-            if lead {
-                let ranks = if tail_dir { &mut tail_ranks } else { &mut head_ranks };
-                for (i, rank) in ranks.iter_mut().take(block.len()).enumerate() {
-                    // swap doubles as the reset for the next phase
-                    *rank = rank_from_counts(better[i].swap(0, Relaxed), ties[i].swap(0, Relaxed));
-                }
-            }
-            // Phase 3 done: accumulators zeroed, next direction may merge.
-            barrier.wait();
+        }));
+        if let Err(p) = scored {
+            payload = Some(p);
+            // A scoring panic at step `s` is published *before* this
+            // worker's barrier wait, so every worker's check after the
+            // step-`s` barrier sees it — and no worker can be past that
+            // check yet (the barrier had not released). `fetch_min` keeps
+            // the earliest abort step if several workers panic.
+            poisoned.fetch_min(step, Relaxed);
         }
-        if lead {
+        // The step barrier: every shard scored, every target published —
+        // and the previous step's conversion finished (the lead converts
+        // below, before it can reach this rendezvous again), so its lane
+        // is free to be rewritten next step.
+        barrier.wait();
+        // Abort only at the barrier the poison is tagged with: a poison
+        // tagged `step + 1` (set by a racing worker already scoring the
+        // next step, or by a count-phase panic below) must not peel slow
+        // workers off one rendezvous early.
+        if poisoned.load(Relaxed) <= step {
+            aborted = true;
+            break;
+        }
+        let counted = catch_unwind(AssertUnwindSafe(|| {
+            let out = &scores[..rows.len() * width];
             for i in 0..block.len() {
-                metrics.accumulate(tail_ranks[i]);
-                metrics.accumulate(head_ranks[i]);
+                if !rows.contains(&i) {
+                    // Unowned rows (query-split mode): identity counts, so
+                    // the lead's merge can sum every worker's slot blindly.
+                    slots.store_counts(step % 2, worker, i, 0, 0);
+                    continue;
+                }
+                let local = i - rows.start;
+                let tr = &block[i];
+                let (target, known) = if tail_dir {
+                    (tr.t.idx(), filter.tails(tr.h, tr.r))
+                } else {
+                    (tr.h.idx(), filter.heads(tr.r, tr.t))
+                };
+                let row = &out[local * width..(local + 1) * width];
+                let (shard_start, threshold) = match &shard {
+                    WorkerShard::Entities(range) => (range.start, slots.threshold(step % 2, i)),
+                    WorkerShard::Queries { .. } => (0, row[target]),
+                };
+                let (b, t) = shard_filtered_counts(row, shard_start, threshold, target, known);
+                slots.store_counts(step % 2, worker, i, b, t);
             }
+            // Pipeline overlap: while the other workers move on to scoring
+            // step + 1, the lead folds the *previous* step's lane — its
+            // counts landed before the barrier just crossed.
+            if lead && step > 0 {
+                let prev_len = blocks[(step - 1) / 2].len();
+                convert_step(
+                    slots,
+                    step - 1,
+                    prev_len,
+                    &mut tail_ranks,
+                    &mut head_ranks,
+                    &mut metrics,
+                );
+            }
+        }));
+        if let Err(p) = counted {
+            payload = Some(p);
+            // A count-phase panic lands *after* this step's barrier, when
+            // other workers may already have passed this step's check — so
+            // the abort is tagged for the next rendezvous, which every
+            // worker (this one included) can still reach.
+            poisoned.fetch_min(step + 1, Relaxed);
+        }
+    }
+    if !aborted {
+        // Drain the pipeline: one final rendezvous so the last step's
+        // counts are all in, then the lead converts the remaining lane.
+        // (`aborted` is crew-consistent: abort steps are tagged to a
+        // barrier every worker reaches, so either the whole crew broke at
+        // the same check or the whole crew arrives here.)
+        barrier.wait();
+        if poisoned.load(Relaxed) == usize::MAX && lead && n_steps > 0 {
+            let last_len = blocks[(n_steps - 1) / 2].len();
+            convert_step(
+                slots,
+                n_steps - 1,
+                last_len,
+                &mut tail_ranks,
+                &mut head_ranks,
+                &mut metrics,
+            );
         }
     }
     if let Some(p) = payload {

@@ -92,9 +92,12 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Classic BLM specs (row-restricted GEMM override) across random
-    /// thread counts: the public `evaluate_parallel` entry point.
+    /// thread counts: the public `evaluate_parallel` entry point. The
+    /// range deliberately runs past the core count of typical CI runners —
+    /// oversubscribed crews (workers > cores) get preempted mid-pipeline,
+    /// which is exactly the scheduling pressure that surfaces lane races.
     #[test]
-    fn blm_classics_any_thread_count(spec_idx in 0usize..4, n_threads in 1usize..=8) {
+    fn blm_classics_any_thread_count(spec_idx in 0usize..4, n_threads in 1usize..=16) {
         let (name, spec) = classics::all().swap_remove(spec_idx);
         let mut rng = SeededRng::new(0xB1 + spec_idx as u64);
         let model = BlmModel::new(spec, Embeddings::init(N_ENTITIES, N_RELATIONS, 16, &mut rng));
@@ -128,7 +131,7 @@ proptest! {
     #[test]
     fn tdm_family_random_shards(
         family in 0usize..3,
-        n_threads in 1usize..=8,
+        n_threads in 1usize..=16,
         cuts in prop::collection::vec(0usize..=N_ENTITIES, 0..4),
     ) {
         let mut rng = SeededRng::new(0x7D + family as u64);
@@ -153,9 +156,10 @@ proptest! {
 
     /// Through the public entry point, non-factorising models take the
     /// query-row-splitting mode (no redundant full-table passes) — still
-    /// bit-identical at every thread count.
+    /// bit-identical at every thread count, including oversubscribed crews
+    /// (up to 16 workers, more than most CI runners have cores).
     #[test]
-    fn tdm_query_split_mode_any_thread_count(n_threads in 1usize..=8, seed in 0u64..1_000) {
+    fn tdm_query_split_mode_any_thread_count(n_threads in 1usize..=16, seed in 0u64..1_000) {
         let mut rng = SeededRng::new(seed);
         let cfg = TdmConfig { dim: 12, ..Default::default() };
         let m = TransE::init(N_ENTITIES, N_RELATIONS, cfg, &mut rng);
@@ -185,7 +189,7 @@ proptest! {
     /// merged tie counts (and the filter), at every thread count and split.
     #[test]
     fn constant_scorer_all_ties(
-        n_threads in 1usize..=8,
+        n_threads in 1usize..=16,
         cuts in prop::collection::vec(0usize..=N_ENTITIES, 0..6),
     ) {
         let model = Flat { n: N_ENTITIES };
@@ -230,6 +234,70 @@ fn fully_degenerate_bounds_on_all_ties() {
     assert_eq!(evaluate_parallel_sharded(&model, &ts, &filter, &degenerate), reference);
     let singletons = shard_bounds(N_ENTITIES, N_ENTITIES);
     assert_eq!(evaluate_parallel_sharded(&model, &ts, &filter, &singletons), reference);
+}
+
+/// Panics when asked to score tails for head entity `trip_on` — placed so
+/// the trip happens in the **second** 64-query evaluation block, i.e. while
+/// the pipelined crew is scoring block N+1 and the lead worker is still
+/// converting block N's merged counts to ranks.
+struct LateGrenade {
+    n: usize,
+    trip_on: usize,
+}
+
+impl LinkPredictor for LateGrenade {
+    fn n_entities(&self) -> usize {
+        self.n
+    }
+    fn score_triple(&self, _: usize, _: usize, _: usize) -> f32 {
+        0.0
+    }
+    fn score_tails(&self, h: usize, _: usize, out: &mut [f32]) {
+        assert!(h != self.trip_on, "grenade tripped");
+        out.fill(0.0);
+    }
+    fn score_heads(&self, _: usize, _: usize, out: &mut [f32]) {
+        out.fill(0.0);
+    }
+}
+
+impl BatchScorer for LateGrenade {}
+
+/// 70 triples = one full 64-query block plus a ragged second block; only
+/// index 68 carries the tripping head, so block 1 scores cleanly in both
+/// directions before the pipeline hits the grenade mid-overlap.
+fn late_grenade_triples(trip_on: u32) -> Vec<Triple> {
+    let mut ts: Vec<Triple> = (0..70u32).map(|i| Triple::new(i % 10, 0, (i + 1) % 10)).collect();
+    ts[68] = Triple::new(trip_on, 0, 3);
+    ts
+}
+
+/// A model panic while scoring block 2 — during block 1's rank conversion
+/// in the double-buffered pipeline — must abort cleanly: no hung barrier
+/// (the test would time out), original payload re-thrown on join.
+/// Entity-shard mode: explicit bounds, every worker stages full rows, so
+/// the whole crew trips at the same pipeline step.
+#[test]
+#[should_panic(expected = "grenade tripped")]
+fn panic_in_second_block_aborts_pipeline_entity_mode() {
+    let m = LateGrenade { n: 12, trip_on: 11 };
+    let ts = late_grenade_triples(11);
+    let filter = FilterIndex::build(&ts);
+    evaluate_parallel_sharded(&m, &ts, &filter, &[0, 4, 8, 12]);
+}
+
+/// Same mid-pipeline grenade through the query-split crew layout: only the
+/// worker that owns the tripping row panics; it must poison the crew so
+/// everyone abandons the pipeline at the same barrier instead of deadlocking
+/// on a missing participant.
+#[test]
+#[should_panic(expected = "grenade tripped")]
+fn panic_in_second_block_aborts_pipeline_query_mode() {
+    let m = LateGrenade { n: 12, trip_on: 11 };
+    let ts = late_grenade_triples(11);
+    let filter = FilterIndex::build(&ts);
+    // LateGrenade has no native shard scoring → query-split mode.
+    evaluate_parallel(&m, &ts, &filter, 4);
 }
 
 /// The chunked baseline stays deterministic and metric-equivalent (to

@@ -39,10 +39,18 @@
 //!   head-of-line-block the other, and one direction running dry never
 //!   idles half the engine. While both lanes drain, triple-score requests
 //!   are answered inline between lane completions.
+//! * **Pipelined double-buffered dispatch**: every worker owns two output
+//!   buffers, so the moment block `N`'s shards land the dispatcher hands
+//!   the crew block `N+1` (when the policy above would cut one without
+//!   waiting) *before* stitching and answering block `N` — the crew scores
+//!   `N+1` while the dispatcher runs `filtered_rank`/`top_k` over `N`.
+//!   This holds in the serialised regime and independently in each
+//!   split-crew lane, so rank conversion never idles the scoring crew.
 //!
 //! [`KgEngine::stats`] exposes a lock-free [`EngineStats`] snapshot
 //! (queries served, blocks cut, mean block fill, split blocks, per-class
-//! queue depths) so operators and benchmarks can watch the scheduler work.
+//! queue depths, pipeline-occupancy counters) so operators and benchmarks
+//! can watch the scheduler work.
 //!
 //! # Bit-identity
 //!
@@ -86,7 +94,7 @@ use kg_models::{BatchScorer, BatchScratch};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -233,6 +241,9 @@ struct StatCells {
     blocks_cut: AtomicU64,
     block_fill: AtomicU64,
     split_blocks: AtomicU64,
+    blocks_overlapped: AtomicU64,
+    lead_idle: AtomicU64,
+    crew_idle: AtomicU64,
     depth_score: AtomicU64,
     depth_tails: AtomicU64,
     depth_heads: AtomicU64,
@@ -283,6 +294,20 @@ pub struct EngineStats {
     /// direction that outlives the other is handed back to the full crew
     /// and counts as ordinary blocks again.)
     pub split_blocks: u64,
+    /// Row blocks dispatched to the crew (or a sub-crew lane) *before* the
+    /// previously scored block was stitched and answered — how often the
+    /// double-buffered dispatch pipeline actually overlapped scoring with
+    /// rank conversion.
+    pub blocks_overlapped: u64,
+    /// Times the dispatcher (the pipeline's lead) transitioned to waiting
+    /// on the crew with nothing left to answer. A high rate relative to
+    /// `blocks_cut` means scoring is the bottleneck — the healthy state.
+    pub lead_idle: u64,
+    /// Times the crew (or a sub-crew lane) finished a block with no
+    /// follow-up block dispatched, leaving it idle until more work queued.
+    /// A high rate under saturating row traffic means stitching/ranking or
+    /// the queue lock is the bottleneck.
+    pub crew_idle: u64,
     /// Triple-score requests currently queued.
     pub depth_score: u64,
     /// Tail row queries currently queued.
@@ -688,6 +713,9 @@ impl KgEngine {
                 block_fill as f64 / blocks_cut as f64
             },
             split_blocks: s.split_blocks.load(Relaxed),
+            blocks_overlapped: s.blocks_overlapped.load(Relaxed),
+            lead_idle: s.lead_idle.load(Relaxed),
+            crew_idle: s.crew_idle.load(Relaxed),
             depth_score: s.depth_score.load(Relaxed),
             depth_tails: s.depth_tails.load(Relaxed),
             depth_heads: s.depth_heads.load(Relaxed),
@@ -963,10 +991,13 @@ fn dispatcher_loop(
     senders: &[Sender<WorkerMsg>],
     done: &Receiver<WorkerDone>,
 ) {
-    // Reusable buffers: one compact block per worker (round-tripped through
-    // the job channel), one stitched full-width block per lane, and one
-    // top-k selection scratch per lane.
-    let mut pool: Vec<Option<Vec<f32>>> = (0..senders.len()).map(|_| Some(Vec::new())).collect();
+    // Reusable buffers: *two* compact blocks per worker (round-tripped
+    // through the job channel — the double buffer that lets block N+1
+    // score while block N's results are still being stitched), one
+    // stitched full-width block per lane, and one top-k selection scratch
+    // per lane.
+    let mut pool: Vec<Vec<Vec<f32>>> =
+        (0..senders.len()).map(|_| vec![Vec::new(), Vec::new()]).collect();
     let mut stitched = [Vec::new(), Vec::new()];
     let mut topk: [Vec<(usize, f32)>; 2] = [Vec::new(), Vec::new()];
     loop {
@@ -982,14 +1013,12 @@ fn dispatcher_loop(
             }
             Decision::Scores(batch) => answer_scores(shared, batch),
             Decision::Single(dir, batch) => {
-                shared.stats.record_block(batch.len(), false);
-                run_block(
+                run_serial_regime(
                     shared,
                     dir,
                     batch,
                     full_plan,
-                    0,
-                    0,
+                    split_plans.is_some(),
                     senders,
                     done,
                     &mut pool,
@@ -1075,12 +1104,25 @@ fn answer_scores(shared: &Shared, batch: Batch) {
     }
 }
 
+/// One row block in flight on the crew (or a sub-crew lane): its batch and
+/// queries, how many shard results are still outstanding, whether any
+/// worker reported a model panic, and the landed shard buffers aligned
+/// with the plan that dispatched it.
+struct Inflight {
+    batch: Batch,
+    queries: Arc<Vec<(usize, usize)>>,
+    outstanding: usize,
+    model_panic: bool,
+    results: Vec<Option<Vec<f32>>>,
+}
+
 /// Fan one row block out to the crew slice `plan` (workers
-/// `base .. base + plan.len()`), wait for every shard, stitch and answer.
-/// A model panic falls back to per-query isolation; a hung-up crew poisons
-/// the engine.
-#[allow(clippy::too_many_arguments)] // internal: mirrors the dispatcher's shared-state layout
-fn run_block(
+/// `base .. base + plan.len()`), taking one free buffer per worker from
+/// the double-buffered `pool`. On a hung-up crew the batch is failed and
+/// the engine poisoned; the in-flight record is still returned whenever
+/// any job landed, so the caller's collection loop recycles the buffers of
+/// jobs that did go out.
+fn dispatch_block(
     shared: &Shared,
     dir: Direction,
     mut batch: Batch,
@@ -1088,16 +1130,12 @@ fn run_block(
     base: usize,
     lane: usize,
     senders: &[Sender<WorkerMsg>],
-    done: &Receiver<WorkerDone>,
-    pool: &mut [Option<Vec<f32>>],
-    stitched: &mut Vec<f32>,
-    topk: &mut Vec<(usize, f32)>,
-) {
+    pool: &mut [Vec<Vec<f32>>],
+) -> Option<Inflight> {
     let queries: Arc<Vec<(usize, usize)>> =
         Arc::new(batch.iter().map(|(request, _)| request.query()).collect());
+    let mut outstanding = 0;
     let mut hangup = false;
-    let mut model_panic: Option<String> = None;
-    let mut dispatched = 0;
     for (i, shard) in plan.iter().enumerate() {
         let w = base + i;
         let job = Job {
@@ -1105,76 +1143,255 @@ fn run_block(
             queries: Arc::clone(&queries),
             shard: shard.clone(),
             lane,
-            out: pool[w].take().expect("worker buffer in pool"),
+            out: pool[w].pop().expect("free worker buffer in pool"),
         };
         if senders[w].send(WorkerMsg::Job(job)).is_ok() {
-            dispatched += 1;
+            outstanding += 1;
         } else {
             // A worker can only be gone if the crew is already tearing
-            // down; don't wait for its result.
+            // down; its buffer went with the failed send — restore depth.
             hangup = true;
-            pool[w] = Some(Vec::new());
-        }
-    }
-    for _ in 0..dispatched {
-        match done.recv() {
-            Ok(WorkerDone { worker, out: Ok(buf), .. }) => pool[worker] = Some(buf),
-            Ok(WorkerDone { worker, out: Err(why), .. }) => {
-                model_panic.get_or_insert(why);
-                pool[worker] = Some(Vec::new());
-            }
-            Err(_) => {
-                hangup = true;
-                break;
-            }
+            pool[w].push(Vec::new());
         }
     }
     if hangup {
         let why = "worker crew hung up".to_string();
         fail_batch(shared, &mut batch, &why);
         poison(shared, &why);
+    }
+    (outstanding > 0).then(|| Inflight {
+        batch,
+        queries,
+        outstanding,
+        model_panic: false,
+        results: (0..plan.len()).map(|_| None).collect(),
+    })
+}
+
+/// Route done-channel results into `block` until every outstanding shard
+/// has landed, counting a lead-idle transition if the dispatcher has to
+/// block with nothing left to answer. Returns `false` if the done channel
+/// hung up (the crew is gone).
+fn collect_block(
+    shared: &Shared,
+    block: &mut Inflight,
+    base: usize,
+    done: &Receiver<WorkerDone>,
+) -> bool {
+    let mut waited = false;
+    while block.outstanding > 0 {
+        let msg = match done.try_recv() {
+            Ok(msg) => Ok(msg),
+            Err(TryRecvError::Empty) => {
+                if !waited {
+                    waited = true;
+                    shared.stats.lead_idle.fetch_add(1, Relaxed);
+                }
+                done.recv().map_err(|_| ())
+            }
+            Err(TryRecvError::Disconnected) => Err(()),
+        };
+        match msg {
+            Ok(WorkerDone { worker, out, .. }) => {
+                block.outstanding -= 1;
+                match out {
+                    Ok(buf) => block.results[worker - base] = Some(buf),
+                    Err(_why) => block.model_panic = true,
+                }
+            }
+            Err(()) => return false,
+        }
+    }
+    true
+}
+
+/// Return a finished block's shard buffers to the double-buffered pool.
+/// Slots that lost their buffer (a panicking worker drops its output, a
+/// failed send loses the job) get a fresh one, keeping every worker's
+/// stack at depth two.
+fn release_results(results: &mut [Option<Vec<f32>>], base: usize, pool: &mut [Vec<Vec<f32>>]) {
+    for (i, slot) in results.iter_mut().enumerate() {
+        pool[base + i].push(slot.take().unwrap_or_default());
+    }
+}
+
+/// Stitch one fully-collected block and answer its tickets (or isolate a
+/// model panic through the per-query reference path), recycling the shard
+/// buffers. A batch already emptied by the hangup path only recycles.
+fn answer_inflight(
+    shared: &Shared,
+    mut block: Inflight,
+    dir: Direction,
+    plan: &[WorkerShard],
+    base: usize,
+    pool: &mut [Vec<Vec<f32>>],
+    stitched: &mut Vec<f32>,
+    topk: &mut Vec<(usize, f32)>,
+) {
+    if block.batch.is_empty() {
+        release_results(&mut block.results, base, pool);
         return;
     }
-    if model_panic.is_some() {
-        answer_block_isolating(shared, dir, batch);
+    if block.model_panic {
+        release_results(&mut block.results, base, pool);
+        answer_block_isolating(shared, dir, block.batch);
         return;
     }
-    stitch(plan, &pool[base..base + plan.len()], queries.len(), shared.n_entities, stitched);
+    stitch(plan, &block.results, block.queries.len(), shared.n_entities, stitched);
+    release_results(&mut block.results, base, pool);
     // Count before fulfilling: the ticket lock orders this store before
     // any client that has seen its answer can read the stats.
-    shared.stats.queries_served.fetch_add(batch.len() as u64, Relaxed);
-    for (i, (request, ticket)) in batch.drain(..).enumerate() {
+    shared.stats.queries_served.fetch_add(block.batch.len() as u64, Relaxed);
+    for (i, (request, ticket)) in block.batch.drain(..).enumerate() {
         let row = &stitched[i * shared.n_entities..(i + 1) * shared.n_entities];
         ticket.fulfill(answer(shared, &request, row, topk));
     }
 }
 
+/// Cut the next serialised row block if — and only if — the scheduling
+/// policy would dispatch one *right now* without waiting: the oldest
+/// class is a row class, its linger deadline (if any) has expired or its
+/// block is full, and the split regime isn't due to take over. Anything
+/// else returns `None` and lets the main loop's [`next_decision`] handle
+/// waiting, lingering, splits, score batches and shutdown.
+fn pop_serial_block(shared: &Shared, can_split: bool) -> Option<(Direction, Batch)> {
+    let mut q = shared.queue.lock().expect("serve queue lock");
+    if q.shutdown || q.poisoned.is_some() {
+        return None;
+    }
+    let class = q.oldest_class()?;
+    let Class::Row(dir) = class else { return None };
+    if !shared.linger.is_zero()
+        && q.queue(class).len() < shared.block
+        && q.queue(class).front().is_some_and(|front| front.arrived.elapsed() < shared.linger)
+    {
+        return None;
+    }
+    if can_split && !q.queue(Class::Row(dir.opposite())).is_empty() {
+        return None;
+    }
+    Some((dir, q.pop_block(class, shared.block, &shared.stats)))
+}
+
+/// The serialised regime, pipelined: the full crew scores one block at a
+/// time, but the dispatch runs two deep — the moment block `N`'s shards
+/// land, block `N+1` (when [`pop_serial_block`] can cut one) is handed to
+/// the crew *before* block `N` is stitched and answered, so the crew
+/// scores `N+1` while the dispatcher converts `N`. Returns to the main
+/// loop whenever the policy wouldn't chain another immediate row block.
+/// A model panic falls back to per-query isolation; a hung-up crew
+/// poisons the engine.
+#[allow(clippy::too_many_arguments)] // internal: mirrors the dispatcher's shared-state layout
+fn run_serial_regime(
+    shared: &Shared,
+    dir: Direction,
+    batch: Batch,
+    plan: &[WorkerShard],
+    can_split: bool,
+    senders: &[Sender<WorkerMsg>],
+    done: &Receiver<WorkerDone>,
+    pool: &mut [Vec<Vec<f32>>],
+    stitched: &mut Vec<f32>,
+    topk: &mut Vec<(usize, f32)>,
+) {
+    shared.stats.record_block(batch.len(), false);
+    let Some(mut current) = dispatch_block(shared, dir, batch, plan, 0, 0, senders, pool) else {
+        return; // crew already gone: batch failed, engine poisoned
+    };
+    let mut dir = dir;
+    loop {
+        if !collect_block(shared, &mut current, 0, done) {
+            let why = "worker crew hung up".to_string();
+            fail_batch(shared, &mut current.batch, &why);
+            release_results(&mut current.results, 0, pool);
+            poison(shared, &why);
+            return;
+        }
+        // Pipeline: hand the crew its next block before answering this
+        // one, so scoring N+1 overlaps the stitching/ranking of N.
+        let next = match pop_serial_block(shared, can_split) {
+            Some((next_dir, next_batch)) => {
+                shared.stats.record_block(next_batch.len(), false);
+                shared.stats.blocks_overlapped.fetch_add(1, Relaxed);
+                dispatch_block(shared, next_dir, next_batch, plan, 0, 0, senders, pool)
+                    .map(|inflight| (next_dir, inflight))
+            }
+            None => {
+                shared.stats.crew_idle.fetch_add(1, Relaxed);
+                None
+            }
+        };
+        answer_inflight(shared, current, dir, plan, 0, pool, stitched, topk);
+        match next {
+            Some((next_dir, inflight)) => {
+                dir = next_dir;
+                current = inflight;
+            }
+            None => return,
+        }
+    }
+}
+
+/// Cut and dispatch a new block for one split-regime lane if the policy
+/// allows it right now. A lane only cuts while there is genuinely
+/// dual-direction work (`other_inflight`, or the opposite queue
+/// non-empty): once one direction runs dry, the regime winds down and
+/// hands the surviving backlog back to the serialised loop's *full* crew
+/// instead of draining it at half throughput. The linger budget applies
+/// here too — an under-filled lane block inside its deadline stays queued
+/// — but without a timed wait: deferred cuts are re-examined at the next
+/// lane event, and if both lanes end up deferred the regime exits to the
+/// main loop, whose linger wait is a proper timed sleep.
+#[allow(clippy::too_many_arguments)] // internal: mirrors the dispatcher's shared-state layout
+fn refill_lane(
+    shared: &Shared,
+    dir: Direction,
+    other_inflight: bool,
+    plan: &[WorkerShard],
+    base: usize,
+    lane: usize,
+    senders: &[Sender<WorkerMsg>],
+    pool: &mut [Vec<Vec<f32>>],
+) -> Option<Inflight> {
+    let batch = {
+        let mut q = shared.queue.lock().expect("serve queue lock");
+        let dual = other_inflight || !q.queue(Class::Row(dir.opposite())).is_empty();
+        let lingering = !shared.linger.is_zero()
+            && q.queue(Class::Row(dir)).len() < shared.block
+            && q.queue(Class::Row(dir))
+                .front()
+                .is_some_and(|front| front.arrived.elapsed() < shared.linger);
+        if q.shutdown || q.poisoned.is_some() || !dual || lingering {
+            return None;
+        }
+        q.pop_block(Class::Row(dir), shared.block, &shared.stats)
+    };
+    if batch.is_empty() {
+        return None;
+    }
+    shared.stats.record_block(batch.len(), true);
+    dispatch_block(shared, dir, batch, plan, base, lane, senders, pool)
+}
+
 /// The dual-direction draining regime: two sub-crews, one lane per
 /// direction, each lane re-cutting a new block the moment its previous one
-/// is answered — so a backlog in one direction never head-of-line-blocks
-/// the other, and the dispatcher's stitching/ranking of one lane overlaps
-/// the other lane's scoring. Triple-score requests are answered inline
-/// between lane events. Returns to the serialised loop once both
-/// directions run dry (or on shutdown, leaving queued work to the main
-/// loop's shutdown path).
-#[allow(clippy::too_many_arguments)] // internal: mirrors the dispatcher's shared-state layout
+/// has *scored* — the refill is dispatched before the finished block is
+/// stitched and answered, so a lane's sub-crew scores block `N+1` while
+/// the dispatcher converts its block `N`, and a backlog in one direction
+/// never head-of-line-blocks the other. Triple-score requests are
+/// answered inline between lane events. Returns to the serialised loop
+/// once both directions run dry (or on shutdown, leaving queued work to
+/// the main loop's shutdown path).
 fn run_split_regime(
     shared: &Shared,
     plan_a: &[WorkerShard],
     plan_b: &[WorkerShard],
     senders: &[Sender<WorkerMsg>],
     done: &Receiver<WorkerDone>,
-    pool: &mut [Option<Vec<f32>>],
+    pool: &mut [Vec<Vec<f32>>],
     stitched: &mut [Vec<f32>; 2],
     topk: &mut [Vec<(usize, f32)>; 2],
 ) {
-    /// One lane's in-flight block (None while the lane idles).
-    struct Inflight {
-        batch: Batch,
-        queries: Arc<Vec<(usize, usize)>>,
-        outstanding: usize,
-        model_panic: bool,
-    }
     // Lane 0 drains tails on workers 0..plan_a.len(); lane 1 drains heads
     // on workers half.. — the `split_plan` layout.
     let half = senders.len() / 2;
@@ -1194,131 +1411,81 @@ fn run_split_regime(
             answer_scores(shared, batch);
         }
         // Refill idle lanes (unless shutting down or poisoned — the main
-        // loop handles those once in-flight work lands). A lane only cuts
-        // while there is genuinely dual-direction work (the other lane in
-        // flight or its queue non-empty): once one direction runs dry, the
-        // regime winds down and hands the surviving backlog back to the
-        // serialised loop's *full* crew instead of draining it at half
-        // throughput. The linger budget applies here too — an under-filled
-        // lane block inside its deadline stays queued — but without a
-        // timed wait: deferred cuts are re-examined at the next lane
-        // event, and if both lanes end up deferred the regime exits to the
-        // main loop, whose linger wait is a proper timed sleep.
+        // loop handles those once in-flight work lands).
         for (lane, &(dir, plan, base)) in lanes.iter().enumerate() {
             if inflight[lane].is_some() {
                 continue;
             }
-            let batch = {
-                let mut q = shared.queue.lock().expect("serve queue lock");
-                let dual =
-                    inflight[1 - lane].is_some() || !q.queue(Class::Row(dir.opposite())).is_empty();
-                let lingering = |q: &QueueState| {
-                    !shared.linger.is_zero()
-                        && q.queue(Class::Row(dir)).len() < shared.block
-                        && q.queue(Class::Row(dir))
-                            .front()
-                            .is_some_and(|front| front.arrived.elapsed() < shared.linger)
-                };
-                if q.shutdown || q.poisoned.is_some() || !dual || lingering(&q) {
-                    Vec::new()
-                } else {
-                    q.pop_block(Class::Row(dir), shared.block, &shared.stats)
-                }
-            };
-            if batch.is_empty() {
-                continue;
-            }
-            shared.stats.record_block(batch.len(), true);
-            let mut batch = batch;
-            let queries: Arc<Vec<(usize, usize)>> =
-                Arc::new(batch.iter().map(|(request, _)| request.query()).collect());
-            let mut outstanding = 0;
-            let mut hangup = false;
-            for (i, shard) in plan.iter().enumerate() {
-                let w = base + i;
-                let job = Job {
-                    dir,
-                    queries: Arc::clone(&queries),
-                    shard: shard.clone(),
-                    lane,
-                    out: pool[w].take().expect("worker buffer in pool"),
-                };
-                if senders[w].send(WorkerMsg::Job(job)).is_ok() {
-                    outstanding += 1;
-                } else {
-                    hangup = true;
-                    pool[w] = Some(Vec::new());
-                }
-            }
-            if hangup {
-                // A worker can only be gone if the crew is tearing down:
-                // fail the batch now (emptying it) and poison. Results of
-                // jobs already sent are still routed below — with the
-                // batch empty, lane completion just recycles the buffers.
-                let why = "worker crew hung up".to_string();
-                fail_batch(shared, &mut batch, &why);
-                poison(shared, &why);
-            }
-            if outstanding > 0 {
-                inflight[lane] = Some(Inflight { batch, queries, outstanding, model_panic: false });
-            }
+            let other = inflight[1 - lane].is_some();
+            inflight[lane] = refill_lane(shared, dir, other, plan, base, lane, senders, pool);
         }
         if inflight.iter().all(Option::is_none) {
             return;
         }
-        // Wait for one worker result and route it to its lane.
-        match done.recv() {
+        // Wait for one worker result and route it to its lane, counting a
+        // lead-idle transition when the dispatcher has nothing to answer.
+        let msg = match done.try_recv() {
+            Ok(msg) => Ok(msg),
+            Err(TryRecvError::Empty) => {
+                shared.stats.lead_idle.fetch_add(1, Relaxed);
+                done.recv().map_err(|_| ())
+            }
+            Err(TryRecvError::Disconnected) => Err(()),
+        };
+        match msg {
             Ok(WorkerDone { worker, lane, out }) => {
-                match out {
-                    Ok(buf) => pool[worker] = Some(buf),
-                    Err(_why) => {
-                        if let Some(block) = &mut inflight[lane] {
-                            block.model_panic = true;
-                        }
-                        pool[worker] = Some(Vec::new());
-                    }
-                }
                 let finished = match &mut inflight[lane] {
                     Some(block) => {
                         block.outstanding -= 1;
+                        match out {
+                            Ok(buf) => {
+                                let base = lanes[lane].2;
+                                block.results[worker - base] = Some(buf);
+                            }
+                            Err(_why) => block.model_panic = true,
+                        }
                         block.outstanding == 0
                     }
-                    None => false, // lane already failed by the hangup path
+                    None => {
+                        // Lane already failed by the hangup path: recycle.
+                        pool[worker].push(out.unwrap_or_default());
+                        false
+                    }
                 };
                 if finished {
                     let block = inflight[lane].take().expect("finished lane has a block");
                     let (dir, plan, base) = lanes[lane];
-                    let mut batch = block.batch;
-                    if batch.is_empty() {
-                        continue; // failed by the hangup path while in flight
+                    // Pipeline: refill this lane *before* stitching and
+                    // answering, so the sub-crew scores its next block
+                    // while the dispatcher converts this one.
+                    let other = inflight[1 - lane].is_some();
+                    inflight[lane] =
+                        refill_lane(shared, dir, other, plan, base, lane, senders, pool);
+                    if inflight[lane].is_some() {
+                        shared.stats.blocks_overlapped.fetch_add(1, Relaxed);
+                    } else {
+                        shared.stats.crew_idle.fetch_add(1, Relaxed);
                     }
-                    if block.model_panic {
-                        answer_block_isolating(shared, dir, batch);
-                        continue;
-                    }
-                    stitch(
+                    answer_inflight(
+                        shared,
+                        block,
+                        dir,
                         plan,
-                        &pool[base..base + plan.len()],
-                        block.queries.len(),
-                        shared.n_entities,
+                        base,
+                        pool,
                         &mut stitched[lane],
+                        &mut topk[lane],
                     );
-                    // Count before fulfilling — see `run_block`.
-                    shared.stats.queries_served.fetch_add(batch.len() as u64, Relaxed);
-                    for (i, (request, ticket)) in batch.drain(..).enumerate() {
-                        let row =
-                            &stitched[lane][i * shared.n_entities..(i + 1) * shared.n_entities];
-                        ticket.fulfill(answer(shared, &request, row, &mut topk[lane]));
-                    }
                 }
             }
-            Err(_) => {
+            Err(()) => {
                 // Every worker hung up mid-flight: fail both lanes and
                 // poison.
                 let why = "worker crew hung up".to_string();
-                for block in inflight.iter_mut() {
+                for (lane, block) in inflight.iter_mut().enumerate() {
                     if let Some(mut block) = block.take() {
                         fail_batch(shared, &mut block.batch, &why);
+                        release_results(&mut block.results, lanes[lane].2, pool);
                     }
                 }
                 poison(shared, &why);
@@ -1373,18 +1540,18 @@ fn fail_batch(shared: &Shared, batch: &mut Batch, why: &str) {
 /// Copy each worker's compact shard block back into full-width score rows.
 /// Entity shards are column ranges, query shards are row ranges; both are
 /// bit-identical slices of the reference row, so `full` ends up exactly as
-/// the per-query path would have written it. `pool` is the slice of worker
-/// buffers aligned with `plan` (sub-crews pass their own window).
+/// the per-query path would have written it. `results` is the in-flight
+/// block's landed buffers, aligned with `plan`.
 fn stitch(
     plan: &[WorkerShard],
-    pool: &[Option<Vec<f32>>],
+    results: &[Option<Vec<f32>>],
     block_len: usize,
     n_entities: usize,
     full: &mut Vec<f32>,
 ) {
     full.resize(block_len * n_entities, 0.0);
     for (w, shard) in plan.iter().enumerate() {
-        let buf = pool[w].as_ref().expect("worker buffer returned");
+        let buf = results[w].as_ref().expect("worker buffer returned");
         match shard {
             WorkerShard::Entities(range) => {
                 let width = range.len();

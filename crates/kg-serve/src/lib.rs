@@ -33,9 +33,16 @@
 //!   and one head block concurrently, so a deep backlog in one direction
 //!   cannot head-of-line-block the other.
 //!
+//! Block dispatch is **pipelined**: the dispatcher cuts and hands the
+//! crew the next block *before* converting and answering the previous
+//! one (double-buffered per-lane result buffers), so the crew scores
+//! block N+1 while block N's answers are delivered — under sustained
+//! load the workers never idle on the answer path.
+//!
 //! [`KgEngine::stats`] returns a lock-free [`EngineStats`] snapshot
 //! (queries served, blocks cut, mean block fill, split blocks, queue
-//! depths) for operators and benchmarks.
+//! depths, plus pipeline occupancy: `blocks_overlapped`, `lead_idle`,
+//! `crew_idle`) for operators and benchmarks.
 //!
 //! Malformed requests are rejected at submit time on the caller's thread —
 //! entity ids against the model's table, relation ids against the bound

@@ -70,6 +70,35 @@ impl BatchScorer for Grenade {
     }
 }
 
+/// A grenade slow enough that the pipelined dispatcher reliably has the
+/// *next* block already in flight when the panic lands: each scored row
+/// sleeps a few milliseconds, so a burst of submissions queues several
+/// blocks and the dispatcher's dispatch-before-answer chaining overlaps
+/// them.
+struct SlowGrenade {
+    trip_on: usize,
+}
+
+impl LinkPredictor for SlowGrenade {
+    fn n_entities(&self) -> usize {
+        N
+    }
+    fn score_triple(&self, _: usize, _: usize, _: usize) -> f32 {
+        0.0
+    }
+    fn score_tails(&self, h: usize, _: usize, out: &mut [f32]) {
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(h != self.trip_on, "grenade tripped");
+        out.fill(0.0);
+    }
+    fn score_heads(&self, _: usize, _: usize, out: &mut [f32]) {
+        std::thread::sleep(Duration::from_millis(5));
+        out.fill(0.0);
+    }
+}
+
+impl BatchScorer for SlowGrenade {}
+
 /// A model that knows no relation bound (`n_relations() == None`) and
 /// panics — like a real embedding table would — when handed a relation id
 /// beyond its two relations. The worst case the submit-time check cannot
@@ -201,6 +230,51 @@ fn scoring_panic_is_isolated_entity_shard_mode() {
 #[test]
 fn scoring_panic_is_isolated_query_split_mode() {
     assert_panic_is_isolated(false);
+}
+
+/// A model panic inside a *pipelined* block — the dispatcher has already
+/// dispatched block N+1 when block N's results land — must still fail only
+/// the tripping ticket: the in-flight follow-up block is answered normally,
+/// the crew is not poisoned, and the pipeline keeps chaining afterwards.
+#[test]
+fn pipelined_block_panic_fails_only_the_tripping_ticket() {
+    let engine = KgEngine::with_filter(SlowGrenade { trip_on: 5 }, Default::default())
+        .threads(2)
+        .block(4)
+        .build();
+    // Burst 12 tail queries: at ~5 ms per scored row the dispatcher cuts
+    // three 4-query blocks and chains them back-to-back, so the grenade in
+    // the middle block trips while its successor is already being scored.
+    let tickets: Vec<_> = (0..12).map(|h| engine.submit_rank_tail(h % N, 0, 1)).collect();
+    let mut failed = Vec::new();
+    for (h, ticket) in tickets.into_iter().enumerate() {
+        match catch_unwind(AssertUnwindSafe(|| ticket.wait())) {
+            Ok(rank) => assert!(rank >= 1.0, "healthy query {h} got rank {rank}"),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_else(|| "non-string panic".into());
+                assert!(msg.contains("grenade tripped"), "query {h}: unexpected failure: {msg}");
+                failed.push(h);
+            }
+        }
+    }
+    assert_eq!(failed, vec![5], "exactly the tripping query fails");
+    // The pipeline must keep running after the isolated panic…
+    assert!(engine.rank_tail(0, 0, 1) >= 1.0, "engine must stay healthy");
+    let stats = engine.stats();
+    assert_eq!(stats.queries_failed, 1);
+    assert_eq!(stats.queries_served, 12);
+    // …and the burst must actually have exercised the overlap path: at
+    // least one follow-up block was dispatched before its predecessor was
+    // answered.
+    assert!(
+        stats.blocks_overlapped >= 1,
+        "a 3-block burst on a slow model must overlap at least once, got {}",
+        stats.blocks_overlapped
+    );
+    drop(engine); // no hung barrier after a mid-pipeline panic
 }
 
 #[test]

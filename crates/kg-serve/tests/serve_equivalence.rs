@@ -252,11 +252,13 @@ fn decode_mixed(raw: &[(u8, usize, usize, usize, usize)]) -> Vec<Op> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// BLM classics: native entity-sharded crew, every thread count.
+    /// BLM classics: native entity-sharded crew, every thread count — the
+    /// range runs well past typical CI core counts, so oversubscribed
+    /// crews (workers > cores) exercise the pipeline under preemption.
     #[test]
     fn blm_classics_bit_identical(
         spec_idx in 0usize..4,
-        n_threads in 1usize..=8,
+        n_threads in 1usize..=16,
         raw in raw_ops(12..30),
     ) {
         let (name, spec) = classics::all().swap_remove(spec_idx);
@@ -282,10 +284,11 @@ proptest! {
     }
 
     /// TransE reports no native shard scoring, so the crew splits query
-    /// rows — the other worker layout, same bit-identity.
+    /// rows — the other worker layout, same bit-identity, again up to an
+    /// oversubscribed 16 workers.
     #[test]
     fn tdm_query_split_crew_bit_identical(
-        n_threads in 1usize..=8,
+        n_threads in 1usize..=16,
         seed in 0u64..1_000,
         raw in raw_ops(8..20),
     ) {
@@ -312,7 +315,7 @@ proptest! {
     fn scheduler_knobs_never_show_entity_shards(
         linger_us in prop::sample::select(vec![0u64, 100, 2_000]),
         split in prop::sample::select(vec![true, false]),
-        n_threads in 1usize..=6,
+        n_threads in 1usize..=12,
         block in prop::sample::select(vec![3usize, 64]),
         raw in raw_ops(12..28),
     ) {

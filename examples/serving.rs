@@ -91,10 +91,17 @@ fn main() {
     );
 
     // 5. The scheduler's own accounting: how full the batching queue cut
-    //    its blocks and how often the crew split across directions.
+    //    its blocks, how often the crew split across directions, and how
+    //    well the double-buffered pipeline kept both stages busy (blocks
+    //    dispatched before their predecessor was answered, vs. dispatcher
+    //    and crew idle transitions).
     let stats = engine.stats();
     println!(
         "scheduler: {} served, {} blocks (mean fill {:.1}), {} split-crew blocks",
         stats.queries_served, stats.blocks_cut, stats.mean_block_fill, stats.split_blocks
+    );
+    println!(
+        "pipeline:  {} blocks overlapped, {} lead-idle waits, {} crew-idle gaps",
+        stats.blocks_overlapped, stats.lead_idle, stats.crew_idle
     );
 }
