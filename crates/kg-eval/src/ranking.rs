@@ -555,7 +555,7 @@ fn convert_step(
     metrics: &mut RankMetrics,
 ) {
     // Step parity doubles as the direction: tails are even steps.
-    let tails = step % 2 == 0;
+    let tails = step.is_multiple_of(2);
     let ranks: &mut [f64] = if tails { &mut tail_ranks[..] } else { &mut head_ranks[..] };
     for (i, rank) in ranks.iter_mut().take(block_len).enumerate() {
         let (better, ties) = slots.merged_counts(step % 2, i);
@@ -594,6 +594,7 @@ fn convert_step(
 /// leaves the pipeline at that step's barrier check, never one rendezvous
 /// early or late, and the original panic is re-thrown on join, so failures
 /// propagate instead of deadlocking the rendezvous.
+#[allow(clippy::too_many_arguments)] // one crew-wide wiring site, every argument load-bearing
 fn shard_worker<M: BatchScorer + ?Sized>(
     model: &M,
     triples: &[Triple],
@@ -680,7 +681,7 @@ fn shard_worker<M: BatchScorer + ?Sized>(
         }
         let counted = catch_unwind(AssertUnwindSafe(|| {
             let out = &scores[..rows.len() * width];
-            for i in 0..block.len() {
+            for (i, tr) in block.iter().enumerate() {
                 if !rows.contains(&i) {
                     // Unowned rows (query-split mode): identity counts, so
                     // the lead's merge can sum every worker's slot blindly.
@@ -688,7 +689,6 @@ fn shard_worker<M: BatchScorer + ?Sized>(
                     continue;
                 }
                 let local = i - rows.start;
-                let tr = &block[i];
                 let (target, known) = if tail_dir {
                     (tr.t.idx(), filter.tails(tr.h, tr.r))
                 } else {

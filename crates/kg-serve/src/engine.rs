@@ -49,8 +49,27 @@
 //!
 //! [`KgEngine::stats`] exposes a lock-free [`EngineStats`] snapshot
 //! (queries served, blocks cut, mean block fill, split blocks, per-class
-//! queue depths, pipeline-occupancy counters) so operators and benchmarks
-//! can watch the scheduler work.
+//! queue depths, latency histograms, admission counters,
+//! pipeline-occupancy counters) so operators and benchmarks can watch the
+//! scheduler work.
+//!
+//! # Admission control
+//!
+//! The queues are bounded ([`KgEngineBuilder::max_queued`], default
+//! [`KgEngineBuilder::DEFAULT_MAX_QUEUED`] per class): a submission
+//! against a full class queue is shed on the caller's thread with
+//! [`crate::SubmitError::Shed`] — carrying the observed depth and a
+//! `retry_after` backoff hint priced from the recent mean block service
+//! time — before any engine resource is committed. An optional
+//! [`KgEngineBuilder::deadline`] expires requests that outwait it in the
+//! queue: the dispatcher drops them when cutting their block, *before*
+//! spending crew time, failing the ticket with
+//! [`crate::ServeError::Expired`]. Per-client fair dequeue
+//! ([`KgEngine::client`] + [`KgEngineBuilder::fair_dequeue`]) makes block
+//! cuts round-robin across client lanes so one flooding client cannot
+//! monopolise a full queue. All of this sits **above** block cutting — it
+//! decides which requests reach a block, never what any request answers —
+//! so the bit-identity contract below is untouched.
 //!
 //! # Bit-identity
 //!
@@ -86,6 +105,9 @@
 //! hang. Dropping the engine signals shutdown, fails still-pending tickets
 //! and joins the crew.
 
+use crate::admission::{
+    bucket_index, LatencyHistogram, RequestClass, ServeError, SubmitError, LATENCY_BUCKETS,
+};
 use crate::ticket::{RankTicket, Reply, ScoreTicket, TicketInner, TopKTicket};
 use kg_core::{Dataset, EntityId, FilterIndex, RelationId};
 use kg_eval::engine::{plan_shards, score_block_shard, split_plan, Direction, WorkerShard, BLOCK};
@@ -122,6 +144,39 @@ enum Class {
     Row(Direction),
 }
 
+impl Class {
+    /// The public name of this class — the vocabulary admission errors and
+    /// stats speak.
+    fn public(self) -> RequestClass {
+        match self {
+            Class::Score => RequestClass::Score,
+            Class::Row(Direction::Tails) => RequestClass::Tails,
+            Class::Row(Direction::Heads) => RequestClass::Heads,
+        }
+    }
+
+    /// Index into per-class arrays (caps, histograms) — the
+    /// [`RequestClass::ALL`] order.
+    fn index(self) -> usize {
+        match self {
+            Class::Score => 0,
+            Class::Row(Direction::Tails) => 1,
+            Class::Row(Direction::Heads) => 2,
+        }
+    }
+}
+
+impl RequestClass {
+    /// The engine-internal class this public name denotes.
+    fn internal(self) -> Class {
+        match self {
+            RequestClass::Score => Class::Score,
+            RequestClass::Tails => Class::Row(Direction::Tails),
+            RequestClass::Heads => Class::Row(Direction::Heads),
+        }
+    }
+}
+
 impl Request {
     fn class(&self) -> Class {
         match self {
@@ -147,26 +202,89 @@ impl Request {
 struct Queued {
     /// Global arrival sequence number — the oldest-class-first key.
     seq: u64,
-    /// Arrival time — the linger deadline anchor.
+    /// Arrival time — the linger/deadline anchor and the latency
+    /// histogram's start mark.
     arrived: Instant,
+    /// The client key this request was submitted under
+    /// ([`KgEngine::client`]), `None` for anonymous submissions.
+    client: Option<u64>,
     request: Request,
     ticket: Arc<TicketInner>,
 }
 
-/// A batch cut off a class queue, ready for dispatch.
-type Batch = Vec<(Request, Arc<TicketInner>)>;
+/// A batch cut off a class queue, ready for dispatch. Entries keep their
+/// queue metadata so the settle path can record submit→settle latency.
+type Batch = Vec<Queued>;
+
+/// One client's FIFO run inside a [`ClassQueue`].
+#[derive(Debug)]
+struct ClientLane {
+    key: Option<u64>,
+    q: VecDeque<Queued>,
+}
+
+/// One class's queue: a ring of per-client FIFO lanes.
+///
+/// With fair dequeue off — or when no submitter uses a client key — every
+/// request lands in a single `None` lane and the queue degenerates to the
+/// plain FIFO deque it used to be, at the same O(1) cost. With keys in
+/// play, [`ClassQueue::pop_rr`] takes one request from the front lane and
+/// rotates it to the back: block cuts round-robin across clients while
+/// each client's own requests stay strictly FIFO, so one greedy client can
+/// fill the queue but cannot monopolise the blocks cut from it.
+#[derive(Debug, Default)]
+struct ClassQueue {
+    lanes: VecDeque<ClientLane>,
+    len: usize,
+}
+
+impl ClassQueue {
+    fn push(&mut self, item: Queued, fair: bool) {
+        let key = if fair { item.client } else { None };
+        self.len += 1;
+        match self.lanes.iter_mut().find(|lane| lane.key == key) {
+            Some(lane) => lane.q.push_back(item),
+            None => self.lanes.push_back(ClientLane { key, q: VecDeque::from([item]) }),
+        }
+    }
+
+    /// The queue's globally oldest request (minimum arrival sequence
+    /// across the lane fronts) — the oldest-class-first and linger anchor.
+    fn front(&self) -> Option<&Queued> {
+        self.lanes.iter().filter_map(|lane| lane.q.front()).min_by_key(|q| q.seq)
+    }
+
+    /// Pop one request round-robin: the front lane's front request, the
+    /// lane rotating to the back (and evaporating once empty).
+    fn pop_rr(&mut self) -> Option<Queued> {
+        let mut lane = self.lanes.pop_front()?;
+        let item = lane.q.pop_front().expect("queue lanes are never empty");
+        if !lane.q.is_empty() {
+            self.lanes.push_back(lane);
+        }
+        self.len -= 1;
+        Some(item)
+    }
+
+    /// Empty the queue, yielding every request in lane order.
+    fn drain_all(&mut self) -> impl Iterator<Item = Queued> {
+        self.len = 0;
+        std::mem::take(&mut self.lanes).into_iter().flat_map(|lane| lane.q)
+    }
+}
 
 /// Queue shared between clients, dispatcher and `Drop`.
 ///
-/// Requests live in one FIFO deque per [`Class`], tagged with a global
+/// Requests live in one [`ClassQueue`] per [`Class`], tagged with a global
 /// arrival sequence number: the dispatcher picks the class whose oldest
-/// request arrived first, then cuts a block off that deque's front — O(1)
-/// per request, no rescanning or rebuilding, whatever the class mix.
+/// request arrived first, then cuts a block round-robin across that
+/// class's client lanes — O(1) per request (plus a lane scan bounded by
+/// the number of distinct client keys), whatever the class mix.
 #[derive(Debug, Default)]
 struct QueueState {
-    score: VecDeque<Queued>,
-    tails: VecDeque<Queued>,
-    heads: VecDeque<Queued>,
+    score: ClassQueue,
+    tails: ClassQueue,
+    heads: ClassQueue,
     next_seq: u64,
     shutdown: bool,
     /// Set on an infrastructure failure (worker crew hung up, dispatcher
@@ -177,7 +295,7 @@ struct QueueState {
 }
 
 impl QueueState {
-    fn queue(&self, class: Class) -> &VecDeque<Queued> {
+    fn queue(&self, class: Class) -> &ClassQueue {
         match class {
             Class::Score => &self.score,
             Class::Row(Direction::Tails) => &self.tails,
@@ -185,7 +303,7 @@ impl QueueState {
         }
     }
 
-    fn queue_mut(&mut self, class: Class) -> &mut VecDeque<Queued> {
+    fn queue_mut(&mut self, class: Class) -> &mut ClassQueue {
         match class {
             Class::Score => &mut self.score,
             Class::Row(Direction::Tails) => &mut self.tails,
@@ -193,11 +311,19 @@ impl QueueState {
         }
     }
 
-    fn push(&mut self, request: Request, ticket: Arc<TicketInner>, stats: &StatCells) {
+    fn push(
+        &mut self,
+        request: Request,
+        client: Option<u64>,
+        ticket: Arc<TicketInner>,
+        fair: bool,
+        stats: &StatCells,
+    ) {
         let seq = self.next_seq;
         self.next_seq += 1;
         let class = request.class();
-        self.queue_mut(class).push_back(Queued { seq, arrived: Instant::now(), request, ticket });
+        let item = Queued { seq, arrived: Instant::now(), client, request, ticket };
+        self.queue_mut(class).push(item, fair);
         stats.depth(class).fetch_add(1, Relaxed);
     }
 
@@ -211,24 +337,69 @@ impl QueueState {
             .map(|(_, class)| class)
     }
 
-    /// Cut up to `max` requests off the front of `class`'s queue.
-    fn pop_block(&mut self, class: Class, max: usize, stats: &StatCells) -> Batch {
+    /// Cut up to `max` *live* requests off `class`'s queue, round-robin
+    /// across client lanes. Requests already past the engine's deadline
+    /// are expired right here — settled with [`ServeError::Expired`],
+    /// counted, latency-recorded — and never occupy a block slot, so an
+    /// overloaded queue sheds its stale backlog at block-cut speed instead
+    /// of wasting crew time scoring answers nobody is waiting for.
+    fn pop_block(
+        &mut self,
+        class: Class,
+        max: usize,
+        deadline: Option<Duration>,
+        stats: &StatCells,
+    ) -> Batch {
+        let now = Instant::now();
         let queue = self.queue_mut(class);
-        let take = queue.len().min(max);
-        stats.depth(class).fetch_sub(take as u64, Relaxed);
-        queue.drain(..take).map(|q| (q.request, q.ticket)).collect()
+        let mut batch = Batch::with_capacity(max.min(queue.len));
+        let mut first_client: Option<Option<u64>> = None;
+        let mut mixed_clients = false;
+        while batch.len() < max {
+            let Some(item) = queue.pop_rr() else { break };
+            stats.depth(class).fetch_sub(1, Relaxed);
+            let waited = now.saturating_duration_since(item.arrived);
+            if let Some(deadline) = deadline.filter(|d| waited > *d) {
+                stats.queries_expired.fetch_add(1, Relaxed);
+                stats.record_settle(class, item.arrived);
+                item.ticket.fail(ServeError::Expired { class: class.public(), waited, deadline });
+                continue;
+            }
+            match first_client {
+                None => first_client = Some(item.client),
+                Some(first) => mixed_clients |= first != item.client,
+            }
+            batch.push(item);
+        }
+        if mixed_clients {
+            stats.fair_cuts.fetch_add(1, Relaxed);
+        }
+        batch
     }
 
-    /// Fail every queued request with `why`, emptying the queues.
+    /// Fail every queued request with `why`, emptying the queues. Depths
+    /// are decremented per request — never zeroed wholesale — so a counter
+    /// leak anywhere else shows up as a non-zero final depth instead of
+    /// being papered over here.
     fn drain_fail(&mut self, why: &str, stats: &StatCells) {
         for class in [Class::Score, Class::Row(Direction::Tails), Class::Row(Direction::Heads)] {
-            let queue = self.queue_mut(class);
-            stats.queries_failed.fetch_add(queue.len() as u64, Relaxed);
-            stats.depth(class).store(0, Relaxed);
-            for q in queue.drain(..) {
-                q.ticket.fail(why);
+            for q in self.queue_mut(class).drain_all() {
+                stats.queries_failed.fetch_add(1, Relaxed);
+                stats.depth(class).fetch_sub(1, Relaxed);
+                stats.record_settle(class, q.arrived);
+                q.ticket.fail(ServeError::failed(why));
             }
         }
+    }
+}
+
+/// Lock-free histogram cells backing one class's [`LatencyHistogram`].
+#[derive(Debug, Default)]
+struct HistCells([AtomicU64; LATENCY_BUCKETS]);
+
+impl HistCells {
+    fn snapshot(&self) -> LatencyHistogram {
+        LatencyHistogram { buckets: std::array::from_fn(|i| self.0[i].load(Relaxed)) }
     }
 }
 
@@ -238,8 +409,15 @@ impl QueueState {
 struct StatCells {
     queries_served: AtomicU64,
     queries_failed: AtomicU64,
+    queries_shed: AtomicU64,
+    queries_expired: AtomicU64,
+    fair_cuts: AtomicU64,
     blocks_cut: AtomicU64,
     block_fill: AtomicU64,
+    /// Total wall-clock nanoseconds from block dispatch to block answered,
+    /// summed over all row blocks — with `blocks_cut`, the mean block
+    /// service time the shed path's `retry_after` hint is derived from.
+    block_nanos: AtomicU64,
     split_blocks: AtomicU64,
     blocks_overlapped: AtomicU64,
     lead_idle: AtomicU64,
@@ -247,6 +425,9 @@ struct StatCells {
     depth_score: AtomicU64,
     depth_tails: AtomicU64,
     depth_heads: AtomicU64,
+    hist_score: HistCells,
+    hist_tails: HistCells,
+    hist_heads: HistCells,
 }
 
 impl StatCells {
@@ -258,6 +439,22 @@ impl StatCells {
         }
     }
 
+    fn hist(&self, class: Class) -> &HistCells {
+        match class {
+            Class::Score => &self.hist_score,
+            Class::Row(Direction::Tails) => &self.hist_tails,
+            Class::Row(Direction::Heads) => &self.hist_heads,
+        }
+    }
+
+    /// Record one settled request's submit→settle latency. Called at every
+    /// settle site — answered, expired, failed — so each class's histogram
+    /// count equals its admitted-and-settled request count.
+    fn record_settle(&self, class: Class, arrived: Instant) {
+        let nanos = u64::try_from(arrived.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist(class).0[bucket_index(nanos)].fetch_add(1, Relaxed);
+    }
+
     /// Record a row block handed to (a sub-crew of) the worker crew.
     fn record_block(&self, fill: usize, split: bool) {
         self.blocks_cut.fetch_add(1, Relaxed);
@@ -265,6 +462,21 @@ impl StatCells {
         if split {
             self.split_blocks.fetch_add(1, Relaxed);
         }
+    }
+
+    /// The shed path's backoff hint: the backlog a new request would sit
+    /// behind, priced at the recent mean block service time (100 µs before
+    /// the first block answers), clamped to a sane retry window.
+    fn retry_hint(&self, depth: usize, block: usize) -> Duration {
+        let per_block = self
+            .block_nanos
+            .load(Relaxed)
+            .checked_div(self.blocks_cut.load(Relaxed))
+            .map_or(100_000, |mean| mean.max(1));
+        let backlog_blocks = (depth / block.max(1)) as u64 + 1;
+        Duration::from_nanos(
+            (per_block.saturating_mul(backlog_blocks)).clamp(10_000, 1_000_000_000),
+        )
     }
 }
 
@@ -281,7 +493,21 @@ pub struct EngineStats {
     /// Requests answered successfully since the engine started.
     pub queries_served: u64,
     /// Requests failed (model panic, shutdown, poisoning, rejected push).
+    /// Deadline expiries are *not* counted here — see `queries_expired`.
     pub queries_failed: u64,
+    /// Submissions refused at the door because their class queue was at
+    /// its [`KgEngineBuilder::max_queued`] cap — never enqueued, no ticket
+    /// created ([`crate::SubmitError::Shed`]).
+    pub queries_shed: u64,
+    /// Admitted requests dropped unscored because they outwaited the
+    /// engine's [`KgEngineBuilder::deadline`]
+    /// ([`crate::ServeError::Expired`]).
+    pub queries_expired: u64,
+    /// Block cuts that mixed requests from two or more distinct client
+    /// keys — how often the round-robin fair dequeue actually interleaved
+    /// clients (always zero without client keys or with
+    /// [`KgEngineBuilder::fair_dequeue`] off).
+    pub fair_cuts: u64,
     /// Row blocks dispatched to the crew (triple-score batches are
     /// answered inline and not counted here).
     pub blocks_cut: u64,
@@ -314,6 +540,13 @@ pub struct EngineStats {
     pub depth_tails: u64,
     /// Head row queries currently queued.
     pub depth_heads: u64,
+    /// Submit→settle latency of every settled triple-score request
+    /// (answered, expired or failed).
+    pub latency_score: LatencyHistogram,
+    /// Submit→settle latency of every settled tail row query.
+    pub latency_tails: LatencyHistogram,
+    /// Submit→settle latency of every settled head row query.
+    pub latency_heads: LatencyHistogram,
 }
 
 /// State shared by the engine handle, the dispatcher and submitters.
@@ -330,9 +563,24 @@ struct Shared {
     n_relations: Option<usize>,
     block: usize,
     linger: Duration,
+    /// Per-class queue caps in [`RequestClass::ALL`] order — submissions
+    /// against a full queue are shed at the door.
+    max_queued: [usize; 3],
+    /// Queueing-delay bound: requests older than this when their block is
+    /// cut expire unscored. `None` disables deadline shedding.
+    deadline: Option<Duration>,
+    /// Round-robin block cutting across client lanes (`false` collapses
+    /// every class to one strict-FIFO lane).
+    fair: bool,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     stats: StatCells,
+}
+
+impl Shared {
+    fn cap(&self, class: Class) -> usize {
+        self.max_queued[class.index()]
+    }
 }
 
 /// One scoring assignment for a worker: the block's queries (the worker
@@ -390,10 +638,19 @@ pub struct KgEngineBuilder {
     threads: usize,
     block: usize,
     linger: Duration,
+    max_queued: [usize; 3],
+    deadline: Option<Duration>,
+    fair: bool,
     split_crew: bool,
 }
 
 impl KgEngineBuilder {
+    /// Default per-class queue cap: 64 full blocks of backlog per class.
+    /// Deep enough that no sane closed-loop workload ever sheds, shallow
+    /// enough that a runaway open-loop client bounds queue memory and
+    /// queueing delay instead of growing both forever.
+    pub const DEFAULT_MAX_QUEUED: usize = 4096;
+
     /// Size of the persistent worker crew (default 1). Models with native
     /// shard scoring get one even entity shard per worker (capped at the
     /// table size); others get the block's query rows split evenly. The
@@ -503,6 +760,78 @@ impl KgEngineBuilder {
         self
     }
 
+    /// Cap `class`'s queue at `n` requests (default
+    /// [`KgEngineBuilder::DEFAULT_MAX_QUEUED`] per class). A `submit_*`
+    /// call against a full queue returns [`crate::SubmitError::Shed`] on
+    /// the caller's thread — nothing is enqueued, so queue memory and
+    /// worst-case queueing delay stay bounded however fast clients push.
+    /// Use `usize::MAX` to restore the old unbounded behaviour.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero — a cap of zero would shed every request.
+    ///
+    /// ```
+    /// # use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// # use kg_serve::RequestClass;
+    /// # let mut rng = kg_linalg::SeededRng::new(31);
+    /// # let model = BlmModel::new(classics::simple(), Embeddings::init(10, 2, 8, &mut rng));
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default())
+    ///     .max_queued(RequestClass::Tails, 256)
+    ///     .build();
+    /// assert!(engine.submit_rank_tail(0, 0, 1).is_ok()); // far below the cap
+    /// ```
+    pub fn max_queued(mut self, class: RequestClass, n: usize) -> Self {
+        assert!(n > 0, "a queue cap of zero would shed every {class} request");
+        self.max_queued[class.internal().index()] = n;
+        self
+    }
+
+    /// Expire requests still queued after `limit` (default: no deadline).
+    /// The dispatcher drops expired requests when it cuts their block —
+    /// *before* any crew time is spent scoring them — failing the ticket
+    /// with [`crate::ServeError::Expired`]. Under overload this converts
+    /// stale backlog into fast typed failures instead of late answers:
+    /// clients that have stopped waiting no longer consume the crew.
+    ///
+    /// ```
+    /// # use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// # use std::time::Duration;
+    /// # let mut rng = kg_linalg::SeededRng::new(32);
+    /// # let model = BlmModel::new(classics::simple(), Embeddings::init(10, 2, 8, &mut rng));
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default())
+    ///     .deadline(Duration::from_secs(5))
+    ///     .build();
+    /// // An idle engine answers far inside a generous deadline.
+    /// assert!(engine.rank_tail(0, 0, 1) >= 1.0);
+    /// ```
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// Enable or disable per-client fair dequeue (default enabled). When
+    /// enabled, requests submitted through [`KgEngine::client`] queue in
+    /// per-client FIFO lanes and block cuts round-robin across the lanes,
+    /// so a greedy client that fills a queue cannot monopolise the blocks
+    /// cut from it; anonymous submissions share one lane. Disabling
+    /// restores strict arrival-order FIFO regardless of client keys.
+    /// Answers are bit-identical either way — fairness only reorders which
+    /// requests share a block, never what any request answers.
+    ///
+    /// ```
+    /// # use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// # let mut rng = kg_linalg::SeededRng::new(33);
+    /// # let model = BlmModel::new(classics::simple(), Embeddings::init(10, 2, 8, &mut rng));
+    /// let engine =
+    ///     kg_serve::KgEngine::with_filter(model, Default::default()).fair_dequeue(false).build();
+    /// let ticket = engine.client(7).submit_rank_tail(0, 0, 1).expect("admitted");
+    /// assert!(ticket.wait() >= 1.0);
+    /// ```
+    pub fn fair_dequeue(mut self, enabled: bool) -> Self {
+        self.fair = enabled;
+        self
+    }
+
     /// Spawn the dispatcher and worker crew and return the ready engine.
     ///
     /// # Panics
@@ -529,6 +858,9 @@ impl KgEngineBuilder {
             n_relations: self.n_relations,
             block: self.block,
             linger: self.linger,
+            max_queued: self.max_queued,
+            deadline: self.deadline,
+            fair: self.fair,
             queue: Mutex::new(QueueState::default()),
             queue_cv: Condvar::new(),
             stats: StatCells::default(),
@@ -657,6 +989,9 @@ impl KgEngine {
             threads: 1,
             block: BLOCK,
             linger: Duration::ZERO,
+            max_queued: [KgEngineBuilder::DEFAULT_MAX_QUEUED; 3],
+            deadline: None,
+            fair: true,
             split_crew: true,
         }
     }
@@ -700,26 +1035,29 @@ impl KgEngine {
     /// assert_eq!(stats.mean_block_fill, 1.0);
     /// ```
     pub fn stats(&self) -> EngineStats {
-        let s = &self.shared.stats;
-        let blocks_cut = s.blocks_cut.load(Relaxed);
-        let block_fill = s.block_fill.load(Relaxed);
-        EngineStats {
-            queries_served: s.queries_served.load(Relaxed),
-            queries_failed: s.queries_failed.load(Relaxed),
-            blocks_cut,
-            mean_block_fill: if blocks_cut == 0 {
-                0.0
-            } else {
-                block_fill as f64 / blocks_cut as f64
-            },
-            split_blocks: s.split_blocks.load(Relaxed),
-            blocks_overlapped: s.blocks_overlapped.load(Relaxed),
-            lead_idle: s.lead_idle.load(Relaxed),
-            crew_idle: s.crew_idle.load(Relaxed),
-            depth_score: s.depth_score.load(Relaxed),
-            depth_tails: s.depth_tails.load(Relaxed),
-            depth_heads: s.depth_heads.load(Relaxed),
-        }
+        snapshot_stats(&self.shared.stats)
+    }
+
+    /// A detachable stats reader: the probe holds its own reference to the
+    /// engine's counters, so metrics threads — and shutdown tests — can
+    /// keep snapshotting after the engine itself is dropped (the final
+    /// snapshot shows the drained queues: all depths zero, every admitted
+    /// request settled).
+    ///
+    /// ```
+    /// # use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// # let mut rng = kg_linalg::SeededRng::new(35);
+    /// # let model = BlmModel::new(classics::simple(), Embeddings::init(10, 2, 8, &mut rng));
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// let probe = engine.stats_probe();
+    /// let _ = engine.rank_tail(0, 0, 1);
+    /// drop(engine);
+    /// let last = probe.stats();
+    /// assert_eq!(last.queries_served, 1);
+    /// assert_eq!((last.depth_score, last.depth_tails, last.depth_heads), (0, 0, 0));
+    /// ```
+    pub fn stats_probe(&self) -> StatsProbe {
+        StatsProbe { shared: Arc::clone(&self.shared) }
     }
 
     /// Plausibility score of one triple — bit-identical to
@@ -735,7 +1073,7 @@ impl KgEngine {
     /// assert_eq!(engine.score(2, 1, 9), reference);
     /// ```
     pub fn score(&self, h: usize, r: usize, t: usize) -> f32 {
-        self.submit_score(h, r, t).wait()
+        self.submit_score(h, r, t).unwrap_or_else(|e| panic!("kg-serve: {e}")).wait()
     }
 
     /// Filtered rank of tail `t` among all completions of `(h, r, ·)` —
@@ -755,7 +1093,7 @@ impl KgEngine {
     /// assert_eq!(engine.rank_tail(3, 0, 8), reference);
     /// ```
     pub fn rank_tail(&self, h: usize, r: usize, t: usize) -> f64 {
-        self.submit_rank_tail(h, r, t).wait()
+        self.submit_rank_tail(h, r, t).unwrap_or_else(|e| panic!("kg-serve: {e}")).wait()
     }
 
     /// Filtered rank of head `h` among all completions of `(·, r, t)` — the
@@ -772,7 +1110,7 @@ impl KgEngine {
     /// assert_eq!(engine.rank_head(4, 0, 9), reference);
     /// ```
     pub fn rank_head(&self, h: usize, r: usize, t: usize) -> f64 {
-        self.submit_rank_head(h, r, t).wait()
+        self.submit_rank_head(h, r, t).unwrap_or_else(|e| panic!("kg-serve: {e}")).wait()
     }
 
     /// The `k` best tail completions of `(h, r, ·)` as `(entity, score)`
@@ -790,7 +1128,7 @@ impl KgEngine {
     /// assert_eq!(engine.top_k_tails(1, 1, 4), reference);
     /// ```
     pub fn top_k_tails(&self, h: usize, r: usize, k: usize) -> Vec<(usize, f32)> {
-        self.submit_top_k_tails(h, r, k).wait()
+        self.submit_top_k_tails(h, r, k).unwrap_or_else(|e| panic!("kg-serve: {e}")).wait()
     }
 
     /// The `k` best head completions of `(·, r, t)` — the head-direction
@@ -807,54 +1145,154 @@ impl KgEngine {
     /// assert_eq!(engine.top_k_heads(1, 6, 2), reference);
     /// ```
     pub fn top_k_heads(&self, r: usize, t: usize, k: usize) -> Vec<(usize, f32)> {
-        self.submit_top_k_heads(r, t, k).wait()
+        self.submit_top_k_heads(r, t, k).unwrap_or_else(|e| panic!("kg-serve: {e}")).wait()
     }
 
     /// Enqueue a triple-score request without blocking; see
-    /// [`KgEngine::score`] and [`ScoreTicket`].
-    pub fn submit_score(&self, h: usize, r: usize, t: usize) -> ScoreTicket {
-        self.check_entity(h);
-        self.check_entity(t);
-        self.check_relation(r);
-        ScoreTicket { inner: self.enqueue(Request::Score { h, r, t }) }
+    /// [`KgEngine::score`] and [`ScoreTicket`]. Sheds (instead of
+    /// enqueueing) when the score queue is at its cap — see
+    /// [`KgEngineBuilder::max_queued`].
+    pub fn submit_score(&self, h: usize, r: usize, t: usize) -> Result<ScoreTicket, SubmitError> {
+        self.submit_score_keyed(None, h, r, t)
     }
 
     /// Enqueue a tail-rank request without blocking; see
-    /// [`KgEngine::rank_tail`] and [`RankTicket`].
-    pub fn submit_rank_tail(&self, h: usize, r: usize, t: usize) -> RankTicket {
-        self.check_entity(h);
-        self.check_entity(t);
-        self.check_relation(r);
-        RankTicket { inner: self.enqueue(Request::Rank { dir: Direction::Tails, h, r, t }) }
+    /// [`KgEngine::rank_tail`], [`RankTicket`] and
+    /// [`KgEngineBuilder::max_queued`].
+    pub fn submit_rank_tail(
+        &self,
+        h: usize,
+        r: usize,
+        t: usize,
+    ) -> Result<RankTicket, SubmitError> {
+        self.submit_rank_tail_keyed(None, h, r, t)
     }
 
     /// Enqueue a head-rank request without blocking; see
-    /// [`KgEngine::rank_head`] and [`RankTicket`].
-    pub fn submit_rank_head(&self, h: usize, r: usize, t: usize) -> RankTicket {
-        self.check_entity(h);
-        self.check_entity(t);
-        self.check_relation(r);
-        RankTicket { inner: self.enqueue(Request::Rank { dir: Direction::Heads, h, r, t }) }
+    /// [`KgEngine::rank_head`], [`RankTicket`] and
+    /// [`KgEngineBuilder::max_queued`].
+    pub fn submit_rank_head(
+        &self,
+        h: usize,
+        r: usize,
+        t: usize,
+    ) -> Result<RankTicket, SubmitError> {
+        self.submit_rank_head_keyed(None, h, r, t)
     }
 
     /// Enqueue a tail top-k request without blocking; see
-    /// [`KgEngine::top_k_tails`] and [`TopKTicket`].
-    pub fn submit_top_k_tails(&self, h: usize, r: usize, k: usize) -> TopKTicket {
-        self.check_entity(h);
-        self.check_relation(r);
-        TopKTicket {
-            inner: self.enqueue(Request::TopK { dir: Direction::Tails, first: h, second: r, k }),
-        }
+    /// [`KgEngine::top_k_tails`], [`TopKTicket`] and
+    /// [`KgEngineBuilder::max_queued`].
+    pub fn submit_top_k_tails(
+        &self,
+        h: usize,
+        r: usize,
+        k: usize,
+    ) -> Result<TopKTicket, SubmitError> {
+        self.submit_top_k_tails_keyed(None, h, r, k)
     }
 
     /// Enqueue a head top-k request without blocking; see
-    /// [`KgEngine::top_k_heads`] and [`TopKTicket`].
-    pub fn submit_top_k_heads(&self, r: usize, t: usize, k: usize) -> TopKTicket {
+    /// [`KgEngine::top_k_heads`], [`TopKTicket`] and
+    /// [`KgEngineBuilder::max_queued`].
+    pub fn submit_top_k_heads(
+        &self,
+        r: usize,
+        t: usize,
+        k: usize,
+    ) -> Result<TopKTicket, SubmitError> {
+        self.submit_top_k_heads_keyed(None, r, t, k)
+    }
+
+    /// A handle that tags every submission with `key`, giving this client
+    /// its own FIFO lane in each class queue: with
+    /// [`KgEngineBuilder::fair_dequeue`] enabled (the default), block cuts
+    /// round-robin across client lanes, so one client flooding a queue
+    /// cannot starve the others out of the blocks cut from it. Handles are
+    /// cheap (`Copy`-sized borrow), answers are bit-identical to anonymous
+    /// submission, and a client's own requests always settle in their
+    /// submission order.
+    ///
+    /// ```
+    /// # use kg_models::{blm::classics, BlmModel, Embeddings};
+    /// # let mut rng = kg_linalg::SeededRng::new(34);
+    /// # let model = BlmModel::new(classics::simple(), Embeddings::init(10, 2, 8, &mut rng));
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// let alice = engine.client(1);
+    /// let bob = engine.client(2);
+    /// let a = alice.submit_rank_tail(0, 0, 1).expect("admitted");
+    /// let b = bob.submit_rank_tail(0, 0, 1).expect("admitted");
+    /// assert_eq!(a.wait(), b.wait()); // same query, same answer
+    /// ```
+    pub fn client(&self, key: u64) -> ClientHandle<'_> {
+        ClientHandle { engine: self, key }
+    }
+
+    fn submit_score_keyed(
+        &self,
+        client: Option<u64>,
+        h: usize,
+        r: usize,
+        t: usize,
+    ) -> Result<ScoreTicket, SubmitError> {
+        self.check_entity(h);
         self.check_entity(t);
         self.check_relation(r);
-        TopKTicket {
-            inner: self.enqueue(Request::TopK { dir: Direction::Heads, first: r, second: t, k }),
-        }
+        Ok(ScoreTicket { inner: self.enqueue(Request::Score { h, r, t }, client)? })
+    }
+
+    fn submit_rank_tail_keyed(
+        &self,
+        client: Option<u64>,
+        h: usize,
+        r: usize,
+        t: usize,
+    ) -> Result<RankTicket, SubmitError> {
+        self.check_entity(h);
+        self.check_entity(t);
+        self.check_relation(r);
+        let request = Request::Rank { dir: Direction::Tails, h, r, t };
+        Ok(RankTicket { inner: self.enqueue(request, client)? })
+    }
+
+    fn submit_rank_head_keyed(
+        &self,
+        client: Option<u64>,
+        h: usize,
+        r: usize,
+        t: usize,
+    ) -> Result<RankTicket, SubmitError> {
+        self.check_entity(h);
+        self.check_entity(t);
+        self.check_relation(r);
+        let request = Request::Rank { dir: Direction::Heads, h, r, t };
+        Ok(RankTicket { inner: self.enqueue(request, client)? })
+    }
+
+    fn submit_top_k_tails_keyed(
+        &self,
+        client: Option<u64>,
+        h: usize,
+        r: usize,
+        k: usize,
+    ) -> Result<TopKTicket, SubmitError> {
+        self.check_entity(h);
+        self.check_relation(r);
+        let request = Request::TopK { dir: Direction::Tails, first: h, second: r, k };
+        Ok(TopKTicket { inner: self.enqueue(request, client)? })
+    }
+
+    fn submit_top_k_heads_keyed(
+        &self,
+        client: Option<u64>,
+        r: usize,
+        t: usize,
+        k: usize,
+    ) -> Result<TopKTicket, SubmitError> {
+        self.check_entity(t);
+        self.check_relation(r);
+        let request = Request::TopK { dir: Direction::Heads, first: r, second: t, k };
+        Ok(TopKTicket { inner: self.enqueue(request, client)? })
     }
 
     fn check_entity(&self, e: usize) {
@@ -874,23 +1312,139 @@ impl KgEngine {
         }
     }
 
-    /// Push a request and wake the dispatcher; on a poisoned or shut-down
-    /// engine the ticket is failed immediately instead (so `wait()`
-    /// propagates the failure rather than hanging).
-    fn enqueue(&self, request: Request) -> Arc<TicketInner> {
+    /// Admit a request — or shed it at the door. On a poisoned or
+    /// shut-down engine the ticket is admitted and failed immediately (so
+    /// `wait()` propagates the failure rather than hanging); on a class
+    /// queue at its cap nothing is enqueued and the caller gets
+    /// [`SubmitError::Shed`] with a backoff hint, on its own thread,
+    /// before any engine resource was committed.
+    fn enqueue(
+        &self,
+        request: Request,
+        client: Option<u64>,
+    ) -> Result<Arc<TicketInner>, SubmitError> {
+        let stats = &self.shared.stats;
+        let class = request.class();
         let ticket = TicketInner::new();
         let mut q = self.shared.queue.lock().expect("serve queue lock");
         if let Some(why) = &q.poisoned {
-            self.shared.stats.queries_failed.fetch_add(1, Relaxed);
-            ticket.fail(why);
+            stats.queries_failed.fetch_add(1, Relaxed);
+            stats.record_settle(class, Instant::now());
+            ticket.fail(ServeError::failed(why));
         } else if q.shutdown {
-            self.shared.stats.queries_failed.fetch_add(1, Relaxed);
-            ticket.fail("engine shut down with the query still pending");
+            stats.queries_failed.fetch_add(1, Relaxed);
+            stats.record_settle(class, Instant::now());
+            ticket.fail(ServeError::failed("engine shut down with the query still pending"));
         } else {
-            q.push(request, Arc::clone(&ticket), &self.shared.stats);
+            let depth = q.queue(class).len;
+            if depth >= self.shared.cap(class) {
+                stats.queries_shed.fetch_add(1, Relaxed);
+                return Err(SubmitError::Shed {
+                    class: class.public(),
+                    depth,
+                    retry_after: stats.retry_hint(depth, self.shared.block),
+                });
+            }
+            q.push(request, client, Arc::clone(&ticket), self.shared.fair, stats);
             self.shared.queue_cv.notify_one();
         }
-        ticket
+        Ok(ticket)
+    }
+}
+
+/// A per-client submission handle — see [`KgEngine::client`]. Each method
+/// mirrors the engine's matching `submit_*`, tagging the request with this
+/// handle's key so fair dequeue can round-robin across clients.
+#[derive(Clone, Copy)]
+pub struct ClientHandle<'a> {
+    engine: &'a KgEngine,
+    key: u64,
+}
+
+impl ClientHandle<'_> {
+    /// Keyed [`KgEngine::submit_score`].
+    pub fn submit_score(&self, h: usize, r: usize, t: usize) -> Result<ScoreTicket, SubmitError> {
+        self.engine.submit_score_keyed(Some(self.key), h, r, t)
+    }
+
+    /// Keyed [`KgEngine::submit_rank_tail`].
+    pub fn submit_rank_tail(
+        &self,
+        h: usize,
+        r: usize,
+        t: usize,
+    ) -> Result<RankTicket, SubmitError> {
+        self.engine.submit_rank_tail_keyed(Some(self.key), h, r, t)
+    }
+
+    /// Keyed [`KgEngine::submit_rank_head`].
+    pub fn submit_rank_head(
+        &self,
+        h: usize,
+        r: usize,
+        t: usize,
+    ) -> Result<RankTicket, SubmitError> {
+        self.engine.submit_rank_head_keyed(Some(self.key), h, r, t)
+    }
+
+    /// Keyed [`KgEngine::submit_top_k_tails`].
+    pub fn submit_top_k_tails(
+        &self,
+        h: usize,
+        r: usize,
+        k: usize,
+    ) -> Result<TopKTicket, SubmitError> {
+        self.engine.submit_top_k_tails_keyed(Some(self.key), h, r, k)
+    }
+
+    /// Keyed [`KgEngine::submit_top_k_heads`].
+    pub fn submit_top_k_heads(
+        &self,
+        r: usize,
+        t: usize,
+        k: usize,
+    ) -> Result<TopKTicket, SubmitError> {
+        self.engine.submit_top_k_heads_keyed(Some(self.key), r, t, k)
+    }
+}
+
+/// An engine-independent [`EngineStats`] reader — see
+/// [`KgEngine::stats_probe`].
+#[derive(Clone)]
+pub struct StatsProbe {
+    shared: Arc<Shared>,
+}
+
+impl StatsProbe {
+    /// The same lock-free snapshot [`KgEngine::stats`] returns, valid
+    /// before and after the engine is dropped.
+    pub fn stats(&self) -> EngineStats {
+        snapshot_stats(&self.shared.stats)
+    }
+}
+
+/// Materialise a lock-free [`EngineStats`] snapshot from the live cells.
+fn snapshot_stats(s: &StatCells) -> EngineStats {
+    let blocks_cut = s.blocks_cut.load(Relaxed);
+    let block_fill = s.block_fill.load(Relaxed);
+    EngineStats {
+        queries_served: s.queries_served.load(Relaxed),
+        queries_failed: s.queries_failed.load(Relaxed),
+        queries_shed: s.queries_shed.load(Relaxed),
+        queries_expired: s.queries_expired.load(Relaxed),
+        fair_cuts: s.fair_cuts.load(Relaxed),
+        blocks_cut,
+        mean_block_fill: if blocks_cut == 0 { 0.0 } else { block_fill as f64 / blocks_cut as f64 },
+        split_blocks: s.split_blocks.load(Relaxed),
+        blocks_overlapped: s.blocks_overlapped.load(Relaxed),
+        lead_idle: s.lead_idle.load(Relaxed),
+        crew_idle: s.crew_idle.load(Relaxed),
+        depth_score: s.depth_score.load(Relaxed),
+        depth_tails: s.depth_tails.load(Relaxed),
+        depth_heads: s.depth_heads.load(Relaxed),
+        latency_score: s.hist_score.snapshot(),
+        latency_tails: s.hist_tails.snapshot(),
+        latency_heads: s.hist_heads.snapshot(),
     }
 }
 
@@ -1057,28 +1611,39 @@ fn next_decision(shared: &Shared, can_split: bool) -> Decision {
         };
         if let Class::Row(dir) = class {
             // Linger: an under-filled row block may wait for co-batchable
-            // arrivals until its oldest request's deadline. Re-evaluated
-            // from scratch after every wake-up, so a filled block, a
-            // passed deadline or a shutdown all cut immediately.
-            if !shared.linger.is_zero() && q.queue(class).len() < shared.block {
-                let deadline = q.queue(class).front().expect("oldest class is non-empty").arrived
-                    + shared.linger;
-                if let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
-                    let (guard, _) = shared
-                        .queue_cv
-                        .wait_timeout(q, remaining)
-                        .expect("serve queue linger wait");
-                    q = guard;
-                    continue;
+            // arrivals until its oldest request's linger deadline — capped
+            // at the engine's expiry deadline, so a request never lingers
+            // past the point where cutting would only expire it.
+            // Re-evaluated from scratch after every wake-up, so a filled
+            // block, a passed deadline or a shutdown all cut immediately.
+            if !shared.linger.is_zero() && q.queue(class).len < shared.block {
+                let budget = shared.deadline.map_or(shared.linger, |d| shared.linger.min(d));
+                let cut_at =
+                    q.queue(class).front().expect("oldest class is non-empty").arrived + budget;
+                if let Some(remaining) = cut_at.checked_duration_since(Instant::now()) {
+                    if !remaining.is_zero() {
+                        let (guard, _) = shared
+                            .queue_cv
+                            .wait_timeout(q, remaining)
+                            .expect("serve queue linger wait");
+                        q = guard;
+                        continue;
+                    }
                 }
             }
-            if can_split && !q.queue(Class::Row(dir.opposite())).is_empty() {
+            if can_split && q.queue(Class::Row(dir.opposite())).len > 0 {
                 return Decision::Split;
             }
-            let batch = q.pop_block(class, shared.block, &shared.stats);
+            let batch = q.pop_block(class, shared.block, shared.deadline, &shared.stats);
+            if batch.is_empty() {
+                continue; // the whole cut expired: nothing to dispatch
+            }
             return Decision::Single(dir, batch);
         }
-        let batch = q.pop_block(class, shared.block, &shared.stats);
+        let batch = q.pop_block(class, shared.block, shared.deadline, &shared.stats);
+        if batch.is_empty() {
+            continue;
+        }
         return Decision::Scores(batch);
     }
 }
@@ -1086,19 +1651,22 @@ fn next_decision(shared: &Shared, can_split: bool) -> Decision {
 /// Answer a batch of triple-score requests inline — O(dim) each, no row to
 /// shard. A panicking `score_triple` fails its own ticket only.
 fn answer_scores(shared: &Shared, batch: Batch) {
-    for (request, ticket) in batch {
-        let Request::Score { h, r, t } = request else {
+    for item in batch {
+        let Request::Score { h, r, t } = item.request else {
             unreachable!("score batch holds score requests")
         };
         let model = &shared.model;
-        match catch_unwind(AssertUnwindSafe(|| model.score_triple(h, r, t))) {
+        let settled = catch_unwind(AssertUnwindSafe(|| model.score_triple(h, r, t)));
+        shared.stats.record_settle(Class::Score, item.arrived);
+        match settled {
             Ok(score) => {
                 shared.stats.queries_served.fetch_add(1, Relaxed);
-                ticket.fulfill(Reply::Score(score));
+                item.ticket.fulfill(Reply::Score(score));
             }
             Err(payload) => {
                 shared.stats.queries_failed.fetch_add(1, Relaxed);
-                ticket.fail(&format!("model panicked: {}", panic_message(payload)));
+                let why = format!("model panicked: {}", panic_message(payload));
+                item.ticket.fail(ServeError::failed(why));
             }
         }
     }
@@ -1111,6 +1679,9 @@ fn answer_scores(shared: &Shared, batch: Batch) {
 struct Inflight {
     batch: Batch,
     queries: Arc<Vec<(usize, usize)>>,
+    /// Dispatch time — with the answer time, one `block_nanos` sample for
+    /// the `retry_after` service-time estimate.
+    started: Instant,
     outstanding: usize,
     model_panic: bool,
     results: Vec<Option<Vec<f32>>>,
@@ -1122,6 +1693,7 @@ struct Inflight {
 /// the engine poisoned; the in-flight record is still returned whenever
 /// any job landed, so the caller's collection loop recycles the buffers of
 /// jobs that did go out.
+#[allow(clippy::too_many_arguments)] // dispatcher wiring: every argument is a distinct lane resource
 fn dispatch_block(
     shared: &Shared,
     dir: Direction,
@@ -1133,7 +1705,7 @@ fn dispatch_block(
     pool: &mut [Vec<Vec<f32>>],
 ) -> Option<Inflight> {
     let queries: Arc<Vec<(usize, usize)>> =
-        Arc::new(batch.iter().map(|(request, _)| request.query()).collect());
+        Arc::new(batch.iter().map(|item| item.request.query()).collect());
     let mut outstanding = 0;
     let mut hangup = false;
     for (i, shard) in plan.iter().enumerate() {
@@ -1162,6 +1734,7 @@ fn dispatch_block(
     (outstanding > 0).then(|| Inflight {
         batch,
         queries,
+        started: Instant::now(),
         outstanding,
         model_panic: false,
         results: (0..plan.len()).map(|_| None).collect(),
@@ -1218,6 +1791,7 @@ fn release_results(results: &mut [Option<Vec<f32>>], base: usize, pool: &mut [Ve
 /// Stitch one fully-collected block and answer its tickets (or isolate a
 /// model panic through the per-query reference path), recycling the shard
 /// buffers. A batch already emptied by the hangup path only recycles.
+#[allow(clippy::too_many_arguments)] // dispatcher wiring: every argument is a distinct lane resource
 fn answer_inflight(
     shared: &Shared,
     mut block: Inflight,
@@ -1239,12 +1813,16 @@ fn answer_inflight(
     }
     stitch(plan, &block.results, block.queries.len(), shared.n_entities, stitched);
     release_results(&mut block.results, base, pool);
+    // One dispatch→answered service-time sample for the retry_after hint.
+    let service = u64::try_from(block.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    shared.stats.block_nanos.fetch_add(service, Relaxed);
     // Count before fulfilling: the ticket lock orders this store before
     // any client that has seen its answer can read the stats.
     shared.stats.queries_served.fetch_add(block.batch.len() as u64, Relaxed);
-    for (i, (request, ticket)) in block.batch.drain(..).enumerate() {
+    for (i, item) in block.batch.drain(..).enumerate() {
         let row = &stitched[i * shared.n_entities..(i + 1) * shared.n_entities];
-        ticket.fulfill(answer(shared, &request, row, topk));
+        shared.stats.record_settle(Class::Row(dir), item.arrived);
+        item.ticket.fulfill(answer(shared, &item.request, row, topk));
     }
 }
 
@@ -1261,16 +1839,27 @@ fn pop_serial_block(shared: &Shared, can_split: bool) -> Option<(Direction, Batc
     }
     let class = q.oldest_class()?;
     let Class::Row(dir) = class else { return None };
-    if !shared.linger.is_zero()
-        && q.queue(class).len() < shared.block
-        && q.queue(class).front().is_some_and(|front| front.arrived.elapsed() < shared.linger)
-    {
+    if still_lingering(&q, class, shared) {
         return None;
     }
-    if can_split && !q.queue(Class::Row(dir.opposite())).is_empty() {
+    if can_split && q.queue(Class::Row(dir.opposite())).len > 0 {
         return None;
     }
-    Some((dir, q.pop_block(class, shared.block, &shared.stats)))
+    let batch = q.pop_block(class, shared.block, shared.deadline, &shared.stats);
+    // An entirely expired cut chains no block — the main loop re-decides.
+    (!batch.is_empty()).then_some((dir, batch))
+}
+
+/// Whether `class`'s under-filled block is still inside its linger window
+/// — `false` the moment the front request would only expire if cut later,
+/// so a deadline shorter than the linger budget always wins.
+fn still_lingering(q: &QueueState, class: Class, shared: &Shared) -> bool {
+    if shared.linger.is_zero() || q.queue(class).len >= shared.block {
+        return false;
+    }
+    let Some(front) = q.queue(class).front() else { return false };
+    let budget = shared.deadline.map_or(shared.linger, |d| shared.linger.min(d));
+    front.arrived.elapsed() < budget
 }
 
 /// The serialised regime, pipelined: the full crew scores one block at a
@@ -1355,16 +1944,15 @@ fn refill_lane(
 ) -> Option<Inflight> {
     let batch = {
         let mut q = shared.queue.lock().expect("serve queue lock");
-        let dual = other_inflight || !q.queue(Class::Row(dir.opposite())).is_empty();
-        let lingering = !shared.linger.is_zero()
-            && q.queue(Class::Row(dir)).len() < shared.block
-            && q.queue(Class::Row(dir))
-                .front()
-                .is_some_and(|front| front.arrived.elapsed() < shared.linger);
-        if q.shutdown || q.poisoned.is_some() || !dual || lingering {
+        let dual = other_inflight || q.queue(Class::Row(dir.opposite())).len > 0;
+        if q.shutdown
+            || q.poisoned.is_some()
+            || !dual
+            || still_lingering(&q, Class::Row(dir), shared)
+        {
             return None;
         }
-        q.pop_block(Class::Row(dir), shared.block, &shared.stats)
+        q.pop_block(Class::Row(dir), shared.block, shared.deadline, &shared.stats)
     };
     if batch.is_empty() {
         return None;
@@ -1382,6 +1970,7 @@ fn refill_lane(
 /// answered inline between lane events. Returns to the serialised loop
 /// once both directions run dry (or on shutdown, leaving queued work to
 /// the main loop's shutdown path).
+#[allow(clippy::too_many_arguments)] // dispatcher wiring: every argument is a distinct lane resource
 fn run_split_regime(
     shared: &Shared,
     plan_a: &[WorkerShard],
@@ -1403,7 +1992,7 @@ fn run_split_regime(
         loop {
             let batch = {
                 let mut q = shared.queue.lock().expect("serve queue lock");
-                q.pop_block(Class::Score, shared.block, &shared.stats)
+                q.pop_block(Class::Score, shared.block, shared.deadline, &shared.stats)
             };
             if batch.is_empty() {
                 break;
@@ -1506,23 +2095,25 @@ fn answer_block_isolating(shared: &Shared, dir: Direction, mut batch: Batch) {
     // Failure path: a fresh top-k scratch per block is fine, but it is
     // still reused across the batch's requests.
     let mut topk: Vec<(usize, f32)> = Vec::new();
-    for (request, ticket) in batch.drain(..) {
+    for item in batch.drain(..) {
         let result = catch_unwind(AssertUnwindSafe(|| {
-            let (first, second) = request.query();
+            let (first, second) = item.request.query();
             match dir {
                 Direction::Tails => shared.model.score_tails(first, second, &mut row),
                 Direction::Heads => shared.model.score_heads(first, second, &mut row),
             }
-            answer(shared, &request, &row, &mut topk)
+            answer(shared, &item.request, &row, &mut topk)
         }));
+        shared.stats.record_settle(Class::Row(dir), item.arrived);
         match result {
             Ok(reply) => {
                 shared.stats.queries_served.fetch_add(1, Relaxed);
-                ticket.fulfill(reply);
+                item.ticket.fulfill(reply);
             }
             Err(payload) => {
                 shared.stats.queries_failed.fetch_add(1, Relaxed);
-                ticket.fail(&format!("model panicked: {}", panic_message(payload)));
+                let why = format!("model panicked: {}", panic_message(payload));
+                item.ticket.fail(ServeError::failed(why));
             }
         }
     }
@@ -1532,8 +2123,9 @@ fn answer_block_isolating(shared: &Shared, dir: Direction, mut batch: Batch) {
 /// client that saw its failure also sees it in the stats).
 fn fail_batch(shared: &Shared, batch: &mut Batch, why: &str) {
     shared.stats.queries_failed.fetch_add(batch.len() as u64, Relaxed);
-    for (_, ticket) in batch.drain(..) {
-        ticket.fail(why);
+    for item in batch.drain(..) {
+        shared.stats.record_settle(item.request.class(), item.arrived);
+        item.ticket.fail(ServeError::failed(why));
     }
 }
 

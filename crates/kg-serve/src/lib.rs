@@ -41,8 +41,46 @@
 //!
 //! [`KgEngine::stats`] returns a lock-free [`EngineStats`] snapshot
 //! (queries served, blocks cut, mean block fill, split blocks, queue
-//! depths, plus pipeline occupancy: `blocks_overlapped`, `lead_idle`,
-//! `crew_idle`) for operators and benchmarks.
+//! depths, shed/expired/fairness counters, per-class submit→settle
+//! [`LatencyHistogram`]s, plus pipeline occupancy: `blocks_overlapped`,
+//! `lead_idle`, `crew_idle`) for operators and benchmarks;
+//! [`KgEngine::stats_probe`] detaches a reader that outlives the engine.
+//!
+//! # Overload behaviour
+//!
+//! The engine bounds both queue memory and queueing delay instead of
+//! degrading without limit:
+//!
+//! * **Bounded admission.** Every class queue has a cap
+//!   ([`KgEngineBuilder::max_queued`], default
+//!   [`KgEngineBuilder::DEFAULT_MAX_QUEUED`]). A `submit_*` call against a
+//!   full queue returns [`SubmitError::Shed`] on the caller's thread —
+//!   nothing is enqueued, no ticket exists. The error's `retry_after` is a
+//!   backoff *hint*: the engine's estimate (from the observed mean block
+//!   service time and the queue depth) of how long the backlog ahead of a
+//!   new request needs to drain. Resubmitting after `retry_after` may
+//!   still shed — other clients race for the freed slots — but honouring
+//!   it keeps rejected clients from hot-looping on a saturated engine.
+//! * **Deadline shedding.** With [`KgEngineBuilder::deadline`] set, a
+//!   request that has already waited longer than the deadline when the
+//!   dispatcher cuts its block is dropped *before* scoring and its ticket
+//!   fails with [`ServeError::Expired`] (`wait_result` returns it;
+//!   `wait()` panics). Stale backlog becomes fast typed failures, so
+//!   admitted-and-answered latency stays bounded at roughly the deadline
+//!   plus one block's service time even at sustained overload.
+//! * **Fair dequeue.** Submissions through [`KgEngine::client`] get
+//!   per-client FIFO lanes; block cuts round-robin across lanes
+//!   ([`KgEngineBuilder::fair_dequeue`], default on), so one flooding
+//!   client cannot monopolise a full queue's blocks.
+//!
+//! Every admitted request settles exactly once — answered, expired, or
+//! failed — and each settle records into its class's latency histogram:
+//! `queries_served + queries_failed + queries_expired` equals the number
+//! of admitted requests, and the histograms' counts match. Shed requests
+//! were never admitted and appear only in `queries_shed`. Admission sits
+//! entirely above block cutting, so answered responses remain
+//! bit-identical to the per-query reference whatever the caps, deadline
+//! or fairness configuration.
 //!
 //! Malformed requests are rejected at submit time on the caller's thread —
 //! entity ids against the model's table, relation ids against the bound
@@ -69,8 +107,10 @@
 //! assert_eq!(engine.stats().queries_served, 3);
 //! ```
 
+mod admission;
 mod engine;
 mod ticket;
 
-pub use engine::{EngineStats, KgEngine, KgEngineBuilder};
+pub use admission::{LatencyHistogram, RequestClass, ServeError, SubmitError, LATENCY_BUCKETS};
+pub use engine::{ClientHandle, EngineStats, KgEngine, KgEngineBuilder, StatsProbe};
 pub use ticket::{RankTicket, ScoreTicket, TopKTicket};

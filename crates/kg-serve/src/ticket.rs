@@ -5,7 +5,15 @@
 //! request's block has been scored. Waiting on a ticket blocks the calling
 //! thread only — other clients keep submitting, which is exactly what lets
 //! the engine accumulate single queries into full GEMM blocks.
+//!
+//! A ticket can settle two ways: answered, or failed with a typed
+//! [`ServeError`] (the model panicked on that request, the request expired
+//! against the engine's deadline, or the engine shut down / was poisoned
+//! with it pending). `wait()` panics on failure — the ergonomic choice for
+//! the blocking convenience wrappers — while `wait_result()` returns the
+//! error for callers that handle overload programmatically.
 
+use crate::admission::ServeError;
 use std::sync::{Arc, Condvar, Mutex};
 
 /// A fulfilled request's payload.
@@ -23,10 +31,11 @@ enum State {
     Pending,
     /// Answered; the payload waits for `wait()`.
     Ready(Reply),
-    /// The engine could not answer (worker panic or shutdown); `wait()`
-    /// propagates this as a panic, mirroring the ranking engine's
-    /// barrier-poisoning behaviour.
-    Failed(String),
+    /// The engine could not answer — deadline expiry, a model panic, or
+    /// shutdown/poisoning. `wait()` propagates this as a panic (mirroring
+    /// the ranking engine's barrier-poisoning behaviour); `wait_result()`
+    /// returns it.
+    Failed(ServeError),
 }
 
 /// Shared slot between one ticket and the engine.
@@ -50,10 +59,10 @@ impl TicketInner {
 
     /// Mark the request unanswerable (engine side); a ticket already
     /// answered keeps its answer.
-    pub(crate) fn fail(&self, why: &str) {
+    pub(crate) fn fail(&self, why: ServeError) {
         let mut state = self.state.lock().expect("ticket lock");
         if matches!(*state, State::Pending) {
-            *state = State::Failed(why.to_string());
+            *state = State::Failed(why);
             self.cv.notify_all();
         }
     }
@@ -63,14 +72,14 @@ impl TicketInner {
         !matches!(*self.state.lock().expect("ticket lock"), State::Pending)
     }
 
-    /// Block until answered; panics if the engine failed the request.
-    fn wait_reply(&self) -> Reply {
+    /// Block until settled.
+    fn wait_reply(&self) -> Result<Reply, ServeError> {
         let mut state = self.state.lock().expect("ticket lock");
         loop {
             match &*state {
                 State::Pending => state = self.cv.wait(state).expect("ticket wait"),
-                State::Ready(reply) => return reply.clone(),
-                State::Failed(why) => panic!("kg-serve request failed: {why}"),
+                State::Ready(reply) => return Ok(reply.clone()),
+                State::Failed(why) => return Err(why.clone()),
             }
         }
     }
@@ -92,11 +101,25 @@ macro_rules! ticket_type {
             /// # Panics
             /// Panics if the request cannot be answered: a scoring worker
             /// panicked (the panic propagates here instead of deadlocking
-            /// the crew) or the engine was dropped with this request still
-            /// pending.
+            /// the crew), the request expired against the engine's
+            /// deadline, or the engine was dropped with this request still
+            /// pending. Use [`Self::wait_result`] to handle those as
+            /// values.
             pub fn wait(self) -> $out {
                 match self.inner.wait_reply() {
-                    Reply::$variant(v) => v,
+                    Ok(Reply::$variant(v)) => v,
+                    Ok(other) => unreachable!("ticket answered with mismatched reply {other:?}"),
+                    Err(why) => panic!("kg-serve request failed: {why}"),
+                }
+            }
+
+            /// Block until the engine settles this request: the answer, or
+            /// the typed [`ServeError`] it failed with — deadline expiry
+            /// ([`ServeError::Expired`]) being the one clients under
+            /// overload are expected to see and handle.
+            pub fn wait_result(self) -> Result<$out, ServeError> {
+                match self.inner.wait_reply()? {
+                    Reply::$variant(v) => Ok(v),
                     other => unreachable!("ticket answered with mismatched reply {other:?}"),
                 }
             }
@@ -122,7 +145,7 @@ ticket_type!(
     /// let model = BlmModel::new(classics::distmult(), Embeddings::init(12, 2, 8, &mut rng));
     /// let reference = kg_models::LinkPredictor::score_triple(&model, 3, 1, 7);
     /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
-    /// let ticket = engine.submit_score(3, 1, 7);
+    /// let ticket = engine.submit_score(3, 1, 7).expect("admitted");
     /// assert_eq!(ticket.wait(), reference);
     /// ```
     ScoreTicket,
@@ -140,8 +163,8 @@ ticket_type!(
     /// let model = BlmModel::new(classics::complex(), Embeddings::init(12, 2, 8, &mut rng));
     /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
     /// // Submit first, wait later: both directions rank concurrently.
-    /// let tail = engine.submit_rank_tail(0, 1, 5);
-    /// let head = engine.submit_rank_head(0, 1, 5);
+    /// let tail = engine.submit_rank_tail(0, 1, 5).expect("admitted");
+    /// let head = engine.submit_rank_head(0, 1, 5).expect("admitted");
     /// assert!(tail.wait() >= 1.0 && head.wait() >= 1.0);
     /// ```
     RankTicket,
@@ -158,8 +181,8 @@ ticket_type!(
     /// let mut rng = kg_linalg::SeededRng::new(7);
     /// let model = BlmModel::new(classics::simple(), Embeddings::init(12, 2, 8, &mut rng));
     /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
-    /// let ticket = engine.submit_top_k_tails(2, 0, 3);
-    /// assert_eq!(ticket.wait().len(), 3);
+    /// let ticket = engine.submit_top_k_tails(2, 0, 3).expect("admitted");
+    /// assert_eq!(ticket.wait_result().expect("answered").len(), 3);
     /// ```
     TopKTicket,
     Vec<(usize, f32)>,

@@ -18,7 +18,7 @@ use kg_models::blm::classics;
 use kg_models::nnm::{GenApprox, NnmConfig};
 use kg_models::tdm::{TdmConfig, TransE};
 use kg_models::{BatchScorer, BlmModel, Embeddings, LinkPredictor};
-use kg_serve::KgEngine;
+use kg_serve::{KgEngine, RankTicket, RequestClass, ScoreTicket, ServeError, TopKTicket};
 use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
@@ -219,6 +219,127 @@ fn assert_serve_matches_reference_cfg<M>(
     }
 }
 
+/// One outstanding submitted op, whichever ticket type it produced.
+enum AnyTicket {
+    Score(ScoreTicket),
+    Rank(RankTicket),
+    TopK(TopKTicket),
+}
+
+impl AnyTicket {
+    fn wait_result(self) -> Result<Answer, ServeError> {
+        match self {
+            AnyTicket::Score(t) => t.wait_result().map(Answer::Score),
+            AnyTicket::Rank(t) => t.wait_result().map(Answer::Rank),
+            AnyTicket::TopK(t) => t.wait_result().map(Answer::TopK),
+        }
+    }
+}
+
+/// Submit `op` through a per-client handle, honouring `retry_after` on
+/// shed until the engine admits it. Returns the ticket plus how many
+/// sheds the submission ate.
+fn submit_with_backoff(engine: &KgEngine, client: u64, op: Op) -> (AnyTicket, u64) {
+    let mut sheds = 0u64;
+    loop {
+        let handle = engine.client(client);
+        let submitted = match op {
+            Op::Score { h, r, t } => handle.submit_score(h, r, t).map(AnyTicket::Score),
+            Op::RankTail { h, r, t } => handle.submit_rank_tail(h, r, t).map(AnyTicket::Rank),
+            Op::RankHead { h, r, t } => handle.submit_rank_head(h, r, t).map(AnyTicket::Rank),
+            Op::TopKTails { h, r, k } => handle.submit_top_k_tails(h, r, k).map(AnyTicket::TopK),
+            Op::TopKHeads { r, t, k } => handle.submit_top_k_heads(r, t, k).map(AnyTicket::TopK),
+        };
+        match submitted {
+            Ok(ticket) => return (ticket, sheds),
+            Err(kg_serve::SubmitError::Shed { retry_after, .. }) => {
+                sheds += 1;
+                // A live engine keeps draining, so honouring the hint
+                // always readmits eventually; cap the nap so a stale
+                // (pre-measurement) hint cannot slow the suite.
+                std::thread::sleep(retry_after.min(Duration::from_millis(2)));
+            }
+        }
+    }
+}
+
+/// The admission-control matrix: queue caps (tiny / default / unbounded)
+/// × deadline on/off × fair dequeue on/off, driven through the keyed
+/// per-client submit path with retry-after backoff on shed. Every ticket
+/// settles — answered or expired, never failed — every *answered*
+/// response is bit-identical to the sequential reference, and the
+/// overload counters account for every admission exactly once.
+fn assert_admission_never_shows<M>(
+    model: Arc<M>,
+    name: &str,
+    ops: &[Op],
+    cap: usize,
+    deadline: Option<Duration>,
+    fair: bool,
+) where
+    M: BatchScorer + Send + Sync + 'static,
+{
+    let fi = filter(0x5E21);
+    let expected: Vec<Answer> = ops.iter().map(|&op| reference(&*model, &fi, op)).collect();
+
+    let mut builder =
+        KgEngine::with_filter(Arc::clone(&model), fi).threads(2).block(4).fair_dequeue(fair);
+    for class in RequestClass::ALL {
+        builder = builder.max_queued(class, cap);
+    }
+    if let Some(limit) = deadline {
+        builder = builder.deadline(limit);
+    }
+    let engine = builder.build();
+
+    let mut sheds = 0;
+    let tickets: Vec<AnyTicket> = ops
+        .iter()
+        .enumerate()
+        .map(|(i, &op)| {
+            let (ticket, shed) = submit_with_backoff(&engine, (i % 3) as u64, op);
+            sheds += shed;
+            ticket
+        })
+        .collect();
+
+    let admitted = tickets.len() as u64;
+    let mut expired = 0u64;
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        match ticket.wait_result() {
+            Ok(answer) => assert_eq!(
+                answer, expected[i],
+                "{name}: answered op {i} diverged (cap={cap}, deadline={deadline:?}, fair={fair})"
+            ),
+            Err(err) if err.is_expired() => {
+                assert!(deadline.is_some(), "{name}: expiry without a deadline configured");
+                expired += 1;
+            }
+            Err(other) => panic!("{name}: op {i} failed unexpectedly: {other}"),
+        }
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.queries_shed, sheds, "{name}: shed counter must match observed sheds");
+    assert_eq!(stats.queries_expired, expired, "{name}: expired counter must match tickets");
+    assert_eq!(stats.queries_failed, 0, "{name}: admission knobs must not fail requests");
+    assert_eq!(
+        stats.queries_served + stats.queries_expired,
+        admitted,
+        "{name}: every admitted request settles exactly once"
+    );
+    assert_eq!(
+        stats.latency_score.count() + stats.latency_tails.count() + stats.latency_heads.count(),
+        admitted,
+        "{name}: histograms record exactly the settled requests"
+    );
+    assert_eq!(
+        stats.depth_score + stats.depth_tails + stats.depth_heads,
+        0,
+        "{name}: queues must drain"
+    );
+}
+
 /// Raw op tuples: ids stay in range by construction, k up to beyond-table.
 fn raw_ops(
     len: std::ops::Range<usize>,
@@ -332,6 +453,33 @@ proptest! {
             block,
             Duration::from_micros(linger_us),
             split,
+        );
+    }
+
+    /// The admission knobs — queue caps from shed-happy to unbounded,
+    /// deadline on/off, fair dequeue on/off — may shed or expire requests
+    /// but never change an answered byte, and the counters must account
+    /// for every submission.
+    #[test]
+    fn admission_knobs_never_show(
+        cap in prop::sample::select(vec![2usize, kg_serve::KgEngineBuilder::DEFAULT_MAX_QUEUED, usize::MAX]),
+        deadline_us in prop::sample::select(vec![0u64, 3_000]),
+        fair in prop::sample::select(vec![true, false]),
+        raw in raw_ops(10..24),
+    ) {
+        let mut rng = SeededRng::new(0xAD_0115 ^ cap as u64);
+        let model = BlmModel::new(
+            classics::complex(),
+            Embeddings::init(N_ENTITIES, N_RELATIONS, 16, &mut rng),
+        );
+        let deadline = (deadline_us > 0).then(|| Duration::from_micros(deadline_us));
+        assert_admission_never_shows(
+            Arc::new(model),
+            "ComplEx/admission",
+            &decode_mixed(&raw),
+            cap,
+            deadline,
+            fair,
         );
     }
 

@@ -37,8 +37,8 @@ fn main() {
         .iter()
         .map(|tr| {
             (
-                engine.submit_rank_tail(tr.h.idx(), tr.r.idx(), tr.t.idx()),
-                engine.submit_rank_head(tr.h.idx(), tr.r.idx(), tr.t.idx()),
+                engine.submit_rank_tail(tr.h.idx(), tr.r.idx(), tr.t.idx()).expect("admitted"),
+                engine.submit_rank_head(tr.h.idx(), tr.r.idx(), tr.t.idx()).expect("admitted"),
             )
         })
         .collect();

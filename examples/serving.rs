@@ -13,16 +13,33 @@
 //! score concurrently on half crews whenever both are queued), with the
 //! engine's own stats snapshot reporting how the scheduler did.
 //!
+//! The second half overloads a deliberately small engine to show the
+//! admission controls: a bounded queue sheds at the door with
+//! [`kg_serve::SubmitError::Shed`] (handled here with retry-after
+//! backoff), a deadline expires stale requests before they waste crew
+//! time, and the per-class latency histograms report what admitted
+//! traffic actually experienced.
+//!
 //! ```sh
 //! cargo run --release --example serving
 //! ```
 
 use kg_datagen::{preset, Preset, Scale};
 use kg_models::blm::classics;
-use kg_serve::KgEngine;
+use kg_serve::{KgEngine, LatencyHistogram, RequestClass, SubmitError};
 use kg_train::{train, TrainConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Render a settled-latency histogram as its headline quantiles.
+fn quantiles(hist: &LatencyHistogram) -> String {
+    match (hist.quantile(0.5), hist.quantile(0.99)) {
+        (Some(p50), Some(p99)) => {
+            format!("{} samples, p50 ≤ {p50:?}, p99 ≤ {p99:?}", hist.count())
+        }
+        _ => "no samples".to_string(),
+    }
+}
 
 fn main() {
     // 1. Train a ComplEx-structured bilinear model on a synthetic graph.
@@ -72,8 +89,8 @@ fn main() {
                 for &(h, r, t) in queries.iter().skip(c).step_by(n_clients) {
                     // Submit both directions, then wait — tickets overlap
                     // across clients, so blocks fill up.
-                    let tail = engine.submit_rank_tail(h, r, t);
-                    let head = engine.submit_rank_head(h, r, t);
+                    let tail = engine.submit_rank_tail(h, r, t).expect("admitted");
+                    let head = engine.submit_rank_head(h, r, t).expect("admitted");
                     let (rt, rh) = (tail.wait(), head.wait());
                     assert!(rt >= 1.0 && rh >= 1.0);
                     served += 2;
@@ -104,4 +121,76 @@ fn main() {
         "pipeline:  {} blocks overlapped, {} lead-idle waits, {} crew-idle gaps",
         stats.blocks_overlapped, stats.lead_idle, stats.crew_idle
     );
+    println!(
+        "latency:   tails {} | heads {}",
+        quantiles(&stats.latency_tails),
+        quantiles(&stats.latency_heads)
+    );
+
+    // 6. Overload behaviour: a deliberately tiny engine — one worker,
+    //    small blocks, a 32-deep tail queue, a 2 ms deadline — under a
+    //    burst far past its capacity. Sheds come back on the submit call
+    //    itself with a backoff hint; expiries come back through the
+    //    ticket as typed errors instead of slow answers.
+    let model = train(
+        &classics::complex(),
+        &ds,
+        &TrainConfig { dim: 32, epochs: 1, lr: 0.3, l2: 1e-4, ..Default::default() },
+    );
+    let small = KgEngine::builder(model, &ds)
+        .threads(1)
+        .block(8)
+        .max_queued(RequestClass::Tails, 32)
+        .deadline(Duration::from_millis(2))
+        .build();
+    println!("\noverload: 1 worker, block 8, tail cap 32, 2 ms deadline");
+
+    let mut tickets = Vec::new();
+    let (mut sheds, mut backoff_total) = (0u64, Duration::ZERO);
+    for &(h, r, t) in queries.iter().cycle().take(400) {
+        // The admission loop every well-behaved client runs: on `Shed`,
+        // sleep out the engine's own backlog estimate, then resubmit.
+        loop {
+            match small.submit_rank_tail(h, r, t) {
+                Ok(ticket) => {
+                    tickets.push(ticket);
+                    break;
+                }
+                Err(SubmitError::Shed { class, depth, retry_after }) => {
+                    sheds += 1;
+                    backoff_total += retry_after;
+                    if sheds == 1 {
+                        println!(
+                            "first shed: {class} queue at depth {depth}, retry in {retry_after:?}"
+                        );
+                    }
+                    std::thread::sleep(retry_after);
+                }
+            }
+        }
+    }
+    let (mut answered, mut expired) = (0u64, 0u64);
+    for ticket in tickets {
+        match ticket.wait_result() {
+            Ok(rank) => {
+                assert!(rank >= 1.0);
+                answered += 1;
+            }
+            Err(err) if err.is_expired() => expired += 1,
+            Err(err) => panic!("overload must only shed or expire, got: {err}"),
+        }
+    }
+    let stats = small.stats();
+    println!(
+        "of 400 submissions: {answered} answered, {expired} expired, \
+         {sheds} sheds ({backoff_total:?} total backoff)"
+    );
+    println!(
+        "admission: shed={} expired={} served={} | tail latency {}",
+        stats.queries_shed,
+        stats.queries_expired,
+        stats.queries_served,
+        quantiles(&stats.latency_tails)
+    );
+    assert_eq!(stats.queries_served + stats.queries_expired, answered + expired);
 }

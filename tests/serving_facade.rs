@@ -53,8 +53,8 @@ fn served_ranks_reproduce_offline_evaluation_bit_for_bit() {
             .iter()
             .map(|tr| {
                 (
-                    engine.submit_rank_tail(tr.h.idx(), tr.r.idx(), tr.t.idx()),
-                    engine.submit_rank_head(tr.h.idx(), tr.r.idx(), tr.t.idx()),
+                    engine.submit_rank_tail(tr.h.idx(), tr.r.idx(), tr.t.idx()).expect("admitted"),
+                    engine.submit_rank_head(tr.h.idx(), tr.r.idx(), tr.t.idx()).expect("admitted"),
                 )
             })
             .collect();
