@@ -177,8 +177,11 @@ fn shard_filtered_counts(
 }
 
 /// `rank = 1 + #better + #ties/2` — ties count half (the unbiased
-/// convention), so constant scorers get the random expectation.
-fn rank_from_counts(better: i64, ties: i64) -> f64 {
+/// convention), so constant scorers get the random expectation. Shared
+/// with the two-stage ranker ([`crate::two_stage`]), whose
+/// candidate-restricted counts must fold into ranks with the exact same
+/// arithmetic to stay bit-identical to this reference.
+pub(crate) fn rank_from_counts(better: i64, ties: i64) -> f64 {
     1.0 + better as f64 + ties as f64 / 2.0
 }
 
@@ -241,6 +244,28 @@ pub fn top_k(scores: &[f32], k: usize) -> Vec<(usize, f32)> {
     entries
 }
 
+/// The deterministic [`top_k`] order: score descending, ties broken by
+/// entity id ascending. NaN sorts strictly below every real score (`-∞`
+/// included) and NaNs tie only with each other, so even all-NaN tables
+/// order deterministically by the id tiebreak. Shared with the two-stage
+/// ranker ([`crate::two_stage`]) so candidate-restricted top-k answers
+/// sort with the exact same comparator as this full-table reference.
+pub(crate) fn top_k_cmp(a: &(usize, f32), b: &(usize, f32)) -> std::cmp::Ordering {
+    match (a.1.is_nan(), b.1.is_nan()) {
+        (false, false) => {
+            b.1.partial_cmp(&a.1).expect("non-NaN scores compare").then(a.0.cmp(&b.0))
+        }
+        (true, true) => a.0.cmp(&b.0),
+        (a_nan, _) => {
+            if a_nan {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Less
+            }
+        }
+    }
+}
+
 /// [`top_k`] into a caller-owned buffer: `entries` is cleared, used as the
 /// selection scratch (it grows to `scores.len()` pairs while selecting)
 /// and left holding exactly the top-`k` result, in the same deterministic
@@ -249,24 +274,7 @@ pub fn top_k(scores: &[f32], k: usize) -> Vec<(usize, f32)> {
 /// one per lane, so a top-k request no longer allocates an
 /// `n_entities`-entry `Vec` per query on the hot path.
 pub fn top_k_into(scores: &[f32], k: usize, entries: &mut Vec<(usize, f32)>) {
-    // NaN sorts strictly below every real score (-∞ included) and NaNs tie
-    // only with each other, so even all-NaN tables order deterministically
-    // by the id tiebreak.
-    fn better(a: &(usize, f32), b: &(usize, f32)) -> std::cmp::Ordering {
-        match (a.1.is_nan(), b.1.is_nan()) {
-            (false, false) => {
-                b.1.partial_cmp(&a.1).expect("non-NaN scores compare").then(a.0.cmp(&b.0))
-            }
-            (true, true) => a.0.cmp(&b.0),
-            (a_nan, _) => {
-                if a_nan {
-                    std::cmp::Ordering::Greater
-                } else {
-                    std::cmp::Ordering::Less
-                }
-            }
-        }
-    }
+    let better = top_k_cmp;
     entries.clear();
     let k = k.min(scores.len());
     if k == 0 {

@@ -1,0 +1,187 @@
+//! The two-stage equivalence suite (ISSUE acceptance): across random
+//! models, candidate budgets and thread counts, every query whose coarse
+//! pass recalls the exact winner set must return a byte-identical answer
+//! to the sequential reference — and certification must imply that
+//! recall. Also covers the image-backed model path end to end.
+
+use kg_core::{FilterIndex, Triple};
+use kg_eval::ranking;
+use kg_eval::two_stage::{
+    evaluate_two_stage, quantise_scorer, two_stage_outcomes, two_stage_top_k_tails, TwoStageConfig,
+};
+use kg_linalg::SeededRng;
+use kg_models::{classics, BlmModel, BlockSpec, Embeddings, ImageBlmModel, LinkPredictor};
+
+fn random_triples(n_e: usize, n_r: usize, n: usize, rng: &mut SeededRng) -> Vec<Triple> {
+    (0..n)
+        .map(|_| Triple::new(rng.below(n_e) as u32, rng.below(n_r) as u32, rng.below(n_e) as u32))
+        .collect()
+}
+
+/// One query's reference view: its exact score row, target and known
+/// list, in the same flattening order as `two_stage_outcomes` (per
+/// triple: tails then heads).
+struct RefQuery<'a> {
+    scores: Vec<f32>,
+    target: usize,
+    known: &'a [kg_core::EntityId],
+}
+
+fn reference_queries<'a>(
+    model: &dyn LinkPredictor,
+    triples: &[Triple],
+    filter: &'a FilterIndex,
+) -> Vec<RefQuery<'a>> {
+    let n = model.n_entities();
+    let mut out = Vec::with_capacity(2 * triples.len());
+    for t in triples {
+        let mut scores = vec![0.0f32; n];
+        model.score_tails(t.h.idx(), t.r.idx(), &mut scores);
+        out.push(RefQuery { scores, target: t.t.idx(), known: filter.tails(t.h, t.r) });
+        let mut scores = vec![0.0f32; n];
+        model.score_heads(t.r.idx(), t.t.idx(), &mut scores);
+        out.push(RefQuery { scores, target: t.h.idx(), known: filter.heads(t.r, t.t) });
+    }
+    out
+}
+
+/// The entities that decide this query's filtered rank: every
+/// non-excluded entity (target and known positives aside) whose exact
+/// score ties or beats the target's. NaN target scores have an empty
+/// winner set — nothing compares to them, so rank 1 needs no recall.
+fn winner_set(q: &RefQuery<'_>) -> Vec<usize> {
+    let t_s = q.scores[q.target];
+    q.scores
+        .iter()
+        .enumerate()
+        .filter(|&(e, &s)| {
+            e != q.target && !q.known.iter().any(|k| k.idx() == e) && (s > t_s || s == t_s)
+        })
+        .map(|(e, _)| e)
+        .collect()
+}
+
+/// The acceptance sweep: random models × candidate budgets × thread
+/// counts. Conditional bit-identity, certification soundness, full-recall
+/// aggregate equality, thread invariance — plus per-query recall@C
+/// accounting, printed so failures come with coverage context.
+#[test]
+fn recalled_queries_are_bit_identical_to_the_sequential_reference() {
+    let specs: Vec<(&str, BlockSpec)> = vec![
+        ("distmult", classics::distmult()),
+        ("complex", classics::complex()),
+        ("simple", classics::simple()),
+        ("analogy", classics::analogy()),
+    ];
+    let mut conditional_checked = 0usize;
+    let mut certified_total = 0usize;
+    for (si, (name, spec)) in specs.into_iter().enumerate() {
+        let (n_e, dim) = [(41, 8), (64, 16), (97, 8), (30, 32)][si];
+        let mut rng = SeededRng::new(1000 + si as u64);
+        let model = BlmModel::new(spec, Embeddings::init(n_e, 4, dim, &mut rng));
+        let triples = random_triples(n_e, 4, 18, &mut rng);
+        let filter = FilterIndex::build(&triples);
+        let refs = reference_queries(&model, &triples, &filter);
+        let table = quantise_scorer(&model);
+        for c in [1usize, 5, 17, n_e] {
+            let base =
+                two_stage_outcomes(&model, table.view(), &triples, &filter, TwoStageConfig::new(c));
+            assert_eq!(base.len(), refs.len());
+            // Thread invariance: outcomes are byte-identical for every
+            // worker count (ranks compared as bit patterns via PartialEq
+            // on the full outcome, candidates included).
+            for threads in [2usize, 4] {
+                let got = two_stage_outcomes(
+                    &model,
+                    table.view(),
+                    &triples,
+                    &filter,
+                    TwoStageConfig::new(c).with_threads(threads),
+                );
+                assert_eq!(base, got, "{name}: C={c}, {threads} threads");
+            }
+            let mut recalled = 0usize;
+            for (qi, (out, rq)) in base.iter().zip(refs.iter()).enumerate() {
+                let winners = winner_set(rq);
+                let covered = winners.iter().all(|&w| out.candidates.contains(&(w as u32)));
+                // Certification must imply the winner set was recalled —
+                // this is the soundness of the u-bound.
+                if out.certified {
+                    certified_total += 1;
+                    assert!(covered, "{name}: C={c} query {qi} certified but missed a winner");
+                }
+                // Conditional bit-identity: recalled winners ⇒ the rank
+                // is the reference rank, as in the same f64 bits.
+                if covered {
+                    recalled += 1;
+                    conditional_checked += 1;
+                    let want = ranking::filtered_rank(&rq.scores, rq.target, rq.known);
+                    assert_eq!(
+                        out.rank.to_bits(),
+                        want.to_bits(),
+                        "{name}: C={c} query {qi} recalled its winners but rank {} != {want}",
+                        out.rank
+                    );
+                }
+                // Per-query recall@C against the exact top-10 — the
+                // measured (not gated) recall the ISSUE asks the suite
+                // to report.
+                let top = ranking::top_k(&rq.scores, 10.min(n_e));
+                let hit = top.iter().filter(|(e, _)| out.candidates.contains(&(*e as u32))).count();
+                if c >= n_e {
+                    assert_eq!(hit, top.len(), "{name}: full budget must recall everything");
+                }
+            }
+            println!(
+                "{name}: n={n_e} d={dim} C={c}: {recalled}/{} queries recalled their winner set",
+                base.len()
+            );
+            // Full candidate budget ⇒ aggregate equality with the
+            // sequential reference, byte for byte.
+            if c >= n_e {
+                assert_eq!(recalled, base.len());
+                let agg = evaluate_two_stage(
+                    &model,
+                    table.view(),
+                    &triples,
+                    &filter,
+                    TwoStageConfig::new(c).with_threads(3),
+                );
+                let want = ranking::evaluate_sequential(&model, &triples, &filter);
+                assert_eq!(agg.metrics, want, "{name}: full-budget aggregate diverged");
+                assert_eq!(agg.certified, base.len());
+            }
+        }
+    }
+    // The sweep must actually exercise the conditional branch and the
+    // certifier, or the suite is vacuous.
+    assert!(conditional_checked > 100, "only {conditional_checked} conditional checks ran");
+    assert!(certified_total > 0, "certification never fired across the whole sweep");
+}
+
+/// The image-backed model must rank exactly like its in-memory source
+/// through the two-stage path — same outcomes from the baked-in quant
+/// segments as from a fresh quantisation, at every budget.
+#[test]
+fn image_backed_models_rank_identically_through_two_stage() {
+    let mut rng = SeededRng::new(77);
+    let model = BlmModel::new(classics::complex(), Embeddings::init(52, 3, 16, &mut rng));
+    let triples = random_triples(52, 3, 14, &mut rng);
+    let filter = FilterIndex::build(&triples);
+    let bytes = kg_models::model_image_bytes(&model).expect("image build");
+    let image = kg_table::Image::from_bytes(&bytes).expect("image parse");
+    let im = ImageBlmModel::new(image).expect("image schema");
+    let fresh = quantise_scorer(&model);
+    for c in [3usize, 20, 52] {
+        let cfg = TwoStageConfig::new(c).with_threads(2);
+        let from_image = two_stage_outcomes(&im, im.quant(), &triples, &filter, cfg);
+        let from_memory = two_stage_outcomes(&model, fresh.view(), &triples, &filter, cfg);
+        assert_eq!(from_image, from_memory, "C={c}");
+    }
+    // Top-k through the image path matches the reference when certified.
+    let mut scores = vec![0.0f32; 52];
+    let two = two_stage_top_k_tails(&im, im.quant(), 7, 1, 5, 52);
+    assert!(two.certified);
+    model.score_tails(7, 1, &mut scores);
+    assert_eq!(two.entries, ranking::top_k(&scores, 5));
+}

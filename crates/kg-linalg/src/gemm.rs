@@ -77,21 +77,23 @@ pub(crate) fn with_tile_scratch<R>(k: usize, f: impl FnOnce(&mut [f32]) -> R) ->
 
 /// The shape preconditions every `gemm_nt_rows` backend enforces —
 /// defined once so the backends cannot drift in what they accept or in
-/// the panic messages the tests pin.
+/// the panic messages the tests pin. The table is a raw `n × k` row-major
+/// slice so memory-mapped tables (no [`Mat`] behind them) share the same
+/// checks.
 pub(crate) fn check_nt_rows_shapes(
     a: &[f32],
     m: usize,
     k: usize,
-    b: &Mat,
+    bs: &[f32],
+    n: usize,
     rows: &std::ops::Range<usize>,
     out: &[f32],
 ) {
     assert_eq!(a.len(), m * k, "gemm_nt: A shape mismatch");
-    assert_eq!(b.cols(), k, "gemm_nt: inner dimension mismatch");
+    assert_eq!(bs.len(), n * k, "gemm_nt: table shape mismatch");
     assert!(
-        rows.start <= rows.end && rows.end <= b.rows(),
-        "gemm_nt: row range {rows:?} out of bounds for {} table rows",
-        b.rows()
+        rows.start <= rows.end && rows.end <= n,
+        "gemm_nt: row range {rows:?} out of bounds for {n} table rows"
     );
     assert_eq!(out.len(), m * rows.len(), "gemm_nt: out shape mismatch");
 }
@@ -161,13 +163,8 @@ pub fn gemm_nt_rows(
     rows: std::ops::Range<usize>,
     out: &mut [f32],
 ) {
-    match simd::active_backend() {
-        // SAFETY: the AVX2 backend is only ever selected after
-        // `is_x86_feature_detected!("avx2")` confirmed CPU support.
-        #[cfg(target_arch = "x86_64")]
-        simd::Backend::Avx2 => unsafe { simd::avx2::gemm_nt_rows(a, m, k, b, rows, out) },
-        _ => gemm_nt_rows_scalar(a, m, k, b, rows, out),
-    }
+    assert_eq!(b.cols(), k, "gemm_nt: inner dimension mismatch");
+    gemm_nt_rows_slice(a, m, k, b.as_slice(), b.rows(), rows, out);
 }
 
 /// The scalar reference backend of [`gemm_nt_rows`], bypassing dispatch.
@@ -184,9 +181,63 @@ pub fn gemm_nt_rows_scalar(
     rows: std::ops::Range<usize>,
     out: &mut [f32],
 ) {
-    check_nt_rows_shapes(a, m, k, b, &rows, out);
+    assert_eq!(b.cols(), k, "gemm_nt: inner dimension mismatch");
+    gemm_nt_rows_slice_scalar(a, m, k, b.as_slice(), b.rows(), rows, out);
+}
+
+/// Raw-slice core of [`gemm_nt_rows`]: the table is an `n × k` row-major
+/// `f32` slice rather than a [`Mat`]. This is the zero-copy entry point
+/// for memory-mapped model images — a table living inside an mmap'd file
+/// scores without being copied into an owned matrix first. [`gemm_nt_rows`]
+/// is a thin wrapper over this kernel, so both paths are bit-identical by
+/// construction.
+///
+/// # Panics
+/// Panics when the slice lengths disagree with `m`, `k`, `n` and `rows`,
+/// or when `rows` is decreasing or exceeds `n`.
+pub fn gemm_nt_rows_slice(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    bs: &[f32],
+    n: usize,
+    rows: std::ops::Range<usize>,
+    out: &mut [f32],
+) {
+    match simd::active_backend() {
+        // SAFETY: the AVX2 backend is only ever selected after
+        // `is_x86_feature_detected!("avx2")` confirmed CPU support.
+        #[cfg(target_arch = "x86_64")]
+        simd::Backend::Avx2 => unsafe { simd::avx2::gemm_nt_rows_slice(a, m, k, bs, n, rows, out) },
+        _ => gemm_nt_rows_slice_scalar(a, m, k, bs, n, rows, out),
+    }
+}
+
+/// Full-table convenience wrapper over [`gemm_nt_rows_slice`] — the
+/// raw-slice analogue of [`gemm_nt`].
+///
+/// # Panics
+/// Same shape panics as [`gemm_nt_rows_slice`].
+pub fn gemm_nt_slice(a: &[f32], m: usize, k: usize, bs: &[f32], n: usize, out: &mut [f32]) {
+    gemm_nt_rows_slice(a, m, k, bs, n, 0..n, out);
+}
+
+/// The scalar reference backend of [`gemm_nt_rows_slice`], bypassing
+/// dispatch. Public for A/B benchmarking and backend-equivalence tests.
+///
+/// # Panics
+/// Same shape panics as [`gemm_nt_rows_slice`].
+pub fn gemm_nt_rows_slice_scalar(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    bs: &[f32],
+    n: usize,
+    rows: std::ops::Range<usize>,
+    out: &mut [f32],
+) {
+    check_nt_rows_shapes(a, m, k, bs, n, &rows, out);
     let width = rows.len();
-    let bs = b.as_slice();
     with_tile_scratch(k, |tile| {
         let mut j0 = rows.start;
         while j0 < rows.end {
@@ -211,7 +262,7 @@ pub fn gemm_nt_rows_scalar(
                 }
                 // Ragged tail of the tile: plain dots.
                 for j in (j0 + groups * NT_UNROLL)..j1 {
-                    out_row[j - rows.start] = vecops::dot(a_row, b.row(j));
+                    out_row[j - rows.start] = vecops::dot(a_row, &bs[j * k..(j + 1) * k]);
                 }
             }
             j0 = j1;

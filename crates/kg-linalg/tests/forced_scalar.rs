@@ -11,7 +11,7 @@
 //! harness runs sibling tests concurrently.
 
 use kg_linalg::rng::SeededRng;
-use kg_linalg::{gemm, simd, vecops, Mat};
+use kg_linalg::{gemm, qgemm, simd, vecops, Mat};
 
 /// The shared cross-backend comparator: NaNs canonicalised, everything
 /// else raw — see [`simd::canonical_bits`] for the contract it encodes.
@@ -74,6 +74,26 @@ fn forced_scalar_dispatch_is_honoured_and_byte_equal_to_simd() {
             );
         }
 
+        // The i8 coarse-tier kernels sit behind the same seam: forced
+        // scalar must be what dispatch runs, and the values are exact
+        // integers so equality is plain `==`.
+        let codes = |seed: u64, len: usize| -> Vec<i8> {
+            let mut r = SeededRng::new(seed);
+            (0..len).map(|_| (r.below(255) as i32 - 127) as i8).collect()
+        };
+        let qa = codes(7 + m as u64, m * k);
+        let qb = codes(9 + n as u64, n * k);
+        let mut qdispatched = vec![0i32; m * n];
+        qgemm::gemm_i8_nt(&qa, m, k, &qb, n, &mut qdispatched);
+        let mut qscalar = vec![0i32; m * n];
+        qgemm::gemm_i8_nt_rows_scalar(&qa, m, k, &qb, n, 0..n, &mut qscalar);
+        assert_eq!(qdispatched, qscalar, "gemm_i8_nt ignored the forced-scalar knob");
+        assert_eq!(
+            qgemm::dot_i8(&qa[..k], &qb[..k]),
+            qgemm::dot_i8_scalar(&qa[..k], &qb[..k]),
+            "dot_i8 ignored the forced-scalar knob"
+        );
+
         // And the forced fallback must still be byte-equal to the explicit
         // SIMD kernels where the CPU has them — the cross-backend check
         // that makes a silently-broken scalar path impossible to miss on
@@ -103,6 +123,11 @@ fn forced_scalar_dispatch_is_honoured_and_byte_equal_to_simd() {
                     "scalar and AVX2 count_cmp diverged (threshold {t})"
                 );
             }
+
+            let mut explicit_q = vec![0i32; m * n];
+            // SAFETY: guarded by runtime AVX2 detection.
+            unsafe { simd::avx2::gemm_i8_nt_rows(&qa, m, k, &qb, n, 0..n, &mut explicit_q) };
+            assert_eq!(explicit_q, qscalar, "scalar and AVX2 gemm_i8_nt diverged");
         }
     }
 }

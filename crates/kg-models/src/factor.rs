@@ -1,0 +1,154 @@
+//! The factorising-model interface: query vectors and entity rows as
+//! first-class objects.
+//!
+//! [`BatchScorer`] only promises *score blocks*; it says nothing about
+//! how they are produced. Models in the BLM family factor as
+//! `score(h, r, e) = ⟨query(h, r), e⟩`, and consumers that exploit that
+//! structure need the pieces, not the product:
+//!
+//! * the **two-stage ranker** in `kg-eval` quantises the query vector,
+//!   scans a quantised mirror of the entity table for candidates, then
+//!   rescores only the candidates with exact f32 dots against
+//!   [`FactorScorer::entity_row`];
+//! * the **image writer** ([`crate::image_model`]) snapshots the entity
+//!   table as one contiguous segment.
+//!
+//! The contract that makes the two-stage rescore sound: for every
+//! factorising model, `vecops::dot(entity_row(e), q)` with `q` from
+//! [`FactorScorer::tail_query_into`] must be **bit-identical** to
+//! element `e` of [`LinkPredictor::score_tails`] — same FLOPs, same
+//! order. The shipped impls guarantee this by construction (both paths
+//! funnel into [`kg_linalg::Mat::gemv`]'s per-row
+//! [`kg_linalg::vecops::dot`], which the GEMM backends reproduce
+//! bitwise), and `kg-eval`'s equivalence suite enforces it.
+//!
+//! [`LinkPredictor::score_tails`]: crate::predictor::LinkPredictor::score_tails
+
+use crate::batch::BatchScorer;
+use crate::blm::BlmModel;
+
+/// A [`BatchScorer`] whose score factors as `⟨query vector, entity row⟩`
+/// — the structural interface the quantised coarse tier and the model
+/// image writer consume.
+pub trait FactorScorer: BatchScorer {
+    /// Dimension of query vectors and entity rows.
+    fn dim(&self) -> usize;
+
+    /// Write the tail-direction query vector of `(h, r, ?)` into `out`
+    /// (length [`FactorScorer::dim`]): the vector `q` with
+    /// `score(h, r, e) = ⟨q, entity_row(e)⟩` for every entity `e`.
+    fn tail_query_into(&self, h: usize, r: usize, out: &mut [f32]);
+
+    /// Write the head-direction query vector of `(?, r, t)` into `out` —
+    /// the head counterpart of [`FactorScorer::tail_query_into`].
+    fn head_query_into(&self, r: usize, t: usize, out: &mut [f32]);
+
+    /// Entity `e`'s embedding row (length [`FactorScorer::dim`]) — the
+    /// exact f32 values the full scoring paths dot against.
+    fn entity_row(&self, e: usize) -> &[f32];
+}
+
+impl FactorScorer for BlmModel {
+    fn dim(&self) -> usize {
+        self.emb.dim()
+    }
+
+    fn tail_query_into(&self, h: usize, r: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.emb.dim(), "tail_query_into: out length mismatch");
+        self.spec.tail_query(self.emb.ent.row(h), self.emb.rel.row(r), out, self.emb.dsub());
+    }
+
+    fn head_query_into(&self, r: usize, t: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.emb.dim(), "head_query_into: out length mismatch");
+        self.spec.head_query(self.emb.ent.row(t), self.emb.rel.row(r), out, self.emb.dsub());
+    }
+
+    fn entity_row(&self, e: usize) -> &[f32] {
+        self.emb.ent.row(e)
+    }
+}
+
+/// Forward [`FactorScorer`] through a pointer type, mirroring the
+/// [`crate::batch`] and [`crate::predictor`] forwarders, so a shared
+/// `Arc<impl FactorScorer>` feeds the two-stage ranker directly.
+macro_rules! forward_factor_scorer {
+    ($ptr:ty) => {
+        impl<T: FactorScorer + ?Sized> FactorScorer for $ptr {
+            fn dim(&self) -> usize {
+                (**self).dim()
+            }
+            fn tail_query_into(&self, h: usize, r: usize, out: &mut [f32]) {
+                (**self).tail_query_into(h, r, out)
+            }
+            fn head_query_into(&self, r: usize, t: usize, out: &mut [f32]) {
+                (**self).head_query_into(r, t, out)
+            }
+            fn entity_row(&self, e: usize) -> &[f32] {
+                (**self).entity_row(e)
+            }
+        }
+    };
+}
+
+forward_factor_scorer!(&T);
+forward_factor_scorer!(Box<T>);
+forward_factor_scorer!(std::sync::Arc<T>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blm::classics;
+    use crate::embeddings::Embeddings;
+    use crate::predictor::LinkPredictor;
+    use kg_linalg::{vecops, SeededRng};
+
+    fn model() -> BlmModel {
+        let mut rng = SeededRng::new(33);
+        BlmModel::new(classics::analogy(), Embeddings::init(9, 4, 16, &mut rng))
+    }
+
+    /// The factorisation contract: dotting the query vector against each
+    /// entity row reproduces the full scoring paths bit for bit.
+    #[test]
+    fn factored_dots_match_full_scoring_bitwise() {
+        let m = model();
+        let (n, dim) = (m.n_entities(), FactorScorer::dim(&m));
+        let mut q = vec![0.0f32; dim];
+        let mut full = vec![0.0f32; n];
+        for (h, r) in [(0, 0), (5, 3), (8, 1)] {
+            m.tail_query_into(h, r, &mut q);
+            m.score_tails(h, r, &mut full);
+            for e in 0..n {
+                let d = vecops::dot(m.entity_row(e), &q);
+                assert_eq!(d.to_bits(), full[e].to_bits(), "tail ({h},{r}) entity {e}");
+            }
+        }
+        for (r, t) in [(0, 1), (2, 7)] {
+            m.head_query_into(r, t, &mut q);
+            m.score_heads(r, t, &mut full);
+            for e in 0..n {
+                let d = vecops::dot(m.entity_row(e), &q);
+                assert_eq!(d.to_bits(), full[e].to_bits(), "head ({r},{t}) entity {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_forwarding_preserves_the_factorisation() {
+        let m = std::sync::Arc::new(model());
+        let mut q1 = vec![0.0f32; FactorScorer::dim(&m)];
+        let mut q2 = q1.clone();
+        m.tail_query_into(2, 1, &mut q1);
+        (*m).tail_query_into(2, 1, &mut q2);
+        assert_eq!(q1, q2);
+        assert_eq!(m.entity_row(3), (*m).entity_row(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "tail_query_into: out length mismatch")]
+    fn wrong_query_length_panics() {
+        let m = model();
+        let mut q = vec![0.0f32; 3];
+        m.tail_query_into(0, 0, &mut q);
+    }
+}

@@ -17,13 +17,18 @@
 //! Everything rankable implements [`predictor::LinkPredictor`] plus its
 //! block-scoring extension [`batch::BatchScorer`] — the interfaces
 //! `kg-eval`'s batched ranking engine consumes. Models that factor as
-//! `⟨query, entity⟩` answer whole query blocks with one cache-blocked GEMM.
+//! `⟨query, entity⟩` answer whole query blocks with one cache-blocked GEMM
+//! and expose the factorisation itself through [`factor::FactorScorer`] —
+//! the seam the quantised two-stage ranker and the zero-copy model image
+//! ([`image_model`]) build on.
 
 // Index loops mirror the paper's subscript notation in numeric kernels.
 #![allow(clippy::needless_range_loop)]
 pub mod batch;
 pub mod blm;
 pub mod embeddings;
+pub mod factor;
+pub mod image_model;
 pub mod nnm;
 pub mod predictor;
 pub mod rules;
@@ -32,4 +37,6 @@ pub mod tdm;
 pub use batch::{BatchScorer, BatchScratch};
 pub use blm::{classics, BlmModel, Block, BlockSpec};
 pub use embeddings::Embeddings;
+pub use factor::FactorScorer;
+pub use image_model::{model_image_bytes, write_model_image, ImageBlmModel};
 pub use predictor::LinkPredictor;

@@ -1,0 +1,53 @@
+//! Serving from a memory-mapped model image: a [`KgEngine`] built over an
+//! [`ImageBlmModel`] must answer every request — score, filtered rank,
+//! top-k — bit-identically to an engine serving the in-memory source
+//! model. The image path changes where the embeddings live (a read-only
+//! file mapping), never what any query computes.
+
+use kg_core::{Dataset, Triple};
+use kg_linalg::SeededRng;
+use kg_models::{classics, write_model_image, BlmModel, Embeddings, ImageBlmModel};
+use kg_serve::KgEngine;
+
+const N_ENTITIES: usize = 36;
+const N_RELATIONS: usize = 3;
+
+fn graph(rng: &mut SeededRng) -> Dataset {
+    let mut tr = |_| {
+        Triple::new(
+            rng.below(N_ENTITIES) as u32,
+            rng.below(N_RELATIONS) as u32,
+            rng.below(N_ENTITIES) as u32,
+        )
+    };
+    let train: Vec<Triple> = (0..40).map(&mut tr).collect();
+    let valid: Vec<Triple> = (0..6).map(&mut tr).collect();
+    let test: Vec<Triple> = (0..6).map(&mut tr).collect();
+    Dataset::with_vocab("image-serve", N_ENTITIES, N_RELATIONS, train, valid, test)
+}
+
+#[test]
+fn image_backed_engine_answers_bit_identically() {
+    let mut rng = SeededRng::new(4242);
+    let model =
+        BlmModel::new(classics::simple(), Embeddings::init(N_ENTITIES, N_RELATIONS, 16, &mut rng));
+    let ds = graph(&mut rng);
+
+    let path = std::env::temp_dir().join(format!("kg-serve-image-{}.kgt", std::process::id()));
+    write_model_image(&model, &path).expect("write image");
+    let image_model = ImageBlmModel::open(&path).expect("map image");
+
+    let direct = KgEngine::builder(model, &ds).threads(2).block(16).build();
+    let mapped = KgEngine::builder(image_model, &ds).threads(3).block(8).build();
+
+    for t in ds.test.iter().chain(ds.valid.iter()) {
+        let (h, r, tt) = (t.h.idx(), t.r.idx(), t.t.idx());
+        assert_eq!(direct.score(h, r, tt).to_bits(), mapped.score(h, r, tt).to_bits());
+        assert_eq!(direct.rank_tail(h, r, tt).to_bits(), mapped.rank_tail(h, r, tt).to_bits());
+        assert_eq!(direct.rank_head(h, r, tt).to_bits(), mapped.rank_head(h, r, tt).to_bits());
+        assert_eq!(direct.top_k_tails(h, r, 5), mapped.top_k_tails(h, r, 5));
+        assert_eq!(direct.top_k_heads(r, tt, 5), mapped.top_k_heads(r, tt, 5));
+    }
+
+    std::fs::remove_file(&path).ok();
+}

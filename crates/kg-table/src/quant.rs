@@ -1,0 +1,424 @@
+//! The i8 quantised mirror of an f32 entity table — the coarse tier of
+//! two-stage ranking.
+//!
+//! Each f32 row `x` is stored as i8 codes `x̂` with one f32 scale `s` per
+//! row, chosen symmetrically: `s = max_j |x_j| / 127`, `x̂_j =
+//! round(x_j / s)` clamped to `[-127, 127]`. The approximate (coarse)
+//! score of a query `q` against row `x` is then
+//! `s_q · s · ⟨q̂, x̂⟩`, with the integer dot computed **exactly** by
+//! [`kg_linalg::qgemm`] — the only approximation anywhere in the coarse
+//! tier is the quantisation itself, which is what makes the certification
+//! bound in the crate docs sound (see [`crate`]).
+//!
+//! Alongside the codes and the scale, every row stores its exact integer
+//! L1 norm `‖x̂‖₁` (a `u32`): the per-row ingredient of that bound, so
+//! certification costs a few flops per entity instead of a re-scan.
+//!
+//! Two row shapes exist: [`QuantTable`] owns its buffers (built from an
+//! in-memory f32 table) and [`QuantView`] borrows them — either from a
+//! `QuantTable` or zero-copy from the segments of a memory-mapped model
+//! image ([`crate::image`]).
+
+use kg_linalg::qgemm;
+
+/// Per-row quantisation result: the scale, the exact integer L1 norm of
+/// the codes, and whether the source row was entirely finite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowQuant {
+    /// Symmetric scale: `row ≈ scale · codes`. Zero for all-zero rows and
+    /// for rows with non-finite entries (which quantise to all-zero codes).
+    pub scale: f32,
+    /// Exact `Σ_j |codes_j|`.
+    pub l1: u32,
+    /// `false` iff the row contained a NaN or an infinity. A non-finite
+    /// row cannot be represented (or error-bounded) by finite codes, so it
+    /// quantises to zero and poisons table-level certification instead of
+    /// silently producing wrong candidates.
+    pub finite: bool,
+}
+
+/// Quantise one f32 row into `out` (same length), returning the scale,
+/// integer L1 norm and finiteness flag.
+///
+/// * All-zero rows (signed zeros included) get `scale = 0`, all-zero
+///   codes — and round-trip exactly, since the true row *is* zero.
+/// * Rows whose `max_abs / 127` underflows to zero (all entries
+///   subnormal-tiny) fall back to `scale = max_abs`, codes in
+///   `{-1, 0, 1}` — the per-element error bound `|x_j − s·x̂_j| ≤ s/2`
+///   still holds.
+/// * Non-finite rows get `scale = 0`, zero codes, `finite = false`.
+///
+/// # Panics
+/// Panics when the lengths differ or exceed
+/// [`qgemm::I8_DOT_MAX_K`].
+pub fn quantise_row_into(row: &[f32], out: &mut [i8]) -> RowQuant {
+    assert_eq!(row.len(), out.len(), "quantise_row: length mismatch");
+    assert!(
+        row.len() <= qgemm::I8_DOT_MAX_K,
+        "quantise_row: length {} exceeds exact-i32 bound",
+        row.len()
+    );
+    let finite = row.iter().all(|x| x.is_finite());
+    // f32::max ignores NaN operands, so this is the max over the finite
+    // entries; infinities force the non-finite branch below anyway.
+    let max_abs = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    if !finite || max_abs == 0.0 {
+        out.fill(0);
+        return RowQuant { scale: 0.0, l1: 0, finite };
+    }
+    let mut scale = max_abs / 127.0;
+    if scale == 0.0 {
+        // max_abs is so small the division underflowed: code ±1 at most.
+        scale = max_abs;
+    }
+    for (o, &x) in out.iter_mut().zip(row.iter()) {
+        let c = (x / scale).round() as i32;
+        *o = c.clamp(-127, 127) as i8;
+    }
+    RowQuant { scale, l1: qgemm::l1_i8(out), finite: true }
+}
+
+/// A quantised query vector (one row, owned) — what the two-stage ranker
+/// scores against a [`QuantView`].
+#[derive(Debug, Clone)]
+pub struct QuantizedQuery {
+    /// i8 codes, same length as the query.
+    pub codes: Vec<i8>,
+    /// Per-query symmetric scale (see [`quantise_row_into`]).
+    pub scale: f32,
+    /// Exact `‖codes‖₁`.
+    pub l1: u32,
+    /// Whether the query was entirely finite.
+    pub finite: bool,
+}
+
+/// Quantise a query vector with the exact rule used for table rows, so
+/// the coarse score `s_q · s_e · ⟨q̂, ê⟩` is symmetric in its error
+/// analysis.
+pub fn quantise_query(q: &[f32]) -> QuantizedQuery {
+    let mut codes = vec![0i8; q.len()];
+    let rq = quantise_row_into(q, &mut codes);
+    QuantizedQuery { codes, scale: rq.scale, l1: rq.l1, finite: rq.finite }
+}
+
+/// Per-query coefficients of the certification slack
+/// `slack(e) = s_e · (c1 · ‖ê‖₁ + c0)`: an upper bound (derived in the
+/// [`crate`] docs) on how far the f32-computed exact score of entity `e`
+/// can sit above its coarse score. Precomputing `c0`/`c1` makes the
+/// per-entity bound three flops, cheap enough to fold into the coarse
+/// scan itself.
+#[derive(Debug, Clone, Copy)]
+pub struct CertCoeffs {
+    /// Coefficient of the entity-row L1 norm.
+    pub c1: f64,
+    /// Constant term (carries the query L1 norm and the `d/4` cross term).
+    pub c0: f64,
+}
+
+/// Per-element quantisation half-step, inflated for the f32 rounding of
+/// `x / s` and the ±127 clamp: `|x_j − s·x̂_j| ≤ s · EPS_HALF` in every
+/// branch of [`quantise_row_into`]. Public because it is part of the
+/// quantiser's *contract*: certification consumers (the two-stage ranker
+/// in `kg-eval`) build magnitude bounds like `|q_j| ≤ s_q·(127 + ε)`
+/// from it.
+pub const EPS_HALF: f64 = 0.50002;
+
+/// Margin multiplier absorbing every f64 rounding in the slack formula
+/// itself (each term is a handful of f64 operations, so 2⁻²⁰ of headroom
+/// is orders of magnitude more than needed).
+const F64_SLOP: f64 = 1.0 + 9.5367431640625e-7; // 1 + 2⁻²⁰
+
+impl QuantizedQuery {
+    /// The certification coefficients of this query at dimension `dim`
+    /// (see [`CertCoeffs`] and the bound derivation in the [`crate`]
+    /// docs). `dim` must equal `codes.len()`.
+    pub fn cert_coeffs(&self, dim: usize) -> CertCoeffs {
+        assert_eq!(dim, self.codes.len(), "cert_coeffs: dimension mismatch");
+        CertCoeffs::new(self.scale, self.l1, dim)
+    }
+}
+
+impl CertCoeffs {
+    /// Compute the coefficients from the query's quantisation summary
+    /// alone (scale and integer L1 norm) — what a caller that quantised
+    /// into a borrowed buffer (no owned [`QuantizedQuery`]) uses.
+    pub fn new(query_scale: f32, query_l1: u32, dim: usize) -> CertCoeffs {
+        let d = dim as f64;
+        let sq = query_scale as f64;
+        let l1q = query_l1 as f64;
+        // γ_d bound on the f32 dot's own rounding, with |q_j| ≤
+        // s_q · (127 + EPS_HALF) and Σ|x_j| ≤ s_e · (‖ê‖₁ + d·EPS_HALF).
+        let gamma = d * f32::EPSILON as f64; // 2⁻²³: twice the unit roundoff
+        let qmax = sq * (127.0 + EPS_HALF);
+        // slack(e) = s_e · [ (s_q·EPS_HALF + γ·qmax) · ‖ê‖₁
+        //                  + s_q·EPS_HALF·‖q̂‖₁ + d·s_q·EPS_HALF²
+        //                  + γ·qmax·d·EPS_HALF ]
+        let c1 = (sq * EPS_HALF + gamma * qmax) * F64_SLOP;
+        let c0 = (sq * EPS_HALF * l1q + d * sq * EPS_HALF * EPS_HALF + gamma * qmax * d * EPS_HALF)
+            * F64_SLOP;
+        CertCoeffs { c1, c0 }
+    }
+}
+
+/// Owned i8 mirror of an `n × dim` f32 table: codes, per-row scales and
+/// per-row integer L1 norms, plus the table-level [`all_finite`] flag
+/// that gates certification.
+///
+/// [`all_finite`]: QuantTable::all_finite
+#[derive(Debug, Clone)]
+pub struct QuantTable {
+    codes: Vec<i8>,
+    scales: Vec<f32>,
+    l1: Vec<u32>,
+    dim: usize,
+    all_finite: bool,
+}
+
+impl QuantTable {
+    /// Quantise an `n_rows × dim` row-major f32 table.
+    ///
+    /// # Panics
+    /// Panics when `table.len() != n_rows * dim` or `dim` exceeds
+    /// [`qgemm::I8_DOT_MAX_K`].
+    pub fn from_rows(table: &[f32], n_rows: usize, dim: usize) -> QuantTable {
+        assert_eq!(table.len(), n_rows * dim, "QuantTable: table shape mismatch");
+        let mut codes = vec![0i8; n_rows * dim];
+        let mut scales = vec![0.0f32; n_rows];
+        let mut l1 = vec![0u32; n_rows];
+        let mut all_finite = true;
+        for r in 0..n_rows {
+            let rq = quantise_row_into(
+                &table[r * dim..(r + 1) * dim],
+                &mut codes[r * dim..(r + 1) * dim],
+            );
+            scales[r] = rq.scale;
+            l1[r] = rq.l1;
+            all_finite &= rq.finite;
+        }
+        QuantTable { codes, scales, l1, dim, all_finite }
+    }
+
+    /// Quantise a table presented row by row — the shape a factorising
+    /// model exposes (`FactorScorer::entity_row` in `kg-models`) when
+    /// its storage is not one contiguous slice.
+    ///
+    /// # Panics
+    /// Panics when any row's length differs from `dim` or `dim` exceeds
+    /// [`qgemm::I8_DOT_MAX_K`].
+    pub fn from_row_iter<'a, I>(rows: I, dim: usize) -> QuantTable
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        let mut codes = Vec::new();
+        let mut scales = Vec::new();
+        let mut l1 = Vec::new();
+        let mut all_finite = true;
+        let mut buf = vec![0i8; dim];
+        for row in rows {
+            assert_eq!(row.len(), dim, "QuantTable: row length mismatch");
+            let rq = quantise_row_into(row, &mut buf);
+            codes.extend_from_slice(&buf);
+            scales.push(rq.scale);
+            l1.push(rq.l1);
+            all_finite &= rq.finite;
+        }
+        QuantTable { codes, scales, l1, dim, all_finite }
+    }
+
+    /// Borrow the table as a [`QuantView`].
+    pub fn view(&self) -> QuantView<'_> {
+        QuantView {
+            codes: &self.codes,
+            scales: &self.scales,
+            l1: &self.l1,
+            dim: self.dim,
+            all_finite: self.all_finite,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Row dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether every source row was finite — the precondition for
+    /// certified two-stage answers (see the [`crate`] docs).
+    pub fn all_finite(&self) -> bool {
+        self.all_finite
+    }
+}
+
+/// Borrowed view of a quantised table: the shape the i8 kernels and the
+/// two-stage ranker consume. Constructed from an owned [`QuantTable`] or
+/// zero-copy from the validated segments of a model image.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantView<'a> {
+    codes: &'a [i8],
+    scales: &'a [f32],
+    l1: &'a [u32],
+    dim: usize,
+    all_finite: bool,
+}
+
+impl<'a> QuantView<'a> {
+    /// Assemble a view from raw parts (the image-backed path — segment
+    /// lengths were validated by the image reader, these asserts are the
+    /// cheap second line of defence).
+    ///
+    /// # Panics
+    /// Panics when the slice lengths disagree with `n_rows` and `dim`.
+    pub fn from_parts(
+        codes: &'a [i8],
+        scales: &'a [f32],
+        l1: &'a [u32],
+        n_rows: usize,
+        dim: usize,
+        all_finite: bool,
+    ) -> QuantView<'a> {
+        assert_eq!(codes.len(), n_rows * dim, "QuantView: codes shape mismatch");
+        assert_eq!(scales.len(), n_rows, "QuantView: scales shape mismatch");
+        assert_eq!(l1.len(), n_rows, "QuantView: l1 shape mismatch");
+        assert!(dim <= qgemm::I8_DOT_MAX_K, "QuantView: dimension {dim} exceeds exact-i32 bound");
+        QuantView { codes, scales, l1, dim, all_finite }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Row dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether every source row was finite (certification gate).
+    pub fn all_finite(&self) -> bool {
+        self.all_finite
+    }
+
+    /// The full `n_rows · dim` code buffer (row-major).
+    pub fn codes(&self) -> &'a [i8] {
+        self.codes
+    }
+
+    /// Per-row scales.
+    pub fn scales(&self) -> &'a [f32] {
+        self.scales
+    }
+
+    /// Per-row exact integer L1 norms.
+    pub fn l1_norms(&self) -> &'a [u32] {
+        self.l1
+    }
+
+    /// Codes of row `r`.
+    pub fn row_codes(&self, r: usize) -> &'a [i8] {
+        &self.codes[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// Coarse (approximate) score of a quantised query against row `r`:
+    /// `s_q · s_r · ⟨q̂, r̂⟩`, with the integer dot exact and the scaling
+    /// done in f64 — so the result is deterministic, monotone in the
+    /// integer dot for fixed scales, and immune to the `inf · 0` NaN that
+    /// a pure-f32 scaling could produce on extreme-magnitude rows.
+    pub fn coarse_score(&self, q: &QuantizedQuery, r: usize) -> f64 {
+        let i = qgemm::dot_i8(&q.codes, self.row_codes(r));
+        (q.scale as f64 * self.scales[r] as f64) * i as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rows_quantise_exactly() {
+        let mut out = [1i8; 4];
+        let rq = quantise_row_into(&[0.0, -0.0, 0.0, -0.0], &mut out);
+        assert_eq!(rq, RowQuant { scale: 0.0, l1: 0, finite: true });
+        assert_eq!(out, [0; 4]);
+    }
+
+    #[test]
+    fn nonfinite_rows_are_flagged_and_zeroed() {
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut out = [7i8; 3];
+            let rq = quantise_row_into(&[1.0, bad, -2.0], &mut out);
+            assert!(!rq.finite);
+            assert_eq!(rq.scale, 0.0);
+            assert_eq!(out, [0; 3]);
+        }
+    }
+
+    #[test]
+    fn max_magnitude_element_maps_to_saturation() {
+        let mut out = [0i8; 3];
+        let rq = quantise_row_into(&[0.5, -2.0, 1.0], &mut out);
+        assert_eq!(out[1], -127);
+        assert_eq!(rq.scale, 2.0 / 127.0);
+        assert_eq!(rq.l1, out.iter().map(|&c| (c as i32).unsigned_abs()).sum::<u32>());
+    }
+
+    #[test]
+    fn extreme_magnitudes_do_not_overflow_the_scale() {
+        let mut out = [0i8; 2];
+        let rq = quantise_row_into(&[f32::MAX, -f32::MAX], &mut out);
+        assert!(rq.scale.is_finite());
+        assert_eq!(out, [127, -127]);
+    }
+
+    #[test]
+    fn subnormal_rows_fall_back_to_unit_codes() {
+        let tiny = f32::from_bits(1); // smallest positive subnormal
+        let mut out = [0i8; 2];
+        let rq = quantise_row_into(&[tiny, -tiny], &mut out);
+        assert!(rq.scale > 0.0);
+        assert_eq!(out, [1, -1]);
+        // Round-trip bound holds in the fallback branch too.
+        for (&c, &x) in out.iter().zip([tiny, -tiny].iter()) {
+            let err = (x as f64 - rq.scale as f64 * c as f64).abs();
+            assert!(err <= rq.scale as f64 * EPS_HALF);
+        }
+    }
+
+    #[test]
+    fn table_aggregates_finiteness() {
+        let t = QuantTable::from_rows(&[1.0, 2.0, f32::NAN, 0.0], 2, 2);
+        assert!(!t.all_finite());
+        assert_eq!(t.view().n_rows(), 2);
+        let clean = QuantTable::from_rows(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert!(clean.all_finite());
+        // Row 1 max is 4.0 → scale 4/127, codes round(127·x/4).
+        assert_eq!(clean.view().row_codes(1), &[95, 127]);
+    }
+
+    #[test]
+    fn coarse_score_tracks_the_true_dot() {
+        let row = [0.25f32, -1.5, 3.0, 0.0];
+        let q = [1.0f32, 2.0, -0.5, 4.0];
+        let t = QuantTable::from_rows(&row, 1, 4);
+        let qq = quantise_query(&q);
+        let coarse = t.view().coarse_score(&qq, 0);
+        let truth: f64 = row.iter().zip(q.iter()).map(|(&x, &y)| x as f64 * y as f64).sum();
+        // The certification slack bounds the gap.
+        let cc = qq.cert_coeffs(4);
+        let slack = t.view().scales()[0] as f64 * (cc.c1 * t.view().l1_norms()[0] as f64 + cc.c0);
+        assert!((coarse - truth).abs() <= slack, "coarse {coarse} truth {truth} slack {slack}");
+    }
+
+    #[test]
+    fn view_from_parts_round_trips() {
+        let t = QuantTable::from_rows(&[1.0, -2.0, 0.5, 8.0, 0.0, -0.25], 2, 3);
+        let v = t.view();
+        let rebuilt =
+            QuantView::from_parts(v.codes(), v.scales(), v.l1_norms(), 2, 3, v.all_finite());
+        assert_eq!(rebuilt.row_codes(1), v.row_codes(1));
+        assert_eq!(rebuilt.scales(), v.scales());
+    }
+}

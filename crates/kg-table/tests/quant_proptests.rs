@@ -1,0 +1,150 @@
+//! Property-based coverage for the per-row symmetric quantiser: the
+//! round-trip error bound that the certification argument leans on, the
+//! awkward payloads (±0.0, extreme magnitudes, all-equal rows, the
+//! scale-0 edge), and the exactness of the stored L1 norms. The
+//! SIMD-vs-scalar bit-identity of the i8 *kernels* over ragged lengths
+//! lives next to the kernels, in `kg-linalg/tests/proptests.rs`.
+
+use kg_table::quant::{quantise_query, quantise_row_into, QuantTable};
+use proptest::prelude::*;
+
+/// The per-element bound every branch of the quantiser guarantees (see
+/// `EPS_HALF` in the implementation).
+const EPS_HALF: f64 = 0.50002;
+
+/// Rows mixing ordinary values with ±0.0 and extreme magnitudes —
+/// everything finite, since non-finite rows are a separate (flagged)
+/// branch.
+fn finite_rows(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec((0u32..8, -100.0f32..100.0), n).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(code, v)| match code {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f32::MAX,
+                3 => -f32::MAX,
+                4 => f32::MIN_POSITIVE / 2.0, // subnormal
+                5 => 1e-30,
+                _ => v,
+            })
+            .collect()
+    })
+}
+
+fn check_row_contract(row: &[f32]) -> Result<(), TestCaseError> {
+    let mut codes = vec![0i8; row.len()];
+    let rq = quantise_row_into(row, &mut codes);
+    prop_assert!(rq.finite);
+    prop_assert!(rq.scale.is_finite() && rq.scale >= 0.0);
+    // Stored L1 norm is the exact integer norm of the emitted codes.
+    let l1: u32 = codes.iter().map(|&c| (c as i32).unsigned_abs()).sum();
+    prop_assert_eq!(rq.l1, l1);
+    // Codes stay in the symmetric range.
+    prop_assert!(codes.iter().all(|&c| (-127..=127).contains(&(c as i32))));
+    // Per-element round-trip bound: |x_j − s·x̂_j| ≤ s·EPS_HALF. The
+    // product s·x̂_j is exact in f64 (24-bit × 8-bit mantissas).
+    for (&x, &c) in row.iter().zip(codes.iter()) {
+        let err = (x as f64 - rq.scale as f64 * c as f64).abs();
+        prop_assert!(
+            err <= rq.scale as f64 * EPS_HALF,
+            "row {row:?}: x={x} code={c} scale={} err={err}",
+            rq.scale
+        );
+    }
+    // Scale 0 if and only if the row is all zeros (finite case) — and
+    // then the round-trip is exact.
+    let max_abs = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    prop_assert_eq!(rq.scale == 0.0, max_abs == 0.0);
+    Ok(())
+}
+
+proptest! {
+    /// The round-trip bound holds on rows drawn across 77 orders of
+    /// magnitude, signed zeros and subnormals included.
+    #[test]
+    fn round_trip_error_is_bounded(row in finite_rows(1..40)) {
+        check_row_contract(&row)?;
+    }
+
+    /// All-equal rows: every element maps to the same saturated code, so
+    /// the relative round-trip error collapses to the scale rounding.
+    #[test]
+    fn all_equal_rows_saturate_uniformly(v in -1e30f32..1e30, n in 1usize..30) {
+        let row = vec![v; n];
+        check_row_contract(&row)?;
+        let mut codes = vec![0i8; n];
+        let rq = quantise_row_into(&row, &mut codes);
+        if v == 0.0 {
+            // The scale-0 edge: all-zero (or all-negative-zero) rows.
+            prop_assert_eq!(rq.scale, 0.0);
+            prop_assert!(codes.iter().all(|&c| c == 0));
+        } else {
+            prop_assert!(codes.windows(2).all(|w| w[0] == w[1]));
+            prop_assert_eq!(codes[0].unsigned_abs(), 127);
+        }
+    }
+
+    /// Scaling a row by a power of two scales the quantisation exactly
+    /// with it (power-of-two scaling is lossless in binary floating
+    /// point, so the codes must not move).
+    #[test]
+    fn codes_are_invariant_under_pow2_scaling(
+        row in prop::collection::vec(-4.0f32..4.0, 1..20),
+        exp in -8i32..9,
+    ) {
+        let factor = (2.0f64.powi(exp)) as f32;
+        let scaled: Vec<f32> = row.iter().map(|&x| x * factor).collect();
+        let mut a = vec![0i8; row.len()];
+        let mut b = vec![0i8; row.len()];
+        quantise_row_into(&row, &mut a);
+        quantise_row_into(&scaled, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Non-finite payloads anywhere in the row are flagged, zeroed and
+    /// never panic — and they poison the table-level flag.
+    #[test]
+    fn non_finite_rows_are_flagged(
+        row in finite_rows(2..20),
+        pos in 0usize..1_000,
+        which in 0u32..3,
+    ) {
+        let mut row = row;
+        let pos = pos % row.len();
+        row[pos] = match which {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            _ => f32::NEG_INFINITY,
+        };
+        let mut codes = vec![0i8; row.len()];
+        let rq = quantise_row_into(&row, &mut codes);
+        prop_assert!(!rq.finite);
+        prop_assert_eq!(rq.scale, 0.0);
+        prop_assert!(codes.iter().all(|&c| c == 0));
+        let table = QuantTable::from_rows(&row, 1, row.len());
+        prop_assert!(!table.all_finite());
+    }
+
+    /// The coarse score sits within the certification slack of the true
+    /// (f64) dot product — the inequality the two-stage certification
+    /// argument is built on, checked end-to-end through the public API.
+    #[test]
+    fn coarse_score_is_within_certified_slack(
+        row in finite_rows(1..30),
+        q_raw in prop::collection::vec(-50.0f32..50.0, 30..31),
+    ) {
+        let d = row.len();
+        let q = &q_raw[..d];
+        let table = QuantTable::from_rows(&row, 1, d);
+        let qq = quantise_query(q);
+        let coarse = table.view().coarse_score(&qq, 0);
+        let truth: f64 = row.iter().zip(q.iter()).map(|(&x, &y)| x as f64 * y as f64).sum();
+        let cc = qq.cert_coeffs(d);
+        let slack = table.view().scales()[0] as f64
+            * (cc.c1 * table.view().l1_norms()[0] as f64 + cc.c0);
+        prop_assert!(
+            (coarse - truth).abs() <= slack,
+            "coarse {coarse} truth {truth} slack {slack}"
+        );
+    }
+}
