@@ -41,11 +41,22 @@
 //! without redundant scoring, same bit-identity. The previous
 //! triples-per-thread strategy survives as [`evaluate_parallel_chunked`],
 //! the microbenchmark's comparison baseline.
+//!
+//! **Kernel policy.** Every evaluator has a `*_with` form taking an
+//! explicit [`kg_models::KernelPolicy`] that workers carry into their
+//! scoring scratch: `Exact` (the default) keeps every bit-identity claim
+//! above; `Fast` opts the GEMM overrides into the relaxed-precision FMA
+//! kernels, where scores — and therefore ranks near float-noise ties —
+//! may differ from the sequential reference (bounded by the relaxed
+//! equivalence suite in kg-linalg). The plain entry points resolve the
+//! policy from the environment ([`KernelPolicy::default_from_env`]), so
+//! existing callers keep exact semantics unless `KG_KERNEL_POLICY=fast`
+//! is set process-wide.
 
 use crate::engine::{self, Direction, WorkerShard};
 use kg_core::{EntityId, FilterIndex, Triple};
 use kg_linalg::vecops;
-use kg_models::{BatchScorer, BatchScratch, LinkPredictor};
+use kg_models::{BatchScorer, BatchScratch, KernelPolicy, LinkPredictor};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
@@ -302,10 +313,10 @@ struct BlockRanker {
 }
 
 impl BlockRanker {
-    fn new(n_entities: usize) -> Self {
+    fn with_policy(n_entities: usize, policy: KernelPolicy) -> Self {
         BlockRanker {
             n_entities,
-            scratch: BatchScratch::new(),
+            scratch: BatchScratch::with_policy(policy),
             queries: Vec::with_capacity(EVAL_BLOCK),
             scores: Vec::new(),
             tail_ranks: Vec::with_capacity(EVAL_BLOCK),
@@ -361,10 +372,23 @@ impl BlockRanker {
     }
 }
 
-/// Evaluate over `triples` with the batched scoring engine (single thread).
+/// Evaluate over `triples` with the batched scoring engine (single thread)
+/// under the environment-resolved default [`KernelPolicy`].
 pub fn evaluate(model: &dyn BatchScorer, triples: &[Triple], filter: &FilterIndex) -> RankMetrics {
+    evaluate_with(KernelPolicy::default_from_env(), model, triples, filter)
+}
+
+/// [`evaluate`] under an explicit [`KernelPolicy`]: `Exact` reproduces
+/// [`evaluate_sequential`] bit for bit; `Fast` may move ranks at
+/// float-noise ties (see the module docs).
+pub fn evaluate_with(
+    policy: KernelPolicy,
+    model: &dyn BatchScorer,
+    triples: &[Triple],
+    filter: &FilterIndex,
+) -> RankMetrics {
     let mut metrics = RankMetrics::zero();
-    let mut ranker = BlockRanker::new(model.n_entities());
+    let mut ranker = BlockRanker::with_policy(model.n_entities(), policy);
     for block in triples.chunks(EVAL_BLOCK) {
         ranker.rank_block(model, block, filter, |_, rank| metrics.accumulate(rank));
     }
@@ -404,8 +428,25 @@ pub fn evaluate_per_relation(
     filter: &FilterIndex,
     n_relations: usize,
 ) -> Vec<RankMetrics> {
+    evaluate_per_relation_with(
+        KernelPolicy::default_from_env(),
+        model,
+        triples,
+        filter,
+        n_relations,
+    )
+}
+
+/// [`evaluate_per_relation`] under an explicit [`KernelPolicy`].
+pub fn evaluate_per_relation_with(
+    policy: KernelPolicy,
+    model: &dyn BatchScorer,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    n_relations: usize,
+) -> Vec<RankMetrics> {
     let mut per: Vec<RankMetrics> = vec![RankMetrics::zero(); n_relations];
-    let mut ranker = BlockRanker::new(model.n_entities());
+    let mut ranker = BlockRanker::with_policy(model.n_entities(), policy);
     for block in triples.chunks(EVAL_BLOCK) {
         ranker.rank_block(model, block, filter, |i, rank| per[block[i].r.idx()].accumulate(rank));
     }
@@ -426,11 +467,23 @@ pub fn evaluate_parallel<M: BatchScorer + Sync>(
     filter: &FilterIndex,
     n_threads: usize,
 ) -> RankMetrics {
+    evaluate_parallel_with(KernelPolicy::default_from_env(), model, triples, filter, n_threads)
+}
+
+/// [`evaluate_parallel`] under an explicit [`KernelPolicy`] — every worker
+/// scores its shard under the same policy.
+pub fn evaluate_parallel_with<M: BatchScorer + Sync>(
+    policy: KernelPolicy,
+    model: &M,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    n_threads: usize,
+) -> RankMetrics {
     assert!(n_threads > 0, "need at least one thread");
     if n_threads == 1 {
         // One worker would shard nothing: take the single-threaded batched
         // path without the coordination scaffolding.
-        return evaluate(model, triples, filter);
+        return evaluate_with(policy, model, triples, filter);
     }
     if triples.is_empty() {
         return RankMetrics::zero();
@@ -442,7 +495,7 @@ pub fn evaluate_parallel<M: BatchScorer + Sync>(
         // would only hit barriers.
         n_threads.min(EVAL_BLOCK).min(triples.len())
     };
-    run_cooperative(model, triples, filter, engine::plan_shards(model, n_workers))
+    run_cooperative(policy, model, triples, filter, engine::plan_shards(model, n_workers))
 }
 
 /// Evaluate with one worker thread per entity shard, shards given by the
@@ -484,6 +537,19 @@ pub fn evaluate_parallel_sharded<M: BatchScorer + Sync>(
     filter: &FilterIndex,
     bounds: &[usize],
 ) -> RankMetrics {
+    evaluate_parallel_sharded_with(KernelPolicy::default_from_env(), model, triples, filter, bounds)
+}
+
+/// [`evaluate_parallel_sharded`] under an explicit [`KernelPolicy`] —
+/// every worker scores its shard under the same policy. Bit-identity to
+/// [`evaluate_sequential`] is the `Exact` tier's guarantee.
+pub fn evaluate_parallel_sharded_with<M: BatchScorer + Sync>(
+    policy: KernelPolicy,
+    model: &M,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    bounds: &[usize],
+) -> RankMetrics {
     let n = model.n_entities();
     assert!(bounds.len() >= 2, "need at least one shard");
     assert_eq!(bounds[0], 0, "shard bounds must start at entity 0");
@@ -493,7 +559,7 @@ pub fn evaluate_parallel_sharded<M: BatchScorer + Sync>(
         return RankMetrics::zero();
     }
     let shards = bounds.windows(2).map(|w| WorkerShard::Entities(w[0]..w[1])).collect();
-    run_cooperative(model, triples, filter, shards)
+    run_cooperative(policy, model, triples, filter, shards)
 }
 
 /// Spawn one worker per entry of `shards` and run the pipelined
@@ -502,6 +568,7 @@ pub fn evaluate_parallel_sharded<M: BatchScorer + Sync>(
 /// entity shards partition `0..n_entities`, query shards enumerate
 /// `0..n_workers`.
 fn run_cooperative<M: BatchScorer + Sync>(
+    policy: KernelPolicy,
     model: &M,
     triples: &[Triple],
     filter: &FilterIndex,
@@ -535,7 +602,7 @@ fn run_cooperative<M: BatchScorer + Sync>(
         for (w, shard) in shards.into_iter().enumerate() {
             let (barrier, poisoned, slots) = (&barrier, &poisoned, &slots);
             handles.push(scope.spawn(move || {
-                shard_worker(model, triples, filter, shard, w, barrier, poisoned, slots)
+                shard_worker(policy, model, triples, filter, shard, w, barrier, poisoned, slots)
             }));
         }
         // Only the lead worker accumulates; the fold just picks it up. A
@@ -604,6 +671,7 @@ fn convert_step(
 /// propagate instead of deadlocking the rendezvous.
 #[allow(clippy::too_many_arguments)] // one crew-wide wiring site, every argument load-bearing
 fn shard_worker<M: BatchScorer + ?Sized>(
+    policy: KernelPolicy,
     model: &M,
     triples: &[Triple],
     filter: &FilterIndex,
@@ -614,7 +682,7 @@ fn shard_worker<M: BatchScorer + ?Sized>(
     slots: &engine::PipelineSlots,
 ) -> RankMetrics {
     let lead = worker == 0;
-    let mut scratch = BatchScratch::new();
+    let mut scratch = BatchScratch::with_policy(policy);
     let mut queries: Vec<(usize, usize)> = Vec::with_capacity(EVAL_BLOCK);
     let mut scores = vec![
         0.0f32;
@@ -772,6 +840,23 @@ pub fn evaluate_parallel_chunked<M: BatchScorer + Sync>(
     filter: &FilterIndex,
     n_threads: usize,
 ) -> RankMetrics {
+    evaluate_parallel_chunked_with(
+        KernelPolicy::default_from_env(),
+        model,
+        triples,
+        filter,
+        n_threads,
+    )
+}
+
+/// [`evaluate_parallel_chunked`] under an explicit [`KernelPolicy`].
+pub fn evaluate_parallel_chunked_with<M: BatchScorer + Sync>(
+    policy: KernelPolicy,
+    model: &M,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    n_threads: usize,
+) -> RankMetrics {
     assert!(n_threads > 0, "need at least one thread");
     if triples.is_empty() {
         return RankMetrics::zero();
@@ -783,7 +868,7 @@ pub fn evaluate_parallel_chunked<M: BatchScorer + Sync>(
         for part in triples.chunks(chunk) {
             handles.push(scope.spawn(move || {
                 let mut metrics = RankMetrics::zero();
-                let mut ranker = BlockRanker::new(model.n_entities());
+                let mut ranker = BlockRanker::with_policy(model.n_entities(), policy);
                 for block in part.chunks(EVAL_BLOCK) {
                     ranker.rank_block(model, block, filter, |_, rank| metrics.accumulate(rank));
                 }

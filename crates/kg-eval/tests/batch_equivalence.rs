@@ -4,8 +4,10 @@
 //! family, across block boundaries, filtering and degenerate tie cases.
 
 use kg_core::{FilterIndex, Triple};
-use kg_eval::ranking::{evaluate, evaluate_parallel, evaluate_per_relation, evaluate_sequential};
-use kg_linalg::SeededRng;
+use kg_eval::ranking::{
+    evaluate_parallel_with, evaluate_per_relation_with, evaluate_sequential, evaluate_with,
+};
+use kg_linalg::{KernelPolicy, SeededRng};
 use kg_models::blm::classics;
 use kg_models::nnm::{GenApprox, NnmConfig};
 use kg_models::tdm::{RotatE, TdmConfig, TransE, TransH};
@@ -37,12 +39,12 @@ fn triples(seed: u64) -> Vec<Triple> {
 fn assert_bit_identical(model: &(impl BatchScorer + Sync), name: &str) {
     let ts = triples(0xBEEF ^ name.len() as u64);
     let filter = FilterIndex::build(&ts);
-    let batched = evaluate(model, &ts, &filter);
+    let batched = evaluate_with(KernelPolicy::Exact, model, &ts, &filter);
     let reference = evaluate_sequential(model, &ts, &filter);
     assert_eq!(batched, reference, "{name}: batched evaluate() diverged from reference");
     // Single-threaded parallel evaluation walks the same blocks in the same
     // order, so it must also match exactly.
-    let par1 = evaluate_parallel(model, &ts, &filter, 1);
+    let par1 = evaluate_parallel_with(KernelPolicy::Exact, model, &ts, &filter, 1);
     assert_eq!(par1, reference, "{name}: evaluate_parallel(1) diverged from reference");
 }
 
@@ -134,7 +136,7 @@ fn constant_scorer_ties_are_bit_identical() {
     // tied, rank = 1 + (n - 1 - #filtered)/2 for each query.
     let ts = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2)];
     let filter = FilterIndex::build(&ts);
-    let m = evaluate(&model, &ts, &filter);
+    let m = evaluate_with(KernelPolicy::Exact, &model, &ts, &filter);
     // tail queries: 2 known tails for (0,0) → one filtered besides target
     // → rank = 1 + 48/2 = 25; head queries: nothing else known → 1 + 49/2.
     let expect_tail = 25.0;
@@ -149,7 +151,7 @@ fn per_relation_breakdown_is_bit_identical_to_flat_slices() {
     let model = BlmModel::new(classics::simple(), emb);
     let ts = triples(0x5EED);
     let filter = FilterIndex::build(&ts);
-    let per = evaluate_per_relation(&model, &ts, &filter, N_RELATIONS);
+    let per = evaluate_per_relation_with(KernelPolicy::Exact, &model, &ts, &filter, N_RELATIONS);
     // Reference: evaluate each relation's triple subset on its own. Ranks
     // are per-triple quantities, so the per-relation breakdown must equal
     // the flat evaluation of the filtered subset exactly.
@@ -171,10 +173,10 @@ fn multithreaded_parallel_matches_merged_reference_exactly() {
     let ts = triples(0xA11);
     let filter = FilterIndex::build(&ts);
     for threads in [2, 3, 5] {
-        let a = evaluate_parallel(&model, &ts, &filter, threads);
-        let b = evaluate_parallel(&model, &ts, &filter, threads);
+        let a = evaluate_parallel_with(KernelPolicy::Exact, &model, &ts, &filter, threads);
+        let b = evaluate_parallel_with(KernelPolicy::Exact, &model, &ts, &filter, threads);
         assert_eq!(a, b, "parallel evaluation must be deterministic at {threads} threads");
-        let seq = evaluate(&model, &ts, &filter);
+        let seq = evaluate_with(KernelPolicy::Exact, &model, &ts, &filter);
         assert!((a.mrr - seq.mrr).abs() < 1e-12, "threads={threads}");
         assert_eq!(a.n_queries, seq.n_queries);
     }

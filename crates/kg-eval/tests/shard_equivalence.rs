@@ -13,10 +13,10 @@
 
 use kg_core::{FilterIndex, Triple};
 use kg_eval::ranking::{
-    evaluate_parallel, evaluate_parallel_chunked, evaluate_parallel_sharded, evaluate_sequential,
-    shard_bounds,
+    evaluate_parallel_chunked_with, evaluate_parallel_sharded_with, evaluate_parallel_with,
+    evaluate_sequential, shard_bounds,
 };
-use kg_linalg::SeededRng;
+use kg_linalg::{KernelPolicy, SeededRng};
 use kg_models::blm::classics;
 use kg_models::nnm::{GenApprox, NnmConfig};
 use kg_models::tdm::{RotatE, TdmConfig, TransE, TransH};
@@ -60,7 +60,7 @@ fn assert_sharded_equivalent(model: &(impl BatchScorer + Sync), name: &str, boun
     let ts = triples(0xC0FFEE ^ name.len() as u64);
     let filter = FilterIndex::build(&ts);
     let reference = evaluate_sequential(model, &ts, &filter);
-    let sharded = evaluate_parallel_sharded(model, &ts, &filter, bounds);
+    let sharded = evaluate_parallel_sharded_with(KernelPolicy::Exact, model, &ts, &filter, bounds);
     assert_eq!(sharded, reference, "{name}: sharded ranking diverged at bounds {bounds:?}");
 }
 
@@ -104,7 +104,7 @@ proptest! {
         let ts = triples(0xB1);
         let filter = FilterIndex::build(&ts);
         prop_assert_eq!(
-            evaluate_parallel(&model, &ts, &filter, n_threads),
+            evaluate_parallel_with(KernelPolicy::Exact, &model, &ts, &filter, n_threads),
             evaluate_sequential(&model, &ts, &filter),
             "{} diverged at {} threads", name, n_threads
         );
@@ -126,8 +126,10 @@ proptest! {
         assert_sharded_equivalent(&model, "ComplEx", &bounds);
     }
 
-    /// The TDM family rides the *default* shard path (full-row staging +
-    /// column copy) — same guarantee, different code path.
+    /// The TDM family across its shard paths: TransE and TransH score
+    /// shards natively (distance loop restricted to shard rows), RotatE
+    /// rides the *default* shard path (full-row staging + column copy) —
+    /// same guarantee, different code paths.
     #[test]
     fn tdm_family_random_shards(
         family in 0usize..3,
@@ -162,13 +164,15 @@ proptest! {
     fn tdm_query_split_mode_any_thread_count(n_threads in 1usize..=16, seed in 0u64..1_000) {
         let mut rng = SeededRng::new(seed);
         let cfg = TdmConfig { dim: 12, ..Default::default() };
-        let m = TransE::init(N_ENTITIES, N_RELATIONS, cfg, &mut rng);
+        // RotatE is the shipped model without native shard scoring, so it
+        // exercises the query-row-splitting crew layout.
+        let m = RotatE::init(N_ENTITIES, N_RELATIONS, cfg, &mut rng);
         let ts = triples(seed);
         let filter = FilterIndex::build(&ts);
         prop_assert_eq!(
-            evaluate_parallel(&m, &ts, &filter, n_threads),
+            evaluate_parallel_with(KernelPolicy::Exact, &m, &ts, &filter, n_threads),
             evaluate_sequential(&m, &ts, &filter),
-            "TransE query-split mode diverged at {} threads", n_threads
+            "RotatE query-split mode diverged at {} threads", n_threads
         );
     }
 
@@ -196,9 +200,9 @@ proptest! {
         let ts = triples(0xF1A7);
         let filter = FilterIndex::build(&ts);
         let reference = evaluate_sequential(&model, &ts, &filter);
-        prop_assert_eq!(evaluate_parallel(&model, &ts, &filter, n_threads), reference);
+        prop_assert_eq!(evaluate_parallel_with(KernelPolicy::Exact, &model, &ts, &filter, n_threads), reference);
         prop_assert_eq!(
-            evaluate_parallel_sharded(&model, &ts, &filter, &bounds_from_cuts(cuts)),
+            evaluate_parallel_sharded_with(KernelPolicy::Exact, &model, &ts, &filter, &bounds_from_cuts(cuts)),
             reference
         );
     }
@@ -215,7 +219,7 @@ fn thread_counts_beyond_table_size_are_exact() {
     let reference = evaluate_sequential(&model, &ts, &filter);
     for n_threads in [7, 8, 16, 64] {
         assert_eq!(
-            evaluate_parallel(&model, &ts, &filter, n_threads),
+            evaluate_parallel_with(KernelPolicy::Exact, &model, &ts, &filter, n_threads),
             reference,
             "{n_threads} threads over a 6-entity table"
         );
@@ -231,9 +235,15 @@ fn fully_degenerate_bounds_on_all_ties() {
     let filter = FilterIndex::build(&ts);
     let reference = evaluate_sequential(&model, &ts, &filter);
     let degenerate: Vec<usize> = vec![0, 0, 0, N_ENTITIES, N_ENTITIES, N_ENTITIES];
-    assert_eq!(evaluate_parallel_sharded(&model, &ts, &filter, &degenerate), reference);
+    assert_eq!(
+        evaluate_parallel_sharded_with(KernelPolicy::Exact, &model, &ts, &filter, &degenerate),
+        reference
+    );
     let singletons = shard_bounds(N_ENTITIES, N_ENTITIES);
-    assert_eq!(evaluate_parallel_sharded(&model, &ts, &filter, &singletons), reference);
+    assert_eq!(
+        evaluate_parallel_sharded_with(KernelPolicy::Exact, &model, &ts, &filter, &singletons),
+        reference
+    );
 }
 
 /// Panics when asked to score tails for head entity `trip_on` — placed so
@@ -283,7 +293,7 @@ fn panic_in_second_block_aborts_pipeline_entity_mode() {
     let m = LateGrenade { n: 12, trip_on: 11 };
     let ts = late_grenade_triples(11);
     let filter = FilterIndex::build(&ts);
-    evaluate_parallel_sharded(&m, &ts, &filter, &[0, 4, 8, 12]);
+    evaluate_parallel_sharded_with(KernelPolicy::Exact, &m, &ts, &filter, &[0, 4, 8, 12]);
 }
 
 /// Same mid-pipeline grenade through the query-split crew layout: only the
@@ -297,7 +307,7 @@ fn panic_in_second_block_aborts_pipeline_query_mode() {
     let ts = late_grenade_triples(11);
     let filter = FilterIndex::build(&ts);
     // LateGrenade has no native shard scoring → query-split mode.
-    evaluate_parallel(&m, &ts, &filter, 4);
+    evaluate_parallel_with(KernelPolicy::Exact, &m, &ts, &filter, 4);
 }
 
 /// The chunked baseline stays deterministic and metric-equivalent (to
@@ -312,8 +322,12 @@ fn chunked_baseline_still_agrees_to_rounding() {
     let filter = FilterIndex::build(&ts);
     let reference = evaluate_sequential(&model, &ts, &filter);
     for n_threads in [2, 3, 5] {
-        let chunked = evaluate_parallel_chunked(&model, &ts, &filter, n_threads);
-        assert_eq!(chunked, evaluate_parallel_chunked(&model, &ts, &filter, n_threads));
+        let chunked =
+            evaluate_parallel_chunked_with(KernelPolicy::Exact, &model, &ts, &filter, n_threads);
+        assert_eq!(
+            chunked,
+            evaluate_parallel_chunked_with(KernelPolicy::Exact, &model, &ts, &filter, n_threads)
+        );
         assert!((chunked.mrr - reference.mrr).abs() < 1e-12);
         assert_eq!(chunked.n_queries, reference.n_queries);
     }

@@ -54,9 +54,7 @@ fn winner_set(q: &RefQuery<'_>) -> Vec<usize> {
     q.scores
         .iter()
         .enumerate()
-        .filter(|&(e, &s)| {
-            e != q.target && !q.known.iter().any(|k| k.idx() == e) && (s > t_s || s == t_s)
-        })
+        .filter(|&(e, &s)| e != q.target && !q.known.iter().any(|k| k.idx() == e) && s >= t_s)
         .map(|(e, _)| e)
         .collect()
 }

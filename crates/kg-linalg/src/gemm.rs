@@ -21,24 +21,33 @@
 //! how any single output is computed. The equivalence suite in
 //! `kg-eval/tests/batch_equivalence.rs` and the proptests here pin this down.
 //!
-//! **Backend dispatch.** Each public kernel exists in two implementations:
+//! **Policy-based dispatch.** Each kernel exists in three implementations:
 //! the portable scalar reference (kept public as [`gemm_nt_scalar`],
 //! [`gemm_nt_rows_scalar`], [`gemm_acc_t_scalar`] for A/B benchmarking and
-//! equivalence testing) and the explicit AVX2 kernels in [`crate::simd`].
-//! The entry points here pick a backend **once per process** via
-//! [`crate::simd::active_backend`]: AVX2 when the CPU reports it at
-//! runtime, scalar everywhere else or when the `KG_FORCE_SCALAR` env knob
-//! pins the fallback. Because the scalar kernels vectorise across
-//! *independent outputs* (the `NT_UNROLL` accumulator chains), the AVX2
-//! kernels can assign one lane per output and use separate multiply and
-//! add intrinsics — **no FMA contraction, lane-per-output only** — so both
-//! backends produce bit-identical bytes and every equivalence suite is the
-//! dispatch seam's safety net. Any future backend (BLAS, GPU) that cannot
-//! meet that bar must be gated behind a relaxed-equivalence suite instead;
-//! see [`crate::simd`] for the full contract.
+//! equivalence testing), the bit-identical explicit AVX2 kernels in
+//! [`crate::simd::avx2`], and the relaxed-precision FMA kernels in
+//! [`crate::simd::avx2fma`]. Which one runs is chosen by the
+//! [`KernelPolicy`] a caller passes to the `*_with` entry points
+//! ([`gemm_nt_with`], [`gemm_nt_rows_with`], [`gemm_nt_slice_with`],
+//! [`gemm_nt_rows_slice_with`], [`gemm_acc_t_with`]); the plain entry
+//! points are hard [`KernelPolicy::Exact`] wrappers, so every pre-policy
+//! call site keeps the bit-identity contract unchanged.
+//!
+//! Under `Exact`, both backends produce bit-identical bytes: the scalar
+//! kernels vectorise across *independent outputs* (the `NT_UNROLL`
+//! accumulator chains), so the AVX2 kernels assign one lane per output
+//! and use separate multiply and add intrinsics — no FMA contraction,
+//! lane-per-output only. Under [`KernelPolicy::Fast`] the FMA kernels may
+//! contract multiply-adds and split one output's reduction across several
+//! chains — scores then agree with `Exact` only to a relative error bound
+//! pinned by the relaxed-equivalence suite (`tests/relaxed_fast.rs`).
+//! `KG_FORCE_SCALAR` pins the scalar reference for **every** policy; on
+//! CPUs without FMA, `Fast` degrades to the exact kernels. See
+//! [`crate::simd`] for the full contract and resolution rules.
 
 use crate::matrix::Mat;
 use crate::simd;
+use crate::simd::KernelPolicy;
 use crate::vecops;
 
 /// Entity-table rows per tile. The tile is transposed once into the
@@ -126,7 +135,17 @@ pub(crate) fn transpose_tile(bs: &[f32], k: usize, j0: usize, j1: usize, tile: &
 /// # Panics
 /// Panics when the slice lengths disagree with `m`, `k` and `b`'s shape.
 pub fn gemm_nt(a: &[f32], m: usize, k: usize, b: &Mat, out: &mut [f32]) {
-    gemm_nt_rows(a, m, k, b, 0..b.rows(), out);
+    gemm_nt_with(KernelPolicy::Exact, a, m, k, b, out);
+}
+
+/// [`gemm_nt`] under an explicit [`KernelPolicy`]: `Exact` is the plain
+/// entry point's bit-identity contract; `Fast` may run the FMA kernels
+/// (relaxed rounding, same shape semantics).
+///
+/// # Panics
+/// Same shape panics as [`gemm_nt`].
+pub fn gemm_nt_with(policy: KernelPolicy, a: &[f32], m: usize, k: usize, b: &Mat, out: &mut [f32]) {
+    gemm_nt_rows_with(policy, a, m, k, b, 0..b.rows(), out);
 }
 
 /// The scalar reference backend of [`gemm_nt`], bypassing dispatch. Public
@@ -163,8 +182,28 @@ pub fn gemm_nt_rows(
     rows: std::ops::Range<usize>,
     out: &mut [f32],
 ) {
+    gemm_nt_rows_with(KernelPolicy::Exact, a, m, k, b, rows, out);
+}
+
+/// [`gemm_nt_rows`] under an explicit [`KernelPolicy`]. Under `Fast` the
+/// shard property weakens with the precision: shard blocks still equal the
+/// corresponding columns of the same-policy full-table call (the kernels
+/// are deterministic and tile-local), but only the `Exact` tier promises
+/// bit-equality to the per-query reference.
+///
+/// # Panics
+/// Same shape panics as [`gemm_nt_rows`].
+pub fn gemm_nt_rows_with(
+    policy: KernelPolicy,
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &Mat,
+    rows: std::ops::Range<usize>,
+    out: &mut [f32],
+) {
     assert_eq!(b.cols(), k, "gemm_nt: inner dimension mismatch");
-    gemm_nt_rows_slice(a, m, k, b.as_slice(), b.rows(), rows, out);
+    gemm_nt_rows_slice_with(policy, a, m, k, b.as_slice(), b.rows(), rows, out);
 }
 
 /// The scalar reference backend of [`gemm_nt_rows`], bypassing dispatch.
@@ -204,11 +243,39 @@ pub fn gemm_nt_rows_slice(
     rows: std::ops::Range<usize>,
     out: &mut [f32],
 ) {
-    match simd::active_backend() {
-        // SAFETY: the AVX2 backend is only ever selected after
-        // `is_x86_feature_detected!("avx2")` confirmed CPU support.
+    gemm_nt_rows_slice_with(KernelPolicy::Exact, a, m, k, bs, n, rows, out);
+}
+
+/// [`gemm_nt_rows_slice`] under an explicit [`KernelPolicy`] — the single
+/// dispatch point every `gemm_nt*` entry funnels through.
+///
+/// # Panics
+/// Same shape panics as [`gemm_nt_rows_slice`].
+// The raw-slice signature is already at clippy's argument limit; the
+// policy parameter pushes it one over, and bundling the shape arguments
+// into a struct would break the symmetry with every other gemm entry.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_rows_slice_with(
+    policy: KernelPolicy,
+    a: &[f32],
+    m: usize,
+    k: usize,
+    bs: &[f32],
+    n: usize,
+    rows: std::ops::Range<usize>,
+    out: &mut [f32],
+) {
+    match policy.resolve() {
+        // SAFETY: the AVX2/FMA implementations are only ever resolved
+        // after runtime feature detection confirmed CPU support.
         #[cfg(target_arch = "x86_64")]
-        simd::Backend::Avx2 => unsafe { simd::avx2::gemm_nt_rows_slice(a, m, k, bs, n, rows, out) },
+        simd::ResolvedKernel::Avx2 => unsafe {
+            simd::avx2::gemm_nt_rows_slice(a, m, k, bs, n, rows, out)
+        },
+        #[cfg(target_arch = "x86_64")]
+        simd::ResolvedKernel::Avx2Fma => unsafe {
+            simd::avx2fma::gemm_nt_rows_slice(a, m, k, bs, n, rows, out)
+        },
         _ => gemm_nt_rows_slice_scalar(a, m, k, bs, n, rows, out),
     }
 }
@@ -220,6 +287,22 @@ pub fn gemm_nt_rows_slice(
 /// Same shape panics as [`gemm_nt_rows_slice`].
 pub fn gemm_nt_slice(a: &[f32], m: usize, k: usize, bs: &[f32], n: usize, out: &mut [f32]) {
     gemm_nt_rows_slice(a, m, k, bs, n, 0..n, out);
+}
+
+/// [`gemm_nt_slice`] under an explicit [`KernelPolicy`].
+///
+/// # Panics
+/// Same shape panics as [`gemm_nt_rows_slice`].
+pub fn gemm_nt_slice_with(
+    policy: KernelPolicy,
+    a: &[f32],
+    m: usize,
+    k: usize,
+    bs: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
+    gemm_nt_rows_slice_with(policy, a, m, k, bs, n, 0..n, out);
 }
 
 /// The scalar reference backend of [`gemm_nt_rows_slice`], bypassing
@@ -280,11 +363,23 @@ pub fn gemm_nt_rows_slice_scalar(
 /// # Panics
 /// Panics when the slice lengths disagree with `m` and `b`'s shape.
 pub fn gemm_acc_t(s: &[f32], m: usize, b: &Mat, out: &mut [f32]) {
-    match simd::active_backend() {
-        // SAFETY: the AVX2 backend is only ever selected after
-        // `is_x86_feature_detected!("avx2")` confirmed CPU support.
+    gemm_acc_t_with(KernelPolicy::Exact, s, m, b, out);
+}
+
+/// [`gemm_acc_t`] under an explicit [`KernelPolicy`]: `Fast` may fuse the
+/// per-element multiply-add (same accumulation order over table rows,
+/// contracted rounding).
+///
+/// # Panics
+/// Same shape panics as [`gemm_acc_t`].
+pub fn gemm_acc_t_with(policy: KernelPolicy, s: &[f32], m: usize, b: &Mat, out: &mut [f32]) {
+    match policy.resolve() {
+        // SAFETY: the AVX2/FMA implementations are only ever resolved
+        // after runtime feature detection confirmed CPU support.
         #[cfg(target_arch = "x86_64")]
-        simd::Backend::Avx2 => unsafe { simd::avx2::gemm_acc_t(s, m, b, out) },
+        simd::ResolvedKernel::Avx2 => unsafe { simd::avx2::gemm_acc_t(s, m, b, out) },
+        #[cfg(target_arch = "x86_64")]
+        simd::ResolvedKernel::Avx2Fma => unsafe { simd::avx2fma::gemm_acc_t(s, m, b, out) },
         _ => gemm_acc_t_scalar(s, m, b, out),
     }
 }

@@ -14,11 +14,16 @@
 //!   entity-shard variant [`gemm::gemm_nt_rows`] and [`gemm::gemm_acc_t`])
 //!   behind the batched scoring engine; bit-identical per element to the
 //!   per-query GEMV paths they replace.
-//! * [`simd`] — the explicit AVX2 implementations of the four hot kernels
-//!   (`gemm_nt`, `gemm_nt_rows`, `gemm_acc_t`, `count_cmp`) plus the
-//!   one-time runtime dispatch that selects them; lane-per-output with
-//!   separate mul/add, so SIMD output is **bit-identical** to scalar and
-//!   every consumer inherits the speedup with zero call-site changes.
+//! * [`simd`] — the explicit AVX2 (and AVX2+FMA) implementations of the
+//!   hot kernels plus the [`simd::KernelPolicy`] seam that selects them.
+//!   [`KernelPolicy::Exact`] (the default everywhere) keeps the
+//!   bit-identity contract: lane-per-output with separate mul/add, so
+//!   SIMD output is **bit-identical** to scalar. [`KernelPolicy::Fast`]
+//!   opts a call site into relaxed-precision FMA kernels with multi-lane
+//!   accumulators — same inputs read, same outputs written, but the
+//!   accumulation order and rounding differ, so results are only
+//!   *relaxed-equivalent* to `Exact` (see the [`simd`] docs for the
+//!   contract and the `relaxed_fast` suite that gates it).
 //! * [`rng`] — seeded random initialisation (uniform, Box-Muller normal,
 //!   Xavier/Glorot).
 //! * [`optim`] — SGD / Adagrad / Adam with sparse row updates (Adagrad is the
@@ -46,3 +51,4 @@ pub use matrix::Mat;
 pub use mlp::{Activation, Mlp};
 pub use optim::{Adagrad, Adam, Optimizer, Sgd};
 pub use rng::SeededRng;
+pub use simd::{KernelPolicy, ResolvedKernel};

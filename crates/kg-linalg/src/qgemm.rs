@@ -26,8 +26,18 @@
 //! scalar reference stays public as `*_scalar` for A/B benchmarking and
 //! equivalence testing, and the explicit AVX2 kernels live in
 //! [`crate::simd::avx2`].
+//!
+//! **Policy seam.** The `*_with` forms accept a [`KernelPolicy`] so the
+//! integer tier composes with the policy plumbing the f32 kernels use,
+//! but the policy is *ignored by construction*: i32 accumulation is
+//! associative, so there is no rounding-order freedom for
+//! [`KernelPolicy::Fast`] to relax — every policy resolves to the same
+//! exact integer result, byte for byte. `Fast` is silently accepted (not
+//! rejected) so callers can thread one policy value through mixed
+//! f32/i8 pipelines without special-casing the coarse tier.
 
 use crate::simd;
+use crate::simd::KernelPolicy;
 
 /// Maximum inner dimension the i8 kernels accept. Each product is at most
 /// `127² = 16129`, so an i32 accumulator is exact while
@@ -63,6 +73,16 @@ pub(crate) fn check_i8_nt_rows_shapes(
 /// # Panics
 /// Panics when the lengths differ or exceed [`I8_DOT_MAX_K`].
 pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    dot_i8_with(KernelPolicy::Exact, a, b)
+}
+
+/// [`dot_i8`] under an explicit [`KernelPolicy`]. The policy is ignored:
+/// integer accumulation is exact under every policy (see the module
+/// docs), so `Fast` and `Exact` return the identical i32.
+///
+/// # Panics
+/// Same shape panics as [`dot_i8`].
+pub fn dot_i8_with(_policy: KernelPolicy, a: &[i8], b: &[i8]) -> i32 {
     match simd::active_backend() {
         // SAFETY: the AVX2 backend is only ever selected after
         // `is_x86_feature_detected!("avx2")` confirmed CPU support.
@@ -110,6 +130,24 @@ pub fn gemm_i8_nt(a: &[i8], m: usize, k: usize, b: &[i8], n: usize, out: &mut [i
     gemm_i8_nt_rows(a, m, k, b, n, 0..n, out);
 }
 
+/// [`gemm_i8_nt`] under an explicit [`KernelPolicy`]. The policy is
+/// ignored: the integer tier is exact under every policy (see the module
+/// docs), so `Fast` and `Exact` produce byte-identical score blocks.
+///
+/// # Panics
+/// Same shape panics as [`gemm_i8_nt`].
+pub fn gemm_i8_nt_with(
+    policy: KernelPolicy,
+    a: &[i8],
+    m: usize,
+    k: usize,
+    b: &[i8],
+    n: usize,
+    out: &mut [i32],
+) {
+    gemm_i8_nt_rows_with(policy, a, m, k, b, n, 0..n, out);
+}
+
 /// Row-range variant of [`gemm_i8_nt`]: score the query block against only
 /// the entity rows `rows = j_0..j_1` of `B`, writing a chunk-local
 /// row-major `m × rows.len()` block:
@@ -126,6 +164,26 @@ pub fn gemm_i8_nt(a: &[i8], m: usize, k: usize, b: &[i8], n: usize, out: &mut [i
 /// when `rows` is decreasing or exceeds `n`, or when `k` exceeds
 /// [`I8_DOT_MAX_K`].
 pub fn gemm_i8_nt_rows(
+    a: &[i8],
+    m: usize,
+    k: usize,
+    b: &[i8],
+    n: usize,
+    rows: std::ops::Range<usize>,
+    out: &mut [i32],
+) {
+    gemm_i8_nt_rows_with(KernelPolicy::Exact, a, m, k, b, n, rows, out);
+}
+
+/// [`gemm_i8_nt_rows`] under an explicit [`KernelPolicy`]. The policy is
+/// ignored: the integer tier is exact under every policy (see the module
+/// docs), so `Fast` and `Exact` produce byte-identical score blocks.
+///
+/// # Panics
+/// Same shape panics as [`gemm_i8_nt_rows`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i8_nt_rows_with(
+    _policy: KernelPolicy,
     a: &[i8],
     m: usize,
     k: usize,
@@ -189,6 +247,26 @@ pub fn gemm_i8_nt_rows_scalar(
 /// # Panics
 /// Panics when `dots` and `scales` differ in length.
 pub fn coarse_sift(dots: &[i32], scales: &[f32], sq: f64, thr: f64, base: u32, out: &mut Vec<u32>) {
+    coarse_sift_with(KernelPolicy::Exact, dots, scales, sq, thr, base, out);
+}
+
+/// [`coarse_sift`] under an explicit [`KernelPolicy`]. The policy is
+/// ignored: every backend evaluates the identical IEEE f64 expression
+/// lane for lane (see the exactness contract on [`coarse_sift`]), so
+/// there is no rounding-order freedom for `Fast` to relax.
+///
+/// # Panics
+/// Same shape panics as [`coarse_sift`].
+#[allow(clippy::too_many_arguments)]
+pub fn coarse_sift_with(
+    _policy: KernelPolicy,
+    dots: &[i32],
+    scales: &[f32],
+    sq: f64,
+    thr: f64,
+    base: u32,
+    out: &mut Vec<u32>,
+) {
     match simd::active_backend() {
         // SAFETY: the AVX2 backend is only ever selected after
         // `is_x86_feature_detected!("avx2")` confirmed CPU support.
@@ -353,6 +431,34 @@ mod tests {
                 assert!(!dispatched.contains(&12), "NaN scale at index 2 must never pass");
             }
         }
+    }
+
+    #[test]
+    fn fast_policy_is_ignored_by_the_integer_tier() {
+        // The coarse tier is exact by construction, so `Fast` must be a
+        // no-op: every policy produces byte-identical outputs.
+        let (m, n, k) = (4, 53, 39);
+        let mut a = vec![0i8; m * k];
+        let mut b = vec![0i8; n * k];
+        fill_codes(11, &mut a);
+        fill_codes(12, &mut b);
+        let mut exact = vec![0i32; m * n];
+        gemm_i8_nt_with(KernelPolicy::Exact, &a, m, k, &b, n, &mut exact);
+        let mut fast = vec![0i32; m * n];
+        gemm_i8_nt_with(KernelPolicy::Fast, &a, m, k, &b, n, &mut fast);
+        assert_eq!(exact, fast, "gemm_i8_nt_with must ignore the policy");
+        assert_eq!(
+            dot_i8_with(KernelPolicy::Fast, &a[..k], &b[..k]),
+            dot_i8_with(KernelPolicy::Exact, &a[..k], &b[..k]),
+            "dot_i8_with must ignore the policy"
+        );
+        let dots: Vec<i32> = exact[..n].to_vec();
+        let scales: Vec<f32> = (0..n).map(|j| 0.01 + (j % 7) as f32 * 0.05).collect();
+        let mut sel_exact = Vec::new();
+        coarse_sift_with(KernelPolicy::Exact, &dots, &scales, 0.04, 1.0, 3, &mut sel_exact);
+        let mut sel_fast = Vec::new();
+        coarse_sift_with(KernelPolicy::Fast, &dots, &scales, 0.04, 1.0, 3, &mut sel_fast);
+        assert_eq!(sel_exact, sel_fast, "coarse_sift_with must ignore the policy");
     }
 
     #[test]

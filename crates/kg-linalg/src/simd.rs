@@ -1,24 +1,56 @@
-//! Explicit-SIMD kernel backend with one-time runtime dispatch.
+//! Explicit-SIMD kernel backends behind an explicit [`KernelPolicy`].
 //!
 //! The hot kernels of the scoring engine — [`crate::gemm::gemm_nt`],
 //! [`crate::gemm::gemm_nt_rows`], [`crate::gemm::gemm_acc_t`],
 //! [`crate::vecops::count_cmp`] and the quantised coarse-tier kernels
 //! [`crate::qgemm::dot_i8`] / [`crate::qgemm::gemm_i8_nt_rows`] — ship in
-//! two implementations: the portable
-//! scalar reference (what every consumer ran before this module existed,
-//! kept public as `*_scalar`) and the explicit x86-64 AVX2 kernels in
-//! [`avx2`]. The public kernel entry points dispatch on
-//! [`active_backend`], which is resolved **once** per process:
+//! three implementations: the portable scalar reference (what every
+//! consumer ran before this module existed, kept public as `*_scalar`),
+//! the bit-identical explicit x86-64 AVX2 kernels in [`avx2`], and the
+//! **relaxed-precision** FMA kernels in [`avx2fma`].
+//!
+//! # The `KernelPolicy` seam
+//!
+//! Which implementation runs is a **value**, not a process global: every
+//! f32 kernel has a `*_with(policy, ...)` form taking a [`KernelPolicy`],
+//! and the plain entry points are [`KernelPolicy::Exact`] wrappers.
+//! Higher layers carry the policy explicitly — `BatchScratch` in
+//! kg-models, the evaluator configs in kg-eval, `KgEngineBuilder::policy`
+//! in kg-serve — so two engines in one process can run different tiers.
+//!
+//! * [`KernelPolicy::Exact`] (the default) keeps today's bit-identity
+//!   contract: scalar and AVX2 produce the same bytes (see below).
+//! * [`KernelPolicy::Fast`] opts into the [`avx2fma`] kernels — FMA
+//!   contraction plus multi-lane accumulator chains — which trade
+//!   bit-identity for throughput. `Fast` is **relaxed, not wrong**: it is
+//!   gated by a relaxed-equivalence suite (per-score error bounds vs the
+//!   exact path plus a measured rank-inversion rate; see
+//!   `tests/relaxed_fast.rs`). Where FMA hardware is missing, `Fast`
+//!   resolves to the exact kernels — it never changes *what* is computed,
+//!   only how tightly the intermediate roundings are pinned.
+//!
+//! A policy resolves to a concrete implementation via
+//! [`KernelPolicy::resolve`]:
 //!
 //! 1. if the [`FORCE_SCALAR_ENV`] environment variable (`KG_FORCE_SCALAR`)
-//!    is set to anything but `0` or the empty string, the scalar backend is
-//!    pinned — the A/B knob for benchmarking and for exercising the
-//!    fallback on CPUs that would dispatch to AVX2;
+//!    is set to anything but `0` or the empty string, the scalar backend
+//!    is pinned **for every policy** — the override is implemented through
+//!    the policy seam ([`active_backend`] latches scalar, so `Fast`
+//!    resolves to scalar too);
 //! 2. otherwise, if the CPU reports AVX2 at runtime
-//!    (`is_x86_feature_detected!("avx2")`), the AVX2 backend is selected;
-//! 3. on every other CPU and every non-x86-64 architecture, the scalar
-//!    backend runs — there is no compile-time feature to set and no
+//!    (`is_x86_feature_detected!("avx2")`), `Exact` resolves to the AVX2
+//!    backend, and `Fast` resolves to [`ResolvedKernel::Avx2Fma`] when the
+//!    CPU also reports FMA ([`fma_available`]) — falling back to the exact
+//!    AVX2 kernels when it does not;
+//! 3. on every other CPU and every non-x86-64 architecture, everything
+//!    resolves to scalar — there is no compile-time feature to set and no
 //!    call-site change for consumers.
+//!
+//! [`KernelPolicy::default_from_env`] reads the [`POLICY_ENV`] knob
+//! (`KG_KERNEL_POLICY=fast`) so whole-process defaults (CI's fast-tier
+//! job, benchmarks) can flip the tier at the *engine* layer without
+//! touching the exact-by-default kernel entry points; `KG_FORCE_SCALAR`
+//! beats it.
 //!
 //! # What the bit-identity contract demands of a backend
 //!
@@ -40,11 +72,13 @@
 //! "NaN exactly where the reference has NaN" (element-wise NaN masks
 //! coincide; ranking semantics never read NaN payloads), and since model
 //! embeddings are NaN-free, every real workload is fully bit-identical.
-//! A future backend that fuses
+//! A backend that fuses
 //! multiply-add (FMA contraction), reassociates a reduction, or tiles
-//! *within* a single output's accumulation chain would break the contract
-//! and must live behind a relaxed-equivalence gate instead — see the
-//! ROADMAP's "Alternative backends" item.
+//! *within* a single output's accumulation chain breaks the contract and
+//! lives behind [`KernelPolicy::Fast`] and its relaxed-equivalence gate
+//! instead — [`avx2fma`] is exactly such a backend, and the same doorway
+//! is what a future BLAS/AVX-512/GPU backend must walk through (see the
+//! ROADMAP's "Alternative backends" item).
 //!
 //! The i8 kernels in [`crate::qgemm`] have it easier: they accumulate in
 //! exact i32 integer arithmetic, which is associative, so *any* lane
@@ -62,8 +96,109 @@ use std::sync::OnceLock;
 
 /// Environment variable that pins the scalar backend when set (to anything
 /// but `0` or the empty string). Read once, at the first kernel dispatch of
-/// the process — flipping it later has no effect.
+/// the process — flipping it later has no effect. Beats [`POLICY_ENV`]:
+/// forced-scalar means `Exact` semantics on the scalar reference, whatever
+/// policy a caller asks for.
 pub const FORCE_SCALAR_ENV: &str = "KG_FORCE_SCALAR";
+
+/// Environment variable that flips the **default** kernel policy (the one
+/// [`KernelPolicy::default_from_env`] returns) to [`KernelPolicy::Fast`]
+/// when set to `fast` (case-insensitive). Any other value — or
+/// [`FORCE_SCALAR_ENV`] being set — keeps the default at
+/// [`KernelPolicy::Exact`]. Only *defaults* read this knob (engine
+/// scratches, builders, benches); the plain kernel entry points are hard
+/// `Exact` wrappers regardless, so bit-identity suites cannot be flipped
+/// from the outside.
+pub const POLICY_ENV: &str = "KG_KERNEL_POLICY";
+
+/// The precision tier a kernel call runs under — an explicit value threaded
+/// through every layer (see the module docs), not a process global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPolicy {
+    /// The bit-identity contract: every output element computed with the
+    /// identical FLOPs in the identical order as the scalar reference.
+    /// Scalar and AVX2 backends are byte-equal under this policy.
+    #[default]
+    Exact,
+    /// The relaxed-precision tier: FMA contraction and multi-chain
+    /// accumulator reassociation are allowed ([`avx2fma`]). Scores may
+    /// differ from `Exact` in the last ULPs; ranks may invert only where
+    /// the exact scores were within float noise of a tie (gated by the
+    /// relaxed-equivalence suite). Falls back to the `Exact` kernels when
+    /// FMA hardware is missing or `KG_FORCE_SCALAR` pins scalar. The
+    /// integer (i8) coarse-tier kernels are exact by construction and
+    /// ignore this policy entirely.
+    Fast,
+}
+
+impl KernelPolicy {
+    /// Stable lower-case name for logs and bench provenance records.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPolicy::Exact => "exact",
+            KernelPolicy::Fast => "fast",
+        }
+    }
+
+    /// The policy process-wide *defaults* start from: [`KernelPolicy::Fast`]
+    /// iff [`POLICY_ENV`] is set to `fast` (case-insensitive) and
+    /// [`FORCE_SCALAR_ENV`] does not pin scalar; [`KernelPolicy::Exact`]
+    /// otherwise. Read every call (policies are plain values — nothing to
+    /// latch); used by `BatchScratch::new`, the evaluator entry points and
+    /// `KgEngineBuilder` so `KG_KERNEL_POLICY=fast` flips whole-process
+    /// engine defaults without touching any explicit policy choice.
+    pub fn default_from_env() -> Self {
+        if force_scalar_requested() {
+            return KernelPolicy::Exact;
+        }
+        match std::env::var(POLICY_ENV) {
+            Ok(v) if v.eq_ignore_ascii_case("fast") => KernelPolicy::Fast,
+            _ => KernelPolicy::Exact,
+        }
+    }
+
+    /// The concrete kernel implementation this policy runs on this process
+    /// ([`active_backend`] latches the `KG_FORCE_SCALAR`/AVX2 decision;
+    /// `Fast` additionally requires runtime FMA support, else it degrades
+    /// to the exact implementation). This is the single dispatch decision
+    /// every f32 `*_with` kernel entry point consults.
+    pub fn resolve(self) -> ResolvedKernel {
+        match (active_backend(), self) {
+            (Backend::Scalar, _) => ResolvedKernel::Scalar,
+            (Backend::Avx2, KernelPolicy::Exact) => ResolvedKernel::Avx2,
+            (Backend::Avx2, KernelPolicy::Fast) => {
+                if fma_available() {
+                    ResolvedKernel::Avx2Fma
+                } else {
+                    ResolvedKernel::Avx2
+                }
+            }
+        }
+    }
+}
+
+/// The concrete implementation a ([`KernelPolicy`], process) pair resolves
+/// to — the provenance record benches and stats report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedKernel {
+    /// Portable scalar reference kernels (`*_scalar`). Exact.
+    Scalar,
+    /// Bit-identical AVX2 kernels ([`avx2`]). Exact.
+    Avx2,
+    /// Relaxed-precision FMA kernels ([`avx2fma`]). Fast tier only.
+    Avx2Fma,
+}
+
+impl ResolvedKernel {
+    /// Stable lower-case name for logs and bench provenance records.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResolvedKernel::Scalar => "scalar",
+            ResolvedKernel::Avx2 => "avx2",
+            ResolvedKernel::Avx2Fma => "avx2+fma",
+        }
+    }
+}
 
 /// Which kernel implementation the dispatcher selected for this process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +234,22 @@ pub fn avx2_available() -> bool {
     #[cfg(target_arch = "x86_64")]
     {
         std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether this CPU can run the FMA kernels of the [`avx2fma`] fast tier
+/// (runtime detection; `false` on every non-x86-64 architecture).
+/// Independent of the env knobs — [`KernelPolicy::resolve`] combines this
+/// with [`active_backend`], and tests/benches use it to decide whether the
+/// fast tier actually engaged.
+pub fn fma_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("fma")
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
@@ -534,6 +685,236 @@ pub mod avx2 {
     }
 }
 
+/// The relaxed-precision FMA kernels behind [`KernelPolicy::Fast`]: fused
+/// multiply-add plus **multiple accumulator chains per output**, folded at
+/// the end. Both moves break the bit-identity contract on purpose —
+/// contraction skips one rounding per multiply-add, and splitting one
+/// output's reduction across four chains reassociates the sum — and both
+/// are exactly what buys throughput: the exact kernel's single
+/// add-after-add chain is serialised on the FP-add latency (4–5 cycles),
+/// while four independent `fmadd` chains keep the FMA pipes full.
+///
+/// The error these kernels can introduce is classical: each output is a
+/// dot product evaluated with ≤ k fused roundings instead of 2k separate
+/// ones, under a different association — bounded by `O(k·ε)` relative to
+/// the *absolute* sum `Σ|aᵢ·bᵢ|` (not the possibly-cancelled result). The
+/// relaxed-equivalence suite (`tests/relaxed_fast.rs`) pins that bound and
+/// measures the rank-inversion rate it can cause.
+///
+/// All functions are `unsafe` for one reason only: the caller must
+/// guarantee the CPU supports AVX2 **and** FMA (`#[target_feature]`
+/// requirement) — [`KernelPolicy::resolve`] establishes this via
+/// [`fma_available`]; tests may call these directly under the same guard.
+/// Shape preconditions are asserted exactly as in the exact kernels.
+#[cfg(target_arch = "x86_64")]
+pub mod avx2fma {
+    use crate::gemm::{with_tile_scratch, NT_ROW_TILE, NT_UNROLL};
+    use crate::vecops;
+    use std::arch::x86_64::*;
+
+    const _: () = assert!(NT_UNROLL == 8, "FMA gemm_nt assumes 8-wide unroll groups");
+
+    /// How many independent accumulator chains each 8-output group runs
+    /// over the shared inner dimension. Four chains cover the FMA latency
+    /// (~4 cycles) with one fused op in flight per cycle per group.
+    const FAST_CHAINS: usize = 4;
+
+    /// Fast-tier [`crate::gemm::gemm_nt_rows_slice`]: same tile layout and
+    /// ragged tails as the exact kernels, but each 8-output group
+    /// accumulates over the inner dimension through [`FAST_CHAINS`]
+    /// independent `_mm256_fmadd_ps` chains (k strided by 4), folded
+    /// `(c0+c1)+(c2+c3)` at the end. Groups are walked in pairs sharing
+    /// one set of broadcast registers — the kernel is load-port-bound, so
+    /// halving the broadcasts (not more chains) is what buys throughput.
+    /// Output differs from the exact path only in rounding (see the
+    /// module docs).
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 and FMA (see [`super::fma_available`]).
+    ///
+    /// # Panics
+    /// Same shape panics as [`crate::gemm::gemm_nt_rows_slice`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gemm_nt_rows_slice(
+        a: &[f32],
+        m: usize,
+        k: usize,
+        bs: &[f32],
+        n: usize,
+        rows: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        crate::gemm::check_nt_rows_shapes(a, m, k, bs, n, &rows, out);
+        let width = rows.len();
+        let k_wide = k - k % FAST_CHAINS;
+        with_tile_scratch(k, |tile| {
+            let mut j0 = rows.start;
+            while j0 < rows.end {
+                let j1 = (j0 + NT_ROW_TILE).min(rows.end);
+                let groups = (j1 - j0) / NT_UNROLL;
+                crate::gemm::transpose_tile(bs, k, j0, j1, tile);
+                for i in 0..m {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let out_row = &mut out[i * width..(i + 1) * width];
+                    let col0 = j0 - rows.start;
+                    // Paired groups: 16 outputs per pass, one broadcast of
+                    // each `a` coefficient feeding both groups' chains.
+                    let mut g = 0;
+                    while g + 1 < groups {
+                        let base = g * NT_UNROLL;
+                        let mut a0 = _mm256_setzero_ps();
+                        let mut a1 = _mm256_setzero_ps();
+                        let mut a2 = _mm256_setzero_ps();
+                        let mut a3 = _mm256_setzero_ps();
+                        let mut b0 = _mm256_setzero_ps();
+                        let mut b1 = _mm256_setzero_ps();
+                        let mut b2 = _mm256_setzero_ps();
+                        let mut b3 = _mm256_setzero_ps();
+                        let mut c = 0;
+                        while c < k_wide {
+                            let t = tile.as_ptr().add(c * NT_ROW_TILE + base);
+                            let w0 = _mm256_set1_ps(*a_row.get_unchecked(c));
+                            let w1 = _mm256_set1_ps(*a_row.get_unchecked(c + 1));
+                            let w2 = _mm256_set1_ps(*a_row.get_unchecked(c + 2));
+                            let w3 = _mm256_set1_ps(*a_row.get_unchecked(c + 3));
+                            a0 = _mm256_fmadd_ps(w0, _mm256_loadu_ps(t), a0);
+                            b0 = _mm256_fmadd_ps(w0, _mm256_loadu_ps(t.add(8)), b0);
+                            a1 = _mm256_fmadd_ps(w1, _mm256_loadu_ps(t.add(NT_ROW_TILE)), a1);
+                            b1 = _mm256_fmadd_ps(w1, _mm256_loadu_ps(t.add(NT_ROW_TILE + 8)), b1);
+                            a2 = _mm256_fmadd_ps(w2, _mm256_loadu_ps(t.add(2 * NT_ROW_TILE)), a2);
+                            b2 = _mm256_fmadd_ps(
+                                w2,
+                                _mm256_loadu_ps(t.add(2 * NT_ROW_TILE + 8)),
+                                b2,
+                            );
+                            a3 = _mm256_fmadd_ps(w3, _mm256_loadu_ps(t.add(3 * NT_ROW_TILE)), a3);
+                            b3 = _mm256_fmadd_ps(
+                                w3,
+                                _mm256_loadu_ps(t.add(3 * NT_ROW_TILE + 8)),
+                                b3,
+                            );
+                            c += FAST_CHAINS;
+                        }
+                        // k % 4 tail folds into chain 0 of each group.
+                        while c < k {
+                            let t = tile.as_ptr().add(c * NT_ROW_TILE + base);
+                            let w = _mm256_set1_ps(*a_row.get_unchecked(c));
+                            a0 = _mm256_fmadd_ps(w, _mm256_loadu_ps(t), a0);
+                            b0 = _mm256_fmadd_ps(w, _mm256_loadu_ps(t.add(8)), b0);
+                            c += 1;
+                        }
+                        let acc_a = _mm256_add_ps(_mm256_add_ps(a0, a1), _mm256_add_ps(a2, a3));
+                        let acc_b = _mm256_add_ps(_mm256_add_ps(b0, b1), _mm256_add_ps(b2, b3));
+                        _mm256_storeu_ps(out_row.as_mut_ptr().add(col0 + base), acc_a);
+                        _mm256_storeu_ps(out_row.as_mut_ptr().add(col0 + base + 8), acc_b);
+                        g += 2;
+                    }
+                    // Odd group left over: the single-group chain layout.
+                    if g < groups {
+                        let base = g * NT_UNROLL;
+                        let mut acc0 = _mm256_setzero_ps();
+                        let mut acc1 = _mm256_setzero_ps();
+                        let mut acc2 = _mm256_setzero_ps();
+                        let mut acc3 = _mm256_setzero_ps();
+                        let mut c = 0;
+                        while c < k_wide {
+                            let t = tile.as_ptr().add(c * NT_ROW_TILE + base);
+                            acc0 = _mm256_fmadd_ps(
+                                _mm256_set1_ps(*a_row.get_unchecked(c)),
+                                _mm256_loadu_ps(t),
+                                acc0,
+                            );
+                            acc1 = _mm256_fmadd_ps(
+                                _mm256_set1_ps(*a_row.get_unchecked(c + 1)),
+                                _mm256_loadu_ps(t.add(NT_ROW_TILE)),
+                                acc1,
+                            );
+                            acc2 = _mm256_fmadd_ps(
+                                _mm256_set1_ps(*a_row.get_unchecked(c + 2)),
+                                _mm256_loadu_ps(t.add(2 * NT_ROW_TILE)),
+                                acc2,
+                            );
+                            acc3 = _mm256_fmadd_ps(
+                                _mm256_set1_ps(*a_row.get_unchecked(c + 3)),
+                                _mm256_loadu_ps(t.add(3 * NT_ROW_TILE)),
+                                acc3,
+                            );
+                            c += FAST_CHAINS;
+                        }
+                        while c < k {
+                            acc0 = _mm256_fmadd_ps(
+                                _mm256_set1_ps(*a_row.get_unchecked(c)),
+                                _mm256_loadu_ps(tile.as_ptr().add(c * NT_ROW_TILE + base)),
+                                acc0,
+                            );
+                            c += 1;
+                        }
+                        let acc =
+                            _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+                        _mm256_storeu_ps(out_row.as_mut_ptr().add(col0 + base), acc);
+                    }
+                    // Ragged tail of the tile: plain dots (exact path; the
+                    // relaxed contract never *requires* imprecision).
+                    for j in (j0 + groups * NT_UNROLL)..j1 {
+                        out_row[j - rows.start] = vecops::dot(a_row, &bs[j * k..(j + 1) * k]);
+                    }
+                }
+                j0 = j1;
+            }
+        });
+    }
+
+    /// Fast-tier [`crate::gemm::gemm_acc_t`]: the same row-major streaming
+    /// accumulation over table rows, with the per-element
+    /// multiply-then-add fused into one `_mm256_fmadd_ps` and the column
+    /// loop unrolled two registers wide. The accumulation *order* over
+    /// rows is unchanged — only the per-step rounding is contracted.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 and FMA (see [`super::fma_available`]).
+    ///
+    /// # Panics
+    /// Same shape panics as [`crate::gemm::gemm_acc_t`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gemm_acc_t(s: &[f32], m: usize, b: &crate::matrix::Mat, out: &mut [f32]) {
+        let n = b.rows();
+        let k = b.cols();
+        assert_eq!(s.len(), m * n, "gemm_acc_t: S shape mismatch");
+        assert_eq!(out.len(), m * k, "gemm_acc_t: out shape mismatch");
+        vecops::zero(out);
+        let wide16 = k - k % 16;
+        let wide8 = k - k % 8;
+        for r in 0..n {
+            let b_row = b.row(r);
+            for i in 0..m {
+                let coeff = s[i * n + r];
+                let coeff8 = _mm256_set1_ps(coeff);
+                let y = &mut out[i * k..(i + 1) * k];
+                let mut c = 0;
+                while c < wide16 {
+                    let y0 = _mm256_loadu_ps(y.as_ptr().add(c));
+                    let y1 = _mm256_loadu_ps(y.as_ptr().add(c + 8));
+                    let x0 = _mm256_loadu_ps(b_row.as_ptr().add(c));
+                    let x1 = _mm256_loadu_ps(b_row.as_ptr().add(c + 8));
+                    _mm256_storeu_ps(y.as_mut_ptr().add(c), _mm256_fmadd_ps(coeff8, x0, y0));
+                    _mm256_storeu_ps(y.as_mut_ptr().add(c + 8), _mm256_fmadd_ps(coeff8, x1, y1));
+                    c += 16;
+                }
+                while c < wide8 {
+                    let yv = _mm256_loadu_ps(y.as_ptr().add(c));
+                    let xv = _mm256_loadu_ps(b_row.as_ptr().add(c));
+                    _mm256_storeu_ps(y.as_mut_ptr().add(c), _mm256_fmadd_ps(coeff8, xv, yv));
+                    c += 8;
+                }
+                while c < k {
+                    y[c] = coeff.mul_add(b_row[c], y[c]);
+                    c += 1;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,6 +923,39 @@ mod tests {
     fn backend_name_is_stable() {
         assert_eq!(Backend::Scalar.name(), "scalar");
         assert_eq!(Backend::Avx2.name(), "avx2");
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(KernelPolicy::Exact.name(), "exact");
+        assert_eq!(KernelPolicy::Fast.name(), "fast");
+        assert_eq!(ResolvedKernel::Scalar.name(), "scalar");
+        assert_eq!(ResolvedKernel::Avx2.name(), "avx2");
+        assert_eq!(ResolvedKernel::Avx2Fma.name(), "avx2+fma");
+    }
+
+    #[test]
+    fn exact_is_the_default_policy() {
+        assert_eq!(KernelPolicy::default(), KernelPolicy::Exact);
+    }
+
+    #[test]
+    fn policy_resolution_is_consistent_with_detection() {
+        // Exact never resolves to the FMA kernels.
+        assert_ne!(KernelPolicy::Exact.resolve(), ResolvedKernel::Avx2Fma);
+        match active_backend() {
+            Backend::Scalar => {
+                // Forced scalar (or no AVX2): both policies pin scalar.
+                assert_eq!(KernelPolicy::Exact.resolve(), ResolvedKernel::Scalar);
+                assert_eq!(KernelPolicy::Fast.resolve(), ResolvedKernel::Scalar);
+            }
+            Backend::Avx2 => {
+                assert_eq!(KernelPolicy::Exact.resolve(), ResolvedKernel::Avx2);
+                let want =
+                    if fma_available() { ResolvedKernel::Avx2Fma } else { ResolvedKernel::Avx2 };
+                assert_eq!(KernelPolicy::Fast.resolve(), want);
+            }
+        }
     }
 
     #[test]

@@ -1,26 +1,21 @@
-//! The dispatch seam itself: force the scalar backend through the
-//! `KG_FORCE_SCALAR` env knob and prove (a) the dispatcher honours it and
-//! (b) the scalar fallback produces byte-identical output to the explicit
-//! AVX2 kernels — so a broken fallback cannot hide on AVX2 CI machines,
-//! where every other suite exercises only the dispatched (AVX2) path.
+//! The one environment-override test: `KG_FORCE_SCALAR` must pin the
+//! scalar backend for **every** [`KernelPolicy`] — Exact and Fast alike —
+//! so the escape hatch keeps working now that dispatch is policy-driven.
 //!
-//! Integration tests run in their own process, so setting the variable
-//! here — before any kernel has dispatched — is what latches the backend.
-//! Everything lives in one `#[test]` because the knob must be set before
-//! the first `active_backend()` call anywhere in the process, and the test
-//! harness runs sibling tests concurrently.
+//! Everything else about the dispatch seam (backend-pair byte identity,
+//! policy resolution, the relaxed fast tier) lives in `policy_dispatch.rs`
+//! and `relaxed_fast.rs`, which construct policies directly instead of
+//! mutating the environment. Integration tests run in their own process,
+//! so setting the variable here — before any kernel has dispatched — is
+//! what latches the backend; everything lives in one `#[test]` because the
+//! knob must be set before the first `active_backend()` call anywhere in
+//! the process.
 
 use kg_linalg::rng::SeededRng;
-use kg_linalg::{gemm, qgemm, simd, vecops, Mat};
-
-/// The shared cross-backend comparator: NaNs canonicalised, everything
-/// else raw — see [`simd::canonical_bits`] for the contract it encodes.
-fn bits(x: &[f32]) -> Vec<u32> {
-    simd::canonical_bits(x)
-}
+use kg_linalg::{gemm, simd, KernelPolicy, Mat};
 
 #[test]
-fn forced_scalar_dispatch_is_honoured_and_byte_equal_to_simd() {
+fn forced_scalar_pins_scalar_for_every_policy() {
     // Latch the knob before anything can dispatch. (Safe in edition 2021;
     // this is the only thread that has run yet in this test process.)
     std::env::set_var(simd::FORCE_SCALAR_ENV, "1");
@@ -30,104 +25,40 @@ fn forced_scalar_dispatch_is_honoured_and_byte_equal_to_simd() {
         simd::Backend::Scalar,
         "KG_FORCE_SCALAR must pin the scalar backend regardless of CPU features"
     );
-
-    let mut rng = SeededRng::new(2026);
-    // Shapes unaligned with the 32-row tile, the 8-wide unroll and the
-    // 8/4-wide compare lanes, plus awkward payloads.
-    for (m, n, k) in [(1, 3, 5), (4, 29, 8), (7, 77, 13), (3, 130, 64)] {
-        let mut a = Mat::zeros(m, k);
-        rng.fill_normal(1.0, a.as_mut_slice());
-        let mut b = Mat::zeros(n, k);
-        rng.fill_normal(1.0, b.as_mut_slice());
-        b.set(0, 0, f32::NAN);
-        b.set(n / 2, k / 2, -0.0);
-        b.set(n - 1, 0, f32::INFINITY);
-
-        // The dispatched kernels must BE the scalar backend now.
-        let mut dispatched = vec![0.0f32; m * n];
-        gemm::gemm_nt(a.as_slice(), m, k, &b, &mut dispatched);
-        let mut scalar = vec![0.0f32; m * n];
-        gemm::gemm_nt_scalar(a.as_slice(), m, k, &b, &mut scalar);
-        assert_eq!(bits(&dispatched), bits(&scalar), "gemm_nt ignored the forced-scalar knob");
-
-        let (j0, j1) = (1, n - 1);
-        let mut shard = vec![0.0f32; m * (j1 - j0)];
-        gemm::gemm_nt_rows(a.as_slice(), m, k, &b, j0..j1, &mut shard);
-        let mut shard_scalar = vec![0.0f32; m * (j1 - j0)];
-        gemm::gemm_nt_rows_scalar(a.as_slice(), m, k, &b, j0..j1, &mut shard_scalar);
-        assert_eq!(bits(&shard), bits(&shard_scalar), "gemm_nt_rows ignored the knob");
-
-        let mut s = Mat::zeros(m, n);
-        rng.fill_normal(1.0, s.as_mut_slice());
-        let mut acc = vec![0.0f32; m * k];
-        gemm::gemm_acc_t(s.as_slice(), m, &b, &mut acc);
-        let mut acc_scalar = vec![0.0f32; m * k];
-        gemm::gemm_acc_t_scalar(s.as_slice(), m, &b, &mut acc_scalar);
-        assert_eq!(bits(&acc), bits(&acc_scalar), "gemm_acc_t ignored the knob");
-
-        let row = &dispatched[..n];
-        for t in [0.0f32, -0.0, 1.0, f32::NAN] {
-            assert_eq!(
-                vecops::count_cmp(row, t),
-                vecops::count_cmp_scalar(row, t),
-                "count_cmp ignored the knob (threshold {t})"
-            );
-        }
-
-        // The i8 coarse-tier kernels sit behind the same seam: forced
-        // scalar must be what dispatch runs, and the values are exact
-        // integers so equality is plain `==`.
-        let codes = |seed: u64, len: usize| -> Vec<i8> {
-            let mut r = SeededRng::new(seed);
-            (0..len).map(|_| (r.below(255) as i32 - 127) as i8).collect()
-        };
-        let qa = codes(7 + m as u64, m * k);
-        let qb = codes(9 + n as u64, n * k);
-        let mut qdispatched = vec![0i32; m * n];
-        qgemm::gemm_i8_nt(&qa, m, k, &qb, n, &mut qdispatched);
-        let mut qscalar = vec![0i32; m * n];
-        qgemm::gemm_i8_nt_rows_scalar(&qa, m, k, &qb, n, 0..n, &mut qscalar);
-        assert_eq!(qdispatched, qscalar, "gemm_i8_nt ignored the forced-scalar knob");
+    assert_eq!(
+        KernelPolicy::default_from_env(),
+        KernelPolicy::Exact,
+        "KG_FORCE_SCALAR implies the exact tier"
+    );
+    for policy in [KernelPolicy::Exact, KernelPolicy::Fast] {
         assert_eq!(
-            qgemm::dot_i8(&qa[..k], &qb[..k]),
-            qgemm::dot_i8_scalar(&qa[..k], &qb[..k]),
-            "dot_i8 ignored the forced-scalar knob"
+            policy.resolve(),
+            simd::ResolvedKernel::Scalar,
+            "{} must resolve to scalar under KG_FORCE_SCALAR",
+            policy.name()
         );
+    }
 
-        // And the forced fallback must still be byte-equal to the explicit
-        // SIMD kernels where the CPU has them — the cross-backend check
-        // that makes a silently-broken scalar path impossible to miss on
-        // AVX2 machines.
-        #[cfg(target_arch = "x86_64")]
-        if simd::avx2_available() {
-            let mut explicit = vec![0.0f32; m * n];
-            // SAFETY: guarded by runtime AVX2 detection.
-            unsafe { simd::avx2::gemm_nt_rows(a.as_slice(), m, k, &b, 0..n, &mut explicit) };
-            assert_eq!(bits(&explicit), bits(&scalar), "scalar and AVX2 gemm_nt diverged");
+    // And dispatch actually runs the scalar path: byte-identical output
+    // under both policies on a tile-unaligned shape.
+    let mut rng = SeededRng::new(2026);
+    let (m, n, k) = (3usize, 29usize, 13usize);
+    let mut a = Mat::zeros(m, k);
+    rng.fill_normal(1.0, a.as_mut_slice());
+    let mut b = Mat::zeros(n, k);
+    rng.fill_normal(1.0, b.as_mut_slice());
+    b.set(0, 0, f32::NAN);
 
-            let mut explicit_acc = vec![0.0f32; m * k];
-            // SAFETY: guarded by runtime AVX2 detection.
-            unsafe { simd::avx2::gemm_acc_t(s.as_slice(), m, &b, &mut explicit_acc) };
-            assert_eq!(
-                bits(&explicit_acc),
-                bits(&acc_scalar),
-                "scalar and AVX2 gemm_acc_t diverged"
-            );
-
-            for t in [0.0f32, -0.0, 1.0, f32::NAN] {
-                // SAFETY: guarded by runtime AVX2 detection.
-                let counts = unsafe { simd::avx2::count_cmp(row, t) };
-                assert_eq!(
-                    counts,
-                    vecops::count_cmp_scalar(row, t),
-                    "scalar and AVX2 count_cmp diverged (threshold {t})"
-                );
-            }
-
-            let mut explicit_q = vec![0i32; m * n];
-            // SAFETY: guarded by runtime AVX2 detection.
-            unsafe { simd::avx2::gemm_i8_nt_rows(&qa, m, k, &qb, n, 0..n, &mut explicit_q) };
-            assert_eq!(explicit_q, qscalar, "scalar and AVX2 gemm_i8_nt diverged");
-        }
+    let mut reference = vec![0.0f32; m * n];
+    gemm::gemm_nt_scalar(a.as_slice(), m, k, &b, &mut reference);
+    for policy in [KernelPolicy::Exact, KernelPolicy::Fast] {
+        let mut out = vec![0.0f32; m * n];
+        gemm::gemm_nt_with(policy, a.as_slice(), m, k, &b, &mut out);
+        assert_eq!(
+            simd::canonical_bits(&out),
+            simd::canonical_bits(&reference),
+            "gemm_nt under {} ignored the forced-scalar knob",
+            policy.name()
+        );
     }
 }

@@ -486,7 +486,7 @@ mod matrix_props {
 /// ragged against the 32-code SIMD chunk.
 mod qgemm_props {
     use super::*;
-    use kg_linalg::{qgemm, simd};
+    use kg_linalg::{qgemm, simd, KernelPolicy};
 
     /// Full-range i8 codes, saturation values included.
     fn codes(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<i8>> {
@@ -571,6 +571,39 @@ mod qgemm_props {
                     prop_assert_eq!(scalar[i * width + (j - rows.start)], d);
                 }
             }
+        }
+
+        /// The policy seam is a no-op for the integer tier: `Fast` and
+        /// `Exact` owe byte-identical i8-GEMM blocks on every shape and
+        /// shard range (exact i32 accumulation leaves no rounding-order
+        /// freedom to relax), and both match the scalar reference.
+        #[test]
+        fn gemm_i8_byte_identical_across_policies(
+            a_buf in codes(345..346),
+            b_buf in codes(3381..3382),
+            m in 1usize..6,
+            n in 1usize..50,
+            k in 1usize..70,
+            lo in 0usize..1_000,
+            hi in 0usize..1_000,
+        ) {
+            let a = &a_buf[..m * k];
+            let b = &b_buf[..n * k];
+            let (lo, hi) = (lo % (n + 1), hi % (n + 1));
+            let rows = lo.min(hi)..lo.max(hi);
+            let width = rows.len();
+            let mut exact = vec![0i32; m * width];
+            qgemm::gemm_i8_nt_rows_with(
+                KernelPolicy::Exact, a, m, k, b, n, rows.clone(), &mut exact,
+            );
+            let mut fast = vec![0i32; m * width];
+            qgemm::gemm_i8_nt_rows_with(
+                KernelPolicy::Fast, a, m, k, b, n, rows.clone(), &mut fast,
+            );
+            prop_assert_eq!(&fast, &exact);
+            let mut scalar = vec![0i32; m * width];
+            qgemm::gemm_i8_nt_rows_scalar(a, m, k, b, n, rows.clone(), &mut scalar);
+            prop_assert_eq!(&exact, &scalar);
         }
     }
 }

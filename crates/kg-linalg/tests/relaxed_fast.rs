@@ -1,0 +1,186 @@
+//! The relaxed-equivalence gate for the `Fast` kernel tier.
+//!
+//! `KernelPolicy::Fast` deliberately breaks the bit-identity contract: its
+//! kernels contract multiply–add to FMA and split the accumulation across
+//! four independent chains. This suite pins down exactly *how far* the
+//! tier may drift from `Exact`, on the workload shape that matters
+//! (query-block × entity-table scoring):
+//!
+//! * **Per-score bound** — every fast score stays within a
+//!   condition-aware absolute bound of the f64 reference, and within a
+//!   per-score ULP bound of the exact f32 score wherever the dot product
+//!   is well conditioned (no catastrophic cancellation). Raw ULP distance
+//!   alone is meaningless under cancellation — the exact answer itself is
+//!   then far from the true value — so the ULP gate applies only where
+//!   `Σ|aᵢbᵢ| ≤ 4·|Σaᵢbᵢ|`.
+//! * **Rank-inversion rate** — ranking by fast scores may only flip pairs
+//!   whose exact score gap is inside the float-noise band, and such flips
+//!   must stay rare (< 0.5 % of all pairs on random embeddings).
+//! * **Shard accuracy** — the fast kernels hold the same noise-band
+//!   bound over *any* row range, not just full tables. (Bit-identity
+//!   across shard layouts is deliberately **not** promised under `Fast`:
+//!   a column near a tile's ragged tail is computed by the exact path in
+//!   one layout and by the FMA chains in another, so stitched answers may
+//!   differ from single-shard answers by rounding. Only `Exact` carries
+//!   the stitching-invariance guarantee.)
+//!
+//! Without FMA on the host, `Fast` degrades to the exact AVX2 kernels and
+//! this suite collapses to bit-identity checks — still worth running, so
+//! nothing here is feature-gated.
+
+use kg_linalg::rng::SeededRng;
+use kg_linalg::{gemm, KernelPolicy, Mat};
+
+const N_ENTITIES: usize = 256;
+const N_QUERIES: usize = 8;
+const DIM: usize = 64;
+
+/// Map a float onto the integers so that ULP distance is a subtraction
+/// (the usual monotone reinterpretation of the IEEE bit pattern).
+fn ordered(x: f32) -> i64 {
+    let i = x.to_bits() as i32;
+    (if i < 0 { i32::MIN.wrapping_sub(i) } else { i }) as i64
+}
+
+fn ulp_dist(a: f32, b: f32) -> u64 {
+    (ordered(a) - ordered(b)).unsigned_abs()
+}
+
+/// A query-block × entity-table scoring workload: `q` (queries × dim) and
+/// `e` (entities × dim), plus exact and fast score blocks.
+struct Workload {
+    q: Mat,
+    e: Mat,
+    exact: Vec<f32>,
+    fast: Vec<f32>,
+}
+
+fn workload(seed: u64) -> Workload {
+    let mut rng = SeededRng::new(seed);
+    let mut q = Mat::zeros(N_QUERIES, DIM);
+    rng.fill_normal(1.0, q.as_mut_slice());
+    let mut e = Mat::zeros(N_ENTITIES, DIM);
+    rng.fill_normal(1.0, e.as_mut_slice());
+    let mut exact = vec![0.0f32; N_QUERIES * N_ENTITIES];
+    gemm::gemm_nt_with(KernelPolicy::Exact, q.as_slice(), N_QUERIES, DIM, &e, &mut exact);
+    let mut fast = vec![0.0f32; N_QUERIES * N_ENTITIES];
+    gemm::gemm_nt_with(KernelPolicy::Fast, q.as_slice(), N_QUERIES, DIM, &e, &mut fast);
+    Workload { q, e, exact, fast }
+}
+
+/// f64 reference dot and accumulated term magnitude for score `(i, j)`.
+fn reference(w: &Workload, i: usize, j: usize) -> (f64, f64) {
+    let mut dot = 0.0f64;
+    let mut mag = 0.0f64;
+    for c in 0..DIM {
+        let term = w.q.row(i)[c] as f64 * w.e.row(j)[c] as f64;
+        dot += term;
+        mag += term.abs();
+    }
+    (dot, mag)
+}
+
+/// The absolute noise band for one score: how far an f32 evaluation in
+/// *any* order (exact or fast) may sit from the f64 answer.
+fn noise(mag: f64) -> f64 {
+    f32::EPSILON as f64 * (DIM as f64 + 8.0) * mag
+}
+
+#[test]
+fn fast_scores_hold_per_score_bounds() {
+    // Generous but meaningful: well-conditioned scores may drift at most
+    // this many ULPs from exact; wrong math drifts millions.
+    let ulp_bound = 8 * (DIM as u64 + 8);
+    let degraded = KernelPolicy::Fast.resolve() == KernelPolicy::Exact.resolve();
+    for seed in [11u64, 12, 13] {
+        let w = workload(seed);
+        for i in 0..N_QUERIES {
+            for j in 0..N_ENTITIES {
+                let (exact, fast) = (w.exact[i * N_ENTITIES + j], w.fast[i * N_ENTITIES + j]);
+                if degraded {
+                    assert_eq!(exact.to_bits(), fast.to_bits(), "no FMA: fast must equal exact");
+                    continue;
+                }
+                let (dot, mag) = reference(&w, i, j);
+                let err = (fast as f64 - dot).abs();
+                assert!(
+                    err <= noise(mag),
+                    "fast score [{i},{j}] err {err:e} exceeds noise band {:e}",
+                    noise(mag)
+                );
+                if mag <= 4.0 * dot.abs() {
+                    let ulps = ulp_dist(exact, fast);
+                    assert!(
+                        ulps <= ulp_bound,
+                        "well-conditioned score [{i},{j}] drifted {ulps} ULPs (bound {ulp_bound})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_rank_inversions_are_rare_and_noise_bounded() {
+    let mut pairs = 0u64;
+    let mut inversions = 0u64;
+    for seed in [21u64, 22, 23] {
+        let w = workload(seed);
+        for i in 0..N_QUERIES {
+            let exact_row = &w.exact[i * N_ENTITIES..(i + 1) * N_ENTITIES];
+            let fast_row = &w.fast[i * N_ENTITIES..(i + 1) * N_ENTITIES];
+            for a in 0..N_ENTITIES {
+                for b in (a + 1)..N_ENTITIES {
+                    pairs += 1;
+                    let exact_gap = exact_row[a] - exact_row[b];
+                    let fast_gap = fast_row[a] - fast_row[b];
+                    if (exact_gap > 0.0) == (fast_gap > 0.0) || exact_gap == 0.0 {
+                        continue;
+                    }
+                    inversions += 1;
+                    // An inversion is only legitimate where the exact gap
+                    // itself sits inside the combined noise band.
+                    let (_, mag_a) = reference(&w, i, a);
+                    let (_, mag_b) = reference(&w, i, b);
+                    let band = 2.0 * noise(mag_a.max(mag_b));
+                    assert!(
+                        (exact_gap as f64).abs() <= band,
+                        "rank inversion outside the noise band: query {i}, entities {a}/{b}, \
+                         exact gap {exact_gap:e}, band {band:e}"
+                    );
+                }
+            }
+        }
+    }
+    let rate = inversions as f64 / pairs as f64;
+    assert!(rate < 5e-3, "rank-inversion rate {rate:e} over {pairs} pairs is too high");
+}
+
+#[test]
+fn fast_shard_rows_stay_within_noise_of_reference() {
+    let w = workload(31);
+    for (j0, j1) in [(0usize, N_ENTITIES), (1, 9), (7, 200), (128, 256), (250, 251)] {
+        let width = j1 - j0;
+        let mut shard = vec![0.0f32; N_QUERIES * width];
+        gemm::gemm_nt_rows_with(
+            KernelPolicy::Fast,
+            w.q.as_slice(),
+            N_QUERIES,
+            DIM,
+            &w.e,
+            j0..j1,
+            &mut shard,
+        );
+        for i in 0..N_QUERIES {
+            for j in j0..j1 {
+                let (dot, mag) = reference(&w, i, j);
+                let err = (shard[i * width + (j - j0)] as f64 - dot).abs();
+                assert!(
+                    err <= noise(mag),
+                    "fast shard {j0}..{j1} score [{i},{j}] err {err:e} exceeds noise {:e}",
+                    noise(mag)
+                );
+            }
+        }
+    }
+}

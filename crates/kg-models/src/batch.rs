@@ -32,20 +32,52 @@
 //! enforce this for every shipped model.
 
 use crate::predictor::LinkPredictor;
+use kg_linalg::KernelPolicy;
 use std::ops::Range;
 
 /// Reusable buffers for batched scoring — create once per worker and feed to
 /// every block call so the steady-state loop performs no allocation.
-#[derive(Debug, Default)]
+///
+/// The scratch also carries the worker's [`KernelPolicy`]: the GEMM
+/// overrides read [`BatchScratch::policy`] and forward it to the
+/// `*_with` kernel entry points, so the policy rides the existing
+/// scratch parameter through the object-safe [`BatchScorer`] trait
+/// without changing any method signature.
+#[derive(Debug)]
 pub struct BatchScratch {
     queries: Vec<f32>,
     score_row: Vec<f32>,
+    policy: KernelPolicy,
+}
+
+impl Default for BatchScratch {
+    fn default() -> Self {
+        BatchScratch::new()
+    }
 }
 
 impl BatchScratch {
-    /// Fresh, empty scratch (buffers grow on first use).
+    /// Fresh, empty scratch (buffers grow on first use) under the
+    /// environment-resolved default policy
+    /// ([`KernelPolicy::default_from_env`]: `Exact` unless
+    /// `KG_KERNEL_POLICY=fast`, with `KG_FORCE_SCALAR` pinning `Exact`).
     pub fn new() -> Self {
-        BatchScratch::default()
+        BatchScratch::with_policy(KernelPolicy::default_from_env())
+    }
+
+    /// Fresh, empty scratch under an explicit [`KernelPolicy`].
+    pub fn with_policy(policy: KernelPolicy) -> Self {
+        BatchScratch { queries: Vec::new(), score_row: Vec::new(), policy }
+    }
+
+    /// The kernel policy block-scoring overrides must apply to their GEMMs.
+    pub fn policy(&self) -> KernelPolicy {
+        self.policy
+    }
+
+    /// Re-pin the policy on an existing scratch (buffers are kept).
+    pub fn set_policy(&mut self, policy: KernelPolicy) {
+        self.policy = policy;
     }
 
     /// A row-major `rows × dim` query block, reusing the allocation. The
@@ -259,17 +291,20 @@ pub fn checked_shard_width(
 
 #[cfg(test)]
 pub(crate) mod test_support {
-    use super::{BatchScorer, BatchScratch};
+    use super::{BatchScorer, BatchScratch, KernelPolicy};
 
     /// Check a model's batch path reproduces its per-query path bit for bit,
-    /// for both directions and a mildly ragged block shape.
+    /// for both directions and a mildly ragged block shape. The scratch is
+    /// pinned to [`KernelPolicy::Exact`] — bit-identity is the exact tier's
+    /// contract, so these assertions must hold even when the environment
+    /// (e.g. the fast-tier CI job) defaults the policy to `Fast`.
     pub fn assert_batch_matches_per_query(
         m: &dyn BatchScorer,
         tail_queries: &[(usize, usize)],
         head_queries: &[(usize, usize)],
     ) {
         let n = m.n_entities();
-        let mut scratch = BatchScratch::new();
+        let mut scratch = BatchScratch::with_policy(KernelPolicy::Exact);
         let mut block = vec![0.0f32; tail_queries.len() * n];
         m.score_tails_batch(tail_queries, &mut block, &mut scratch);
         let mut row = vec![0.0f32; n];
@@ -295,7 +330,7 @@ pub(crate) mod test_support {
         head_queries: &[(usize, usize)],
     ) {
         let n = m.n_entities();
-        let mut scratch = BatchScratch::new();
+        let mut scratch = BatchScratch::with_policy(KernelPolicy::Exact);
         let mut row = vec![0.0f32; n];
         let cut_a = 1.min(n);
         let cut_b = (n / 3).max(cut_a);

@@ -135,8 +135,9 @@ impl BatchScorer for BlmModel {
     ) {
         let (dim, n) = (self.emb.dim(), self.n_entities());
         assert_eq!(out.len(), queries.len() * n, "score_tails_batch: out length mismatch");
+        let policy = scratch.policy();
         let q = self.tail_query_block(queries, scratch);
-        kg_linalg::gemm::gemm_nt(q, queries.len(), dim, &self.emb.ent, out);
+        kg_linalg::gemm::gemm_nt_with(policy, q, queries.len(), dim, &self.emb.ent, out);
     }
 
     fn score_heads_batch(
@@ -147,8 +148,9 @@ impl BatchScorer for BlmModel {
     ) {
         let (dim, n) = (self.emb.dim(), self.n_entities());
         assert_eq!(out.len(), queries.len() * n, "score_heads_batch: out length mismatch");
+        let policy = scratch.policy();
         let p = self.head_query_block(queries, scratch);
-        kg_linalg::gemm::gemm_nt(p, queries.len(), dim, &self.emb.ent, out);
+        kg_linalg::gemm::gemm_nt_with(policy, p, queries.len(), dim, &self.emb.ent, out);
     }
 
     /// Same query block, row-restricted GEMM: the shard worker's slice of
@@ -168,8 +170,17 @@ impl BatchScorer for BlmModel {
             out.len(),
             "score_tails_shard",
         );
+        let policy = scratch.policy();
         let q = self.tail_query_block(queries, scratch);
-        kg_linalg::gemm::gemm_nt_rows(q, queries.len(), dim, &self.emb.ent, shard, out);
+        kg_linalg::gemm::gemm_nt_rows_with(
+            policy,
+            q,
+            queries.len(),
+            dim,
+            &self.emb.ent,
+            shard,
+            out,
+        );
     }
 
     fn score_heads_shard(
@@ -187,8 +198,17 @@ impl BatchScorer for BlmModel {
             out.len(),
             "score_heads_shard",
         );
+        let policy = scratch.policy();
         let p = self.head_query_block(queries, scratch);
-        kg_linalg::gemm::gemm_nt_rows(p, queries.len(), dim, &self.emb.ent, shard, out);
+        kg_linalg::gemm::gemm_nt_rows_with(
+            policy,
+            p,
+            queries.len(),
+            dim,
+            &self.emb.ent,
+            shard,
+            out,
+        );
     }
 }
 

@@ -361,8 +361,9 @@ impl BatchScorer for ImageBlmModel {
     ) {
         let (dim, n) = (self.dim, self.n_entities);
         assert_eq!(out.len(), queries.len() * n, "score_tails_batch: out length mismatch");
+        let policy = scratch.policy();
         let q = self.tail_query_block(queries, scratch);
-        gemm::gemm_nt_slice(q, queries.len(), dim, self.ent(), n, out);
+        gemm::gemm_nt_slice_with(policy, q, queries.len(), dim, self.ent(), n, out);
     }
 
     fn score_heads_batch(
@@ -373,8 +374,9 @@ impl BatchScorer for ImageBlmModel {
     ) {
         let (dim, n) = (self.dim, self.n_entities);
         assert_eq!(out.len(), queries.len() * n, "score_heads_batch: out length mismatch");
+        let policy = scratch.policy();
         let p = self.head_query_block(queries, scratch);
-        gemm::gemm_nt_slice(p, queries.len(), dim, self.ent(), n, out);
+        gemm::gemm_nt_slice_with(policy, p, queries.len(), dim, self.ent(), n, out);
     }
 
     fn score_tails_shard(
@@ -386,8 +388,9 @@ impl BatchScorer for ImageBlmModel {
     ) {
         let (dim, n) = (self.dim, self.n_entities);
         crate::batch::checked_shard_width(&shard, n, queries.len(), out.len(), "score_tails_shard");
+        let policy = scratch.policy();
         let q = self.tail_query_block(queries, scratch);
-        gemm::gemm_nt_rows_slice(q, queries.len(), dim, self.ent(), n, shard, out);
+        gemm::gemm_nt_rows_slice_with(policy, q, queries.len(), dim, self.ent(), n, shard, out);
     }
 
     fn score_heads_shard(
@@ -399,8 +402,9 @@ impl BatchScorer for ImageBlmModel {
     ) {
         let (dim, n) = (self.dim, self.n_entities);
         crate::batch::checked_shard_width(&shard, n, queries.len(), out.len(), "score_heads_shard");
+        let policy = scratch.policy();
         let p = self.head_query_block(queries, scratch);
-        gemm::gemm_nt_rows_slice(p, queries.len(), dim, self.ent(), n, shard, out);
+        gemm::gemm_nt_rows_slice_with(policy, p, queries.len(), dim, self.ent(), n, shard, out);
     }
 }
 

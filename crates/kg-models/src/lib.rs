@@ -39,4 +39,5 @@ pub use blm::{classics, BlmModel, Block, BlockSpec};
 pub use embeddings::Embeddings;
 pub use factor::FactorScorer;
 pub use image_model::{model_image_bytes, write_model_image, ImageBlmModel};
+pub use kg_linalg::KernelPolicy;
 pub use predictor::LinkPredictor;

@@ -227,8 +227,9 @@ impl BatchScorer for GenApprox {
     ) {
         let (d, n) = (self.cfg.dim, self.n_entities());
         assert_eq!(out.len(), queries.len() * n, "score_tails_batch: out length mismatch");
+        let policy = scratch.policy();
         let q = self.query_block(queries, true, scratch);
-        kg_linalg::gemm::gemm_nt(q, queries.len(), d, &self.emb.ent, out);
+        kg_linalg::gemm::gemm_nt_with(policy, q, queries.len(), d, &self.emb.ent, out);
     }
 
     fn score_heads_batch(
@@ -239,8 +240,9 @@ impl BatchScorer for GenApprox {
     ) {
         let (d, n) = (self.cfg.dim, self.n_entities());
         assert_eq!(out.len(), queries.len() * n, "score_heads_batch: out length mismatch");
+        let policy = scratch.policy();
         let q = self.query_block(queries, false, scratch);
-        kg_linalg::gemm::gemm_nt(q, queries.len(), d, &self.emb.ent, out);
+        kg_linalg::gemm::gemm_nt_with(policy, q, queries.len(), d, &self.emb.ent, out);
     }
 
     /// Same forward passes, row-restricted GEMM over the worker's shard.
@@ -259,8 +261,9 @@ impl BatchScorer for GenApprox {
             out.len(),
             "score_tails_shard",
         );
+        let policy = scratch.policy();
         let q = self.query_block(queries, true, scratch);
-        kg_linalg::gemm::gemm_nt_rows(q, queries.len(), d, &self.emb.ent, shard, out);
+        kg_linalg::gemm::gemm_nt_rows_with(policy, q, queries.len(), d, &self.emb.ent, shard, out);
     }
 
     fn score_heads_shard(
@@ -278,8 +281,9 @@ impl BatchScorer for GenApprox {
             out.len(),
             "score_heads_shard",
         );
+        let policy = scratch.policy();
         let q = self.query_block(queries, false, scratch);
-        kg_linalg::gemm::gemm_nt_rows(q, queries.len(), d, &self.emb.ent, shard, out);
+        kg_linalg::gemm::gemm_nt_rows_with(policy, q, queries.len(), d, &self.emb.ent, shard, out);
     }
 }
 

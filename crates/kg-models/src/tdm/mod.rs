@@ -21,10 +21,11 @@ use kg_core::Triple;
 use kg_linalg::SeededRng;
 use serde::{Deserialize, Serialize};
 
-// Distance scores don't factor as `⟨query, entity⟩`, so the TDM family
-// rides the default per-row batch loop: same scores, no GEMM shortcut.
-impl BatchScorer for TransE {}
-impl BatchScorer for TransH {}
+// Distance scores don't factor as `⟨query, entity⟩`, so no TDM gets a GEMM
+// shortcut. TransE and TransH still score shards natively (a
+// distance-restricted loop over shard rows, in their own modules); RotatE
+// rides the default full-table batch/shard loop, keeping the staged
+// query-split path exercised by a shipped model.
 impl BatchScorer for RotatE {}
 
 /// Shared training configuration for the TDM family.
@@ -86,9 +87,10 @@ mod tests {
         }
     }
 
-    /// The TDM family rides the default batch/shard loops — check those
-    /// defaults reproduce the per-query rows (and their shard columns) bit
-    /// for bit for each model.
+    /// The TDM family rides the default per-row batch loop (RotatE also
+    /// the default shard path; TransE/TransH their native shard overrides)
+    /// — check each model reproduces the per-query rows (and their shard
+    /// columns) bit for bit.
     #[test]
     fn default_batch_and_shard_paths_match_per_query() {
         use crate::batch::test_support::assert_batch_matches_per_query;

@@ -1,6 +1,7 @@
 //! TransE (Bordes et al. 2013): `f(h, r, t) = -‖h + r - t‖₁`.
 
 use super::{corrupt, normalise_rows, TdmConfig};
+use crate::batch::{checked_shard_width, BatchScorer, BatchScratch};
 use crate::predictor::LinkPredictor;
 use kg_core::Triple;
 use kg_linalg::{Mat, SeededRng};
@@ -109,6 +110,63 @@ impl LinkPredictor for TransE {
     fn score_heads(&self, r: usize, t: usize, out: &mut [f32]) {
         for (e, o) in out.iter_mut().enumerate() {
             *o = -self.distance(e, r, t);
+        }
+    }
+}
+
+/// The distance doesn't factor as `⟨query, entity⟩`, so batch scoring rides
+/// the default per-row loop — but shards *are* native: each score depends
+/// only on its own entity row, so restricting the distance loop to the
+/// shard's rows does work proportional to the shard width and is
+/// bit-identical to the full-table columns by construction.
+impl BatchScorer for TransE {
+    fn native_shard_scoring(&self) -> bool {
+        true
+    }
+
+    fn score_tails_shard(
+        &self,
+        queries: &[(usize, usize)],
+        shard: std::ops::Range<usize>,
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let _ = scratch;
+        let width = checked_shard_width(
+            &shard,
+            self.n_entities(),
+            queries.len(),
+            out.len(),
+            "score_tails_shard",
+        );
+        for (i, &(h, r)) in queries.iter().enumerate() {
+            let out_row = &mut out[i * width..(i + 1) * width];
+            for (o, e) in out_row.iter_mut().zip(shard.clone()) {
+                *o = -self.distance(h, r, e);
+            }
+        }
+    }
+
+    fn score_heads_shard(
+        &self,
+        queries: &[(usize, usize)],
+        shard: std::ops::Range<usize>,
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let _ = scratch;
+        let width = checked_shard_width(
+            &shard,
+            self.n_entities(),
+            queries.len(),
+            out.len(),
+            "score_heads_shard",
+        );
+        for (i, &(r, t)) in queries.iter().enumerate() {
+            let out_row = &mut out[i * width..(i + 1) * width];
+            for (o, e) in out_row.iter_mut().zip(shard.clone()) {
+                *o = -self.distance(e, r, t);
+            }
         }
     }
 }

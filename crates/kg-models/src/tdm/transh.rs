@@ -6,6 +6,7 @@
 //! 1-to-N / N-to-1 relations.
 
 use super::{corrupt, normalise_rows, TdmConfig};
+use crate::batch::{checked_shard_width, BatchScorer, BatchScratch};
 use crate::predictor::LinkPredictor;
 use kg_core::Triple;
 use kg_linalg::{Mat, SeededRng};
@@ -139,6 +140,63 @@ impl LinkPredictor for TransH {
     fn score_heads(&self, r: usize, t: usize, out: &mut [f32]) {
         for (e, o) in out.iter_mut().enumerate() {
             *o = -self.distance_sq(e, r, t);
+        }
+    }
+}
+
+/// Same shard story as TransE: the hyperplane distance doesn't factor, but
+/// each score depends only on its own entity row, so the shard override
+/// restricts the distance loop to the shard's rows — work proportional to
+/// the shard width, bit-identical to the full-table columns by
+/// construction.
+impl BatchScorer for TransH {
+    fn native_shard_scoring(&self) -> bool {
+        true
+    }
+
+    fn score_tails_shard(
+        &self,
+        queries: &[(usize, usize)],
+        shard: std::ops::Range<usize>,
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let _ = scratch;
+        let width = checked_shard_width(
+            &shard,
+            self.n_entities(),
+            queries.len(),
+            out.len(),
+            "score_tails_shard",
+        );
+        for (i, &(h, r)) in queries.iter().enumerate() {
+            let out_row = &mut out[i * width..(i + 1) * width];
+            for (o, e) in out_row.iter_mut().zip(shard.clone()) {
+                *o = -self.distance_sq(h, r, e);
+            }
+        }
+    }
+
+    fn score_heads_shard(
+        &self,
+        queries: &[(usize, usize)],
+        shard: std::ops::Range<usize>,
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let _ = scratch;
+        let width = checked_shard_width(
+            &shard,
+            self.n_entities(),
+            queries.len(),
+            out.len(),
+            "score_heads_shard",
+        );
+        for (i, &(r, t)) in queries.iter().enumerate() {
+            let out_row = &mut out[i * width..(i + 1) * width];
+            for (o, e) in out_row.iter_mut().zip(shard.clone()) {
+                *o = -self.distance_sq(e, r, t);
+            }
         }
     }
 }

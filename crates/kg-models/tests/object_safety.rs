@@ -7,7 +7,7 @@
 //! compiling, the serving API breaks.
 
 use kg_models::blm::classics;
-use kg_models::{BatchScorer, BatchScratch, BlmModel, Embeddings, LinkPredictor};
+use kg_models::{BatchScorer, BatchScratch, BlmModel, Embeddings, KernelPolicy, LinkPredictor};
 use std::sync::Arc;
 
 fn model() -> BlmModel {
@@ -16,8 +16,12 @@ fn model() -> BlmModel {
 }
 
 /// A generic consumer with the same bounds as the batched ranking engine.
+/// Pinned to `Exact`: this suite compares the batch path against the
+/// per-query reference and shard columns against full-table columns, both
+/// of which only the exact tier promises bitwise — a fast-tier CI
+/// environment must not flip the scratch's default from outside.
 fn generic_batch<M: BatchScorer + Sync>(m: &M) -> (bool, Vec<f32>) {
-    let mut scratch = BatchScratch::new();
+    let mut scratch = BatchScratch::with_policy(KernelPolicy::Exact);
     let mut out = vec![0.0f32; 2 * m.n_entities()];
     m.score_tails_batch(&[(0, 0), (3, 1)], &mut out, &mut scratch);
     (m.native_shard_scoring(), out)
@@ -49,8 +53,9 @@ fn arc_dyn_batch_scorer_forwards_overrides() {
     assert_eq!(concrete.n_relations(), Some(2));
     assert_eq!(shared.n_relations(), Some(2), "n_relations must forward through Arc<dyn>");
 
-    // And the trait object still hands out bit-identical shard columns.
-    let mut scratch = BatchScratch::new();
+    // And the trait object still hands out bit-identical shard columns
+    // (an Exact-tier guarantee, hence the pinned scratch).
+    let mut scratch = BatchScratch::with_policy(KernelPolicy::Exact);
     let mut shard_block = vec![0.0f32; 2 * 3];
     shared.score_tails_shard(&[(0, 0), (3, 1)], 2..5, &mut shard_block, &mut scratch);
     assert_eq!(&shard_block[..3], &reference[2..5]);

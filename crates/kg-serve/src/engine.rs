@@ -112,7 +112,7 @@ use crate::ticket::{RankTicket, Reply, ScoreTicket, TicketInner, TopKTicket};
 use kg_core::{Dataset, EntityId, FilterIndex, RelationId};
 use kg_eval::engine::{plan_shards, score_block_shard, split_plan, Direction, WorkerShard, BLOCK};
 use kg_eval::ranking::{filtered_rank, top_k_into};
-use kg_models::{BatchScorer, BatchScratch};
+use kg_models::{BatchScorer, BatchScratch, KernelPolicy};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -547,6 +547,11 @@ pub struct EngineStats {
     pub latency_tails: LatencyHistogram,
     /// Submit→settle latency of every settled head row query.
     pub latency_heads: LatencyHistogram,
+    /// The [`KernelPolicy`] every worker scores under — recorded so an
+    /// operator reading a metrics snapshot can tell whether answers came
+    /// from the bit-identical `Exact` tier or the relaxed-precision `Fast`
+    /// tier (see [`KgEngineBuilder::policy`]).
+    pub policy: KernelPolicy,
 }
 
 /// State shared by the engine handle, the dispatcher and submitters.
@@ -572,6 +577,9 @@ struct Shared {
     /// Round-robin block cutting across client lanes (`false` collapses
     /// every class to one strict-FIFO lane).
     fair: bool,
+    /// Kernel policy every worker's scratch is built with — fixed for the
+    /// engine's lifetime (see [`KgEngineBuilder::policy`]).
+    policy: KernelPolicy,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     stats: StatCells,
@@ -642,6 +650,7 @@ pub struct KgEngineBuilder {
     deadline: Option<Duration>,
     fair: bool,
     split_crew: bool,
+    policy: KernelPolicy,
 }
 
 impl KgEngineBuilder {
@@ -731,6 +740,30 @@ impl KgEngineBuilder {
     /// ```
     pub fn split_crew(mut self, enabled: bool) -> Self {
         self.split_crew = enabled;
+        self
+    }
+
+    /// Pick the [`KernelPolicy`] every worker scores under, fixed for the
+    /// engine's lifetime (default: resolved from the environment via
+    /// [`KernelPolicy::default_from_env`], i.e. `Exact` unless
+    /// `KG_KERNEL_POLICY=fast` is set). `Exact` keeps the engine's answers
+    /// bit-identical to the scalar reference; `Fast` lets GEMM-backed
+    /// models use the relaxed-precision FMA tier where the CPU supports
+    /// it, trading bit-identity for throughput. The chosen policy is
+    /// recorded in [`EngineStats::policy`] so snapshots say which tier
+    /// produced the answers.
+    ///
+    /// ```
+    /// # use kg_models::{blm::classics, BlmModel, Embeddings, KernelPolicy};
+    /// # let mut rng = kg_linalg::SeededRng::new(41);
+    /// # let model = BlmModel::new(classics::simple(), Embeddings::init(10, 2, 8, &mut rng));
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default())
+    ///     .policy(KernelPolicy::Exact)
+    ///     .build();
+    /// assert_eq!(engine.stats().policy, KernelPolicy::Exact);
+    /// ```
+    pub fn policy(mut self, policy: KernelPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -861,6 +894,7 @@ impl KgEngineBuilder {
             max_queued: self.max_queued,
             deadline: self.deadline,
             fair: self.fair,
+            policy: self.policy,
             queue: Mutex::new(QueueState::default()),
             queue_cv: Condvar::new(),
             stats: StatCells::default(),
@@ -882,10 +916,11 @@ impl KgEngineBuilder {
             let model = Arc::clone(&shared.model);
             let done = done_tx.clone();
             let n_entities = shared.n_entities;
+            let policy = shared.policy;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("kg-serve-worker-{idx}"))
-                    .spawn(move || worker_loop(model, n_entities, idx, job_rx, done))
+                    .spawn(move || worker_loop(model, n_entities, policy, idx, job_rx, done))
                     .expect("spawn kg-serve worker"),
             );
         }
@@ -915,18 +950,23 @@ impl KgEngineBuilder {
 ///
 /// ```
 /// use kg_core::{Dataset, Triple};
-/// use kg_models::{blm::classics, BlmModel, Embeddings, LinkPredictor};
+/// use kg_models::{blm::classics, BlmModel, Embeddings, KernelPolicy, LinkPredictor};
 ///
 /// let mut rng = kg_linalg::SeededRng::new(11);
 /// let model = BlmModel::new(classics::complex(), Embeddings::init(30, 2, 8, &mut rng));
 /// let graph = Dataset::with_vocab("toy", 30, 2, vec![Triple::new(0, 0, 1)], vec![], vec![]);
 ///
-/// // The engine answers exactly what the per-query reference would.
+/// // Under the exact kernel tier the engine answers exactly — bit for
+/// // bit — what the per-query reference would.
 /// let mut row = vec![0.0f32; 30];
 /// model.score_tails(4, 1, &mut row);
 /// let reference = kg_eval::top_k(&row, 5);
 ///
-/// let engine = kg_serve::KgEngine::builder(model, &graph).threads(2).block(16).build();
+/// let engine = kg_serve::KgEngine::builder(model, &graph)
+///     .threads(2)
+///     .block(16)
+///     .policy(KernelPolicy::Exact)
+///     .build();
 /// assert_eq!(engine.top_k_tails(4, 1, 5), reference);
 /// ```
 pub struct KgEngine {
@@ -993,6 +1033,7 @@ impl KgEngine {
             deadline: None,
             fair: true,
             split_crew: true,
+            policy: KernelPolicy::default_from_env(),
         }
     }
 
@@ -1035,7 +1076,7 @@ impl KgEngine {
     /// assert_eq!(stats.mean_block_fill, 1.0);
     /// ```
     pub fn stats(&self) -> EngineStats {
-        snapshot_stats(&self.shared.stats)
+        snapshot_stats(&self.shared.stats, self.shared.policy)
     }
 
     /// A detachable stats reader: the probe holds its own reference to the
@@ -1080,16 +1121,19 @@ impl KgEngine {
     /// ties count half, known positives other than `t` are excluded.
     /// Bit-identical to scoring the row with
     /// [`kg_models::LinkPredictor::score_tails`] and calling
-    /// [`kg_eval::ranking::filtered_rank`].
+    /// [`kg_eval::ranking::filtered_rank`] — an exact-tier guarantee
+    /// (see [`KgEngineBuilder::policy`]).
     ///
     /// ```
-    /// use kg_models::{blm::classics, BlmModel, Embeddings, LinkPredictor};
+    /// use kg_models::{blm::classics, BlmModel, Embeddings, KernelPolicy, LinkPredictor};
     /// let mut rng = kg_linalg::SeededRng::new(16);
     /// let model = BlmModel::new(classics::complex(), Embeddings::init(20, 2, 8, &mut rng));
     /// let mut row = vec![0.0f32; 20];
     /// model.score_tails(3, 0, &mut row);
     /// let reference = kg_eval::filtered_rank(&row, 8, &[]);
-    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default())
+    ///     .policy(KernelPolicy::Exact)
+    ///     .build();
     /// assert_eq!(engine.rank_tail(3, 0, 8), reference);
     /// ```
     pub fn rank_tail(&self, h: usize, r: usize, t: usize) -> f64 {
@@ -1100,13 +1144,15 @@ impl KgEngine {
     /// head-direction counterpart of [`KgEngine::rank_tail`].
     ///
     /// ```
-    /// use kg_models::{blm::classics, BlmModel, Embeddings, LinkPredictor};
+    /// use kg_models::{blm::classics, BlmModel, Embeddings, KernelPolicy, LinkPredictor};
     /// let mut rng = kg_linalg::SeededRng::new(17);
     /// let model = BlmModel::new(classics::simple(), Embeddings::init(20, 2, 8, &mut rng));
     /// let mut row = vec![0.0f32; 20];
     /// model.score_heads(0, 9, &mut row);
     /// let reference = kg_eval::filtered_rank(&row, 4, &[]);
-    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default())
+    ///     .policy(KernelPolicy::Exact)
+    ///     .build();
     /// assert_eq!(engine.rank_head(4, 0, 9), reference);
     /// ```
     pub fn rank_head(&self, h: usize, r: usize, t: usize) -> f64 {
@@ -1115,16 +1161,20 @@ impl KgEngine {
 
     /// The `k` best tail completions of `(h, r, ·)` as `(entity, score)`
     /// pairs, deterministically ordered (score descending, ties by entity
-    /// id ascending — [`kg_eval::ranking::top_k`] on the unfiltered row).
+    /// id ascending — [`kg_eval::ranking::top_k`] on the unfiltered row;
+    /// matching the per-query row bitwise is an exact-tier guarantee, see
+    /// [`KgEngineBuilder::policy`]).
     ///
     /// ```
-    /// use kg_models::{blm::classics, BlmModel, Embeddings, LinkPredictor};
+    /// use kg_models::{blm::classics, BlmModel, Embeddings, KernelPolicy, LinkPredictor};
     /// let mut rng = kg_linalg::SeededRng::new(18);
     /// let model = BlmModel::new(classics::analogy(), Embeddings::init(20, 2, 8, &mut rng));
     /// let mut row = vec![0.0f32; 20];
     /// model.score_tails(1, 1, &mut row);
     /// let reference = kg_eval::top_k(&row, 4);
-    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default())
+    ///     .policy(KernelPolicy::Exact)
+    ///     .build();
     /// assert_eq!(engine.top_k_tails(1, 1, 4), reference);
     /// ```
     pub fn top_k_tails(&self, h: usize, r: usize, k: usize) -> Vec<(usize, f32)> {
@@ -1135,13 +1185,15 @@ impl KgEngine {
     /// counterpart of [`KgEngine::top_k_tails`].
     ///
     /// ```
-    /// use kg_models::{blm::classics, BlmModel, Embeddings, LinkPredictor};
+    /// use kg_models::{blm::classics, BlmModel, Embeddings, KernelPolicy, LinkPredictor};
     /// let mut rng = kg_linalg::SeededRng::new(19);
     /// let model = BlmModel::new(classics::distmult(), Embeddings::init(20, 2, 8, &mut rng));
     /// let mut row = vec![0.0f32; 20];
     /// model.score_heads(1, 6, &mut row);
     /// let reference = kg_eval::top_k(&row, 2);
-    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default()).build();
+    /// let engine = kg_serve::KgEngine::with_filter(model, Default::default())
+    ///     .policy(KernelPolicy::Exact)
+    ///     .build();
     /// assert_eq!(engine.top_k_heads(1, 6, 2), reference);
     /// ```
     pub fn top_k_heads(&self, r: usize, t: usize, k: usize) -> Vec<(usize, f32)> {
@@ -1419,12 +1471,12 @@ impl StatsProbe {
     /// The same lock-free snapshot [`KgEngine::stats`] returns, valid
     /// before and after the engine is dropped.
     pub fn stats(&self) -> EngineStats {
-        snapshot_stats(&self.shared.stats)
+        snapshot_stats(&self.shared.stats, self.shared.policy)
     }
 }
 
 /// Materialise a lock-free [`EngineStats`] snapshot from the live cells.
-fn snapshot_stats(s: &StatCells) -> EngineStats {
+fn snapshot_stats(s: &StatCells, policy: KernelPolicy) -> EngineStats {
     let blocks_cut = s.blocks_cut.load(Relaxed);
     let block_fill = s.block_fill.load(Relaxed);
     EngineStats {
@@ -1445,6 +1497,7 @@ fn snapshot_stats(s: &StatCells) -> EngineStats {
         latency_score: s.hist_score.snapshot(),
         latency_tails: s.hist_tails.snapshot(),
         latency_heads: s.hist_heads.snapshot(),
+        policy,
     }
 }
 
@@ -1476,11 +1529,12 @@ impl Drop for KgEngine {
 fn worker_loop(
     model: SharedModel,
     n_entities: usize,
+    policy: KernelPolicy,
     idx: usize,
     jobs: Receiver<WorkerMsg>,
     done: Sender<WorkerDone>,
 ) {
-    let mut scratch = BatchScratch::new();
+    let mut scratch = BatchScratch::with_policy(policy);
     while let Ok(WorkerMsg::Job(job)) = jobs.recv() {
         let mut out = job.out;
         let scored = catch_unwind(AssertUnwindSafe(|| {

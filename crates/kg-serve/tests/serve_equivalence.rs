@@ -16,8 +16,8 @@ use kg_eval::ranking::{filtered_rank, top_k};
 use kg_linalg::SeededRng;
 use kg_models::blm::classics;
 use kg_models::nnm::{GenApprox, NnmConfig};
-use kg_models::tdm::{TdmConfig, TransE};
-use kg_models::{BatchScorer, BlmModel, Embeddings, LinkPredictor};
+use kg_models::tdm::{RotatE, TdmConfig};
+use kg_models::{BatchScorer, BlmModel, Embeddings, KernelPolicy, LinkPredictor};
 use kg_serve::{KgEngine, RankTicket, RequestClass, ScoreTicket, ServeError, TopKTicket};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -173,12 +173,16 @@ fn assert_serve_matches_reference_cfg<M>(
     let expected: Vec<Answer> = ops.iter().map(|&op| reference(&*model, &fi, op)).collect();
 
     for clients in [1usize, 3] {
+        // Pinned to Exact: this suite asserts bit-identity against the
+        // sequential reference, so a fast-tier CI environment must not
+        // flip the engine's kernels from outside.
         let engine = Arc::new(
             KgEngine::with_filter(Arc::clone(&model), fi.clone())
                 .threads(threads)
                 .block(block)
                 .linger(linger)
                 .split_crew(split_crew)
+                .policy(KernelPolicy::Exact)
                 .build(),
         );
         let chunk = ops.len().div_ceil(clients).max(1);
@@ -282,8 +286,11 @@ fn assert_admission_never_shows<M>(
     let fi = filter(0x5E21);
     let expected: Vec<Answer> = ops.iter().map(|&op| reference(&*model, &fi, op)).collect();
 
-    let mut builder =
-        KgEngine::with_filter(Arc::clone(&model), fi).threads(2).block(4).fair_dequeue(fair);
+    let mut builder = KgEngine::with_filter(Arc::clone(&model), fi)
+        .threads(2)
+        .block(4)
+        .fair_dequeue(fair)
+        .policy(KernelPolicy::Exact);
     for class in RequestClass::ALL {
         builder = builder.max_queued(class, cap);
     }
@@ -404,9 +411,10 @@ proptest! {
         assert_serve_matches_reference(Arc::new(model), "ComplEx", &decode(&raw), n_threads, block);
     }
 
-    /// TransE reports no native shard scoring, so the crew splits query
+    /// RotatE reports no native shard scoring, so the crew splits query
     /// rows — the other worker layout, same bit-identity, again up to an
-    /// oversubscribed 16 workers.
+    /// oversubscribed 16 workers. (TransE/TransH grew native shard
+    /// overrides, leaving RotatE the shipped model on this path.)
     #[test]
     fn tdm_query_split_crew_bit_identical(
         n_threads in 1usize..=16,
@@ -415,8 +423,8 @@ proptest! {
     ) {
         let mut rng = SeededRng::new(seed);
         let cfg = TdmConfig { dim: 12, ..Default::default() };
-        let model = TransE::init(N_ENTITIES, N_RELATIONS, cfg, &mut rng);
-        assert_serve_matches_reference(Arc::new(model), "TransE", &decode(&raw), n_threads, 64);
+        let model = RotatE::init(N_ENTITIES, N_RELATIONS, cfg, &mut rng);
+        assert_serve_matches_reference(Arc::new(model), "RotatE", &decode(&raw), n_threads, 64);
     }
 
     /// The Gen-Approx MLP: query-network forward + row-restricted GEMM.
@@ -483,7 +491,7 @@ proptest! {
         );
     }
 
-    /// Same knob sweep over a query-split crew (TransE reports no native
+    /// Same knob sweep over a query-split crew (RotatE reports no native
     /// shard scoring), so both sub-crew layouts are exercised.
     #[test]
     fn scheduler_knobs_never_show_query_split(
@@ -494,10 +502,10 @@ proptest! {
     ) {
         let mut rng = SeededRng::new(0x7D1 + linger_us);
         let cfg = TdmConfig { dim: 12, ..Default::default() };
-        let model = TransE::init(N_ENTITIES, N_RELATIONS, cfg, &mut rng);
+        let model = RotatE::init(N_ENTITIES, N_RELATIONS, cfg, &mut rng);
         assert_serve_matches_reference_cfg(
             Arc::new(model),
-            "TransE/scheduler",
+            "RotatE/scheduler",
             &decode_mixed(&raw),
             n_threads,
             8,
@@ -537,7 +545,11 @@ fn arc_dyn_model_serves_bit_identically() {
         Embeddings::init(N_ENTITIES, N_RELATIONS, 16, &mut rng),
     ));
     let fi = filter(0xA2C);
-    let engine = KgEngine::with_filter(Arc::clone(&shared), fi.clone()).threads(4).block(8).build();
+    let engine = KgEngine::with_filter(Arc::clone(&shared), fi.clone())
+        .threads(4)
+        .block(8)
+        .policy(KernelPolicy::Exact)
+        .build();
     for i in 0..10 {
         let (h, r, t) = (i * 3 % N_ENTITIES, i % N_RELATIONS, (i * 11 + 1) % N_ENTITIES);
         assert_eq!(

@@ -6,7 +6,7 @@
 
 use kg_core::{Dataset, Triple};
 use kg_linalg::SeededRng;
-use kg_models::{classics, write_model_image, BlmModel, Embeddings, ImageBlmModel};
+use kg_models::{classics, write_model_image, BlmModel, Embeddings, ImageBlmModel, KernelPolicy};
 use kg_serve::KgEngine;
 
 const N_ENTITIES: usize = 36;
@@ -37,8 +37,12 @@ fn image_backed_engine_answers_bit_identically() {
     write_model_image(&model, &path).expect("write image");
     let image_model = ImageBlmModel::open(&path).expect("map image");
 
-    let direct = KgEngine::builder(model, &ds).threads(2).block(16).build();
-    let mapped = KgEngine::builder(image_model, &ds).threads(3).block(8).build();
+    // Pinned to Exact: the in-memory and image-backed engines must agree
+    // bit for bit, which only the exact tier guarantees.
+    let direct =
+        KgEngine::builder(model, &ds).threads(2).block(16).policy(KernelPolicy::Exact).build();
+    let mapped =
+        KgEngine::builder(image_model, &ds).threads(3).block(8).policy(KernelPolicy::Exact).build();
 
     for t in ds.test.iter().chain(ds.valid.iter()) {
         let (h, r, tt) = (t.h.idx(), t.r.idx(), t.t.idx());

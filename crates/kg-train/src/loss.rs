@@ -16,7 +16,7 @@
 //! of once per query).
 
 use kg_core::Triple;
-use kg_linalg::Mat;
+use kg_linalg::{KernelPolicy, Mat};
 use kg_models::BlockSpec;
 
 /// Scratch buffers reused across triples (no allocation in the hot loop).
@@ -43,6 +43,8 @@ impl LossScratch {
 pub const MULTICLASS_BLOCK: usize = 32;
 
 /// Scratch buffers for the batched multi-class path, reused across blocks.
+/// Also carries the [`KernelPolicy`] the block's GEMMs run under, so
+/// training can A/B the relaxed tier without new function signatures.
 pub struct MulticlassScratch {
     /// Query rows, `2·block × dim` (tail row `2i`, head row `2i+1`).
     queries: Vec<f32>,
@@ -54,11 +56,20 @@ pub struct MulticlassScratch {
     d_cond: Vec<f32>,
     /// Per-query relation-row gradient (`dim`).
     d_relrow: Vec<f32>,
+    /// Kernel policy for the block's forward and backward GEMMs.
+    policy: KernelPolicy,
 }
 
 impl MulticlassScratch {
-    /// Allocate for `n_entities` candidates and dimension `dim`.
+    /// Allocate for `n_entities` candidates and dimension `dim` under the
+    /// environment-resolved default policy
+    /// ([`KernelPolicy::default_from_env`]).
     pub fn new(n_entities: usize, dim: usize) -> Self {
+        MulticlassScratch::with_policy(n_entities, dim, KernelPolicy::default_from_env())
+    }
+
+    /// Allocate under an explicit [`KernelPolicy`].
+    pub fn with_policy(n_entities: usize, dim: usize, policy: KernelPolicy) -> Self {
         let rows = 2 * MULTICLASS_BLOCK;
         MulticlassScratch {
             queries: vec![0.0; rows * dim],
@@ -66,7 +77,13 @@ impl MulticlassScratch {
             dq: vec![0.0; rows * dim],
             d_cond: vec![0.0; dim],
             d_relrow: vec![0.0; dim],
+            policy,
         }
+    }
+
+    /// The kernel policy this scratch's GEMMs run under.
+    pub fn policy(&self) -> KernelPolicy {
+        self.policy
     }
 }
 
@@ -115,7 +132,7 @@ pub fn multiclass_block(
 
     // 2. One GEMM scores every query row against the entity table.
     let scores = &mut scratch.scores[..rows * n];
-    kg_linalg::gemm::gemm_nt(queries, rows, dim, ent, scores);
+    kg_linalg::gemm::gemm_nt_with(scratch.policy, queries, rows, dim, ent, scores);
 
     // 3. Per row: softmax, cross-entropy, and the `p - onehot` shift.
     let mut ce = 0.0f32;
@@ -130,7 +147,7 @@ pub fn multiclass_block(
 
     // 4. Batched `dL/dq = entᵀ (p - onehot)` for every row at once.
     let dq = &mut scratch.dq[..rows * dim];
-    kg_linalg::gemm::gemm_acc_t(scores, rows, ent, dq);
+    kg_linalg::gemm::gemm_acc_t_with(scratch.policy, scores, rows, ent, dq);
 
     // 5. Per-triple accumulation, in the per-query path's write order.
     for (i, tr) in block.iter().enumerate() {
@@ -444,7 +461,9 @@ mod tests {
 
         let mut d_ent = Mat::zeros(8, 8);
         let mut d_rel = Mat::zeros(2, 8);
-        let mut mc = MulticlassScratch::new(8, 8);
+        // Pinned to Exact: bit-identity is the exact tier's contract and
+        // must hold even when the environment defaults the policy to Fast.
+        let mut mc = MulticlassScratch::with_policy(8, 8, KernelPolicy::Exact);
         let ce =
             multiclass_block(&spec, &triples, &emb.ent, &emb.rel, &mut d_ent, &mut d_rel, &mut mc);
 

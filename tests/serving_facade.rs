@@ -5,9 +5,9 @@
 
 use kg_core::FilterIndex;
 use kg_datagen::{preset, Preset, Scale};
-use kg_eval::ranking::{evaluate_parallel, filtered_rank, top_k, RankMetrics};
+use kg_eval::ranking::{evaluate_parallel_with, filtered_rank, top_k, RankMetrics};
 use kg_models::blm::classics;
-use kg_models::LinkPredictor;
+use kg_models::{KernelPolicy, LinkPredictor};
 use kg_serve::KgEngine;
 use kg_train::{train, TrainConfig};
 use std::sync::Arc;
@@ -29,7 +29,11 @@ fn trained() -> (kg_models::BlmModel, kg_core::Dataset) {
 fn served_ranks_reproduce_offline_evaluation_bit_for_bit() {
     let (model, ds) = trained();
     let filter = FilterIndex::from_dataset(&ds);
-    let offline = evaluate_parallel(&model, &ds.test, &filter, 4);
+    // Both sides pinned to Exact: this suite asserts bit-identity between
+    // the served and offline stacks, which only the exact tier promises
+    // across different shard layouts — a fast-tier CI environment must
+    // not flip either side from outside.
+    let offline = evaluate_parallel_with(KernelPolicy::Exact, &model, &ds.test, &filter, 4);
 
     let model = Arc::new(model);
     // Run the whole thing under both dispatcher regimes — strictly
@@ -42,6 +46,7 @@ fn served_ranks_reproduce_offline_evaluation_bit_for_bit() {
             .block(64)
             .linger(std::time::Duration::from_micros(linger_us))
             .split_crew(split)
+            .policy(KernelPolicy::Exact)
             .build();
 
         // Submit every test query up front (the batching queue groups them
@@ -82,7 +87,13 @@ fn served_answers_match_per_query_reference_on_a_trained_model() {
     let (model, ds) = trained();
     let filter = FilterIndex::from_dataset(&ds);
     let model = Arc::new(model);
-    let engine = KgEngine::builder(Arc::clone(&model), &ds).threads(3).block(16).build();
+    // Pinned to Exact: the per-query `LinkPredictor` reference below never
+    // touches the fast kernels, so only the exact tier can match it bitwise.
+    let engine = KgEngine::builder(Arc::clone(&model), &ds)
+        .threads(3)
+        .block(16)
+        .policy(KernelPolicy::Exact)
+        .build();
 
     let mut row = vec![0.0f32; model.n_entities()];
     for tr in ds.test.iter().take(20) {
