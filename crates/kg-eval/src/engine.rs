@@ -123,14 +123,26 @@ impl WorkerShard {
 pub fn plan_shards(model: &dyn BatchScorer, n_workers: usize) -> Vec<WorkerShard> {
     assert!(n_workers > 0, "need at least one worker");
     if model.native_shard_scoring() {
-        let n_shards = n_workers.min(model.n_entities()).max(1);
-        shard_bounds(model.n_entities(), n_shards)
-            .windows(2)
-            .map(|w| WorkerShard::Entities(w[0]..w[1]))
-            .collect()
+        entity_shard_grid(model.n_entities(), n_workers.min(model.n_entities()).max(1))
     } else {
         (0..n_workers).map(|worker| WorkerShard::Queries { worker, n_workers }).collect()
     }
+}
+
+/// A fixed entity-shard grid: `n_shards` contiguous [`WorkerShard::Entities`]
+/// ranges partitioning `0..n_entities` via [`shard_bounds`].
+///
+/// The shared planner behind both cooperative engines. Ranking
+/// ([`plan_shards`]) sizes the grid to the crew (one shard per worker);
+/// the training crew decouples the two — a *fixed* grid whose shards are
+/// dealt round-robin to however many workers exist, so per-shard gradient
+/// partials (and their fixed ascending-order merge) are identical for any
+/// thread count.
+pub fn entity_shard_grid(n_entities: usize, n_shards: usize) -> Vec<WorkerShard> {
+    shard_bounds(n_entities, n_shards)
+        .windows(2)
+        .map(|w| WorkerShard::Entities(w[0]..w[1]))
+        .collect()
 }
 
 /// Partition a crew of `n_workers` into two sub-crews and plan each one's

@@ -19,6 +19,7 @@ use kg_eval::ranking::{
 use kg_linalg::{KernelPolicy, SeededRng};
 use kg_models::blm::classics;
 use kg_models::nnm::{GenApprox, NnmConfig};
+use kg_models::rules::{RuleConfig, RuleModel};
 use kg_models::tdm::{RotatE, TdmConfig, TransE, TransH};
 use kg_models::{BatchScorer, BlmModel, Embeddings, LinkPredictor};
 use proptest::prelude::*;
@@ -126,10 +127,10 @@ proptest! {
         assert_sharded_equivalent(&model, "ComplEx", &bounds);
     }
 
-    /// The TDM family across its shard paths: TransE and TransH score
-    /// shards natively (distance loop restricted to shard rows), RotatE
-    /// rides the *default* shard path (full-row staging + column copy) —
-    /// same guarantee, different code paths.
+    /// The TDM family across its native shard paths: TransE and TransH
+    /// restrict their distance loops to shard rows, RotatE's paired-lane
+    /// `(re, im)` kernel hoists the rotation per query — same guarantee,
+    /// different kernels.
     #[test]
     fn tdm_family_random_shards(
         family in 0usize..3,
@@ -162,17 +163,16 @@ proptest! {
     /// (up to 16 workers, more than most CI runners have cores).
     #[test]
     fn tdm_query_split_mode_any_thread_count(n_threads in 1usize..=16, seed in 0u64..1_000) {
-        let mut rng = SeededRng::new(seed);
-        let cfg = TdmConfig { dim: 12, ..Default::default() };
-        // RotatE is the shipped model without native shard scoring, so it
-        // exercises the query-row-splitting crew layout.
-        let m = RotatE::init(N_ENTITIES, N_RELATIONS, cfg, &mut rng);
+        // With the whole TDM family sharding natively now, RuleModel is the
+        // shipped model without native shard scoring, so it exercises the
+        // query-row-splitting crew layout.
         let ts = triples(seed);
+        let m = RuleModel::learn(&ts, N_ENTITIES, N_RELATIONS, RuleConfig::default());
         let filter = FilterIndex::build(&ts);
         prop_assert_eq!(
             evaluate_parallel_with(KernelPolicy::Exact, &m, &ts, &filter, n_threads),
             evaluate_sequential(&m, &ts, &filter),
-            "RotatE query-split mode diverged at {} threads", n_threads
+            "RuleModel query-split mode diverged at {} threads", n_threads
         );
     }
 

@@ -421,6 +421,53 @@ pub mod avx2 {
         }
     }
 
+    /// AVX2 [`crate::gemm::gemm_acc_t_rows`]: the shard-range variant of
+    /// [`gemm_acc_t`] above — the same lane-per-column add-after-multiply
+    /// steps over table rows `r ∈ rows` in increasing order, with the
+    /// coefficient read from the shard-compact block
+    /// (`s[i·w + (r − r_0)]`). Per-shard bytes equal the scalar reference's.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 (see [`super::avx2_available`]).
+    ///
+    /// # Panics
+    /// Same shape panics as [`crate::gemm::gemm_acc_t_rows`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemm_acc_t_rows(
+        s: &[f32],
+        m: usize,
+        b: &Mat,
+        rows: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        let n = b.rows();
+        let k = b.cols();
+        crate::gemm::check_acc_t_rows_shapes(s, m, n, k, &rows, out);
+        let width = rows.len();
+        vecops::zero(out);
+        let wide = k - k % 8;
+        for (j, r) in rows.enumerate() {
+            let b_row = b.row(r);
+            for i in 0..m {
+                let coeff = s[i * width + j];
+                let coeff8 = _mm256_set1_ps(coeff);
+                let y = &mut out[i * k..(i + 1) * k];
+                let mut c = 0;
+                while c < wide {
+                    let yv = _mm256_loadu_ps(y.as_ptr().add(c));
+                    let xv = _mm256_loadu_ps(b_row.as_ptr().add(c));
+                    let sum = _mm256_add_ps(yv, _mm256_mul_ps(coeff8, xv));
+                    _mm256_storeu_ps(y.as_mut_ptr().add(c), sum);
+                    c += 8;
+                }
+                while c < k {
+                    y[c] += coeff * b_row[c];
+                    c += 1;
+                }
+            }
+        }
+    }
+
     /// Exact integer i8 dot product without shape checks: the shared body
     /// of [`dot_i8`] and the [`gemm_i8_nt_rows`] inner loop. 32 codes per
     /// step — each 256-bit load is split into two 128-bit halves,
@@ -721,7 +768,7 @@ pub mod avx2fma {
 
     /// Fast-tier [`crate::gemm::gemm_nt_rows_slice`]: same tile layout and
     /// ragged tails as the exact kernels, but each 8-output group
-    /// accumulates over the inner dimension through [`FAST_CHAINS`]
+    /// accumulates over the inner dimension through `FAST_CHAINS` (4)
     /// independent `_mm256_fmadd_ps` chains (k strided by 4), folded
     /// `(c0+c1)+(c2+c3)` at the end. Groups are walked in pairs sharing
     /// one set of broadcast registers — the kernel is load-port-bound, so
@@ -888,6 +935,61 @@ pub mod avx2fma {
             let b_row = b.row(r);
             for i in 0..m {
                 let coeff = s[i * n + r];
+                let coeff8 = _mm256_set1_ps(coeff);
+                let y = &mut out[i * k..(i + 1) * k];
+                let mut c = 0;
+                while c < wide16 {
+                    let y0 = _mm256_loadu_ps(y.as_ptr().add(c));
+                    let y1 = _mm256_loadu_ps(y.as_ptr().add(c + 8));
+                    let x0 = _mm256_loadu_ps(b_row.as_ptr().add(c));
+                    let x1 = _mm256_loadu_ps(b_row.as_ptr().add(c + 8));
+                    _mm256_storeu_ps(y.as_mut_ptr().add(c), _mm256_fmadd_ps(coeff8, x0, y0));
+                    _mm256_storeu_ps(y.as_mut_ptr().add(c + 8), _mm256_fmadd_ps(coeff8, x1, y1));
+                    c += 16;
+                }
+                while c < wide8 {
+                    let yv = _mm256_loadu_ps(y.as_ptr().add(c));
+                    let xv = _mm256_loadu_ps(b_row.as_ptr().add(c));
+                    _mm256_storeu_ps(y.as_mut_ptr().add(c), _mm256_fmadd_ps(coeff8, xv, yv));
+                    c += 8;
+                }
+                while c < k {
+                    y[c] = coeff.mul_add(b_row[c], y[c]);
+                    c += 1;
+                }
+            }
+        }
+    }
+
+    /// Fast-tier [`crate::gemm::gemm_acc_t_rows`]: the shard-range variant
+    /// of [`gemm_acc_t`] above — the same FMA-contracted streaming
+    /// accumulation, restricted to table rows `r ∈ rows` with the
+    /// coefficient read from the shard-compact block.
+    ///
+    /// # Safety
+    /// The CPU must support AVX2 and FMA (see [`super::fma_available`]).
+    ///
+    /// # Panics
+    /// Same shape panics as [`crate::gemm::gemm_acc_t_rows`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gemm_acc_t_rows(
+        s: &[f32],
+        m: usize,
+        b: &crate::matrix::Mat,
+        rows: std::ops::Range<usize>,
+        out: &mut [f32],
+    ) {
+        let n = b.rows();
+        let k = b.cols();
+        crate::gemm::check_acc_t_rows_shapes(s, m, n, k, &rows, out);
+        let width = rows.len();
+        vecops::zero(out);
+        let wide16 = k - k % 16;
+        let wide8 = k - k % 8;
+        for (j, r) in rows.enumerate() {
+            let b_row = b.row(r);
+            for i in 0..m {
+                let coeff = s[i * width + j];
                 let coeff8 = _mm256_set1_ps(coeff);
                 let y = &mut out[i * k..(i + 1) * k];
                 let mut c = 0;

@@ -16,17 +16,16 @@ pub use rotate::RotatE;
 pub use transe::TransE;
 pub use transh::TransH;
 
-use crate::batch::BatchScorer;
 use kg_core::Triple;
 use kg_linalg::SeededRng;
 use serde::{Deserialize, Serialize};
 
 // Distance scores don't factor as `⟨query, entity⟩`, so no TDM gets a GEMM
-// shortcut. TransE and TransH still score shards natively (a
-// distance-restricted loop over shard rows, in their own modules); RotatE
-// rides the default full-table batch/shard loop, keeping the staged
-// query-split path exercised by a shipped model.
-impl BatchScorer for RotatE {}
+// shortcut — but every TDM scores shards natively: each score depends only
+// on its own entity row, so a distance-restricted loop over shard rows does
+// work proportional to the shard width. TransE/TransH implement theirs in
+// their own modules; RotatE's paired-lane `(re, im)` shard kernel lives in
+// `rotate.rs`.
 
 /// Shared training configuration for the TDM family.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -87,10 +86,10 @@ mod tests {
         }
     }
 
-    /// The TDM family rides the default per-row batch loop (RotatE also
-    /// the default shard path; TransE/TransH their native shard overrides)
-    /// — check each model reproduces the per-query rows (and their shard
-    /// columns) bit for bit.
+    /// The TDM family rides the default per-row batch loop with native
+    /// shard overrides (TransE/TransH distance-restricted loops, RotatE's
+    /// paired-lane kernel) — check each model reproduces the per-query
+    /// rows (and their shard columns) bit for bit.
     #[test]
     fn default_batch_and_shard_paths_match_per_query() {
         use crate::batch::test_support::assert_batch_matches_per_query;

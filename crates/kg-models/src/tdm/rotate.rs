@@ -7,6 +7,7 @@
 //! in Tab. IV.
 
 use super::{corrupt, TdmConfig};
+use crate::batch::{checked_shard_width, BatchScorer, BatchScratch};
 use crate::predictor::LinkPredictor;
 use kg_core::Triple;
 use kg_linalg::{Mat, SeededRng};
@@ -144,6 +145,104 @@ impl LinkPredictor for RotatE {
     }
 }
 
+/// The rotation doesn't factor as `⟨query, entity⟩`, so batch scoring rides
+/// the default per-row loop — but shards *are* native, via paired `(re, im)`
+/// lanes. Tail queries rotate the head **once** per query (`h ∘ r` is
+/// entity-independent) and then stream only the shard's tail rows through
+/// the residual-subtract-and-norm loop; head queries hoist the per-phase
+/// `cos`/`sin` pair and rotate each shard entity in paired lanes. Both
+/// restrict work to the shard width while performing, per entity, exactly
+/// the floating-point operations of the private `RotatE::distance` in the
+/// same order
+/// (`cos`/`sin` are deterministic, so hoisting them re-uses the identical
+/// values), so shard columns are bit-identical to the full-table rows.
+impl BatchScorer for RotatE {
+    fn native_shard_scoring(&self) -> bool {
+        true
+    }
+
+    fn score_tails_shard(
+        &self,
+        queries: &[(usize, usize)],
+        shard: std::ops::Range<usize>,
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let _ = scratch;
+        let width = checked_shard_width(
+            &shard,
+            self.n_entities(),
+            queries.len(),
+            out.len(),
+            "score_tails_shard",
+        );
+        let half = self.cfg.dim / 2;
+        let mut rot = vec![0.0f32; self.cfg.dim];
+        let mut res = vec![0.0f32; self.cfg.dim];
+        for (i, &(h, r)) in queries.iter().enumerate() {
+            // Rotate the head once per query: rot = h ∘ r.
+            let hv = self.ent.row(h);
+            let ph = self.phase.row(r);
+            for j in 0..half {
+                let (c, s) = (ph[j].cos(), ph[j].sin());
+                let (hre, him) = (hv[j], hv[half + j]);
+                rot[j] = hre * c - him * s;
+                rot[half + j] = hre * s + him * c;
+            }
+            let out_row = &mut out[i * width..(i + 1) * width];
+            for (o, e) in out_row.iter_mut().zip(shard.clone()) {
+                let tv = self.ent.row(e);
+                // `(hre·c − him·s) − tv[j]`: the same op order as
+                // `residual`, with the rotation reused across the shard.
+                for j in 0..self.cfg.dim {
+                    res[j] = rot[j] - tv[j];
+                }
+                *o = -kg_linalg::vecops::norm2(&res);
+            }
+        }
+    }
+
+    fn score_heads_shard(
+        &self,
+        queries: &[(usize, usize)],
+        shard: std::ops::Range<usize>,
+        out: &mut [f32],
+        scratch: &mut BatchScratch,
+    ) {
+        let _ = scratch;
+        let width = checked_shard_width(
+            &shard,
+            self.n_entities(),
+            queries.len(),
+            out.len(),
+            "score_heads_shard",
+        );
+        let half = self.cfg.dim / 2;
+        let mut cos = vec![0.0f32; half];
+        let mut sin = vec![0.0f32; half];
+        let mut res = vec![0.0f32; self.cfg.dim];
+        for (i, &(r, t)) in queries.iter().enumerate() {
+            // The head varies per entity, so hoist only the phase pair.
+            let ph = self.phase.row(r);
+            for j in 0..half {
+                cos[j] = ph[j].cos();
+                sin[j] = ph[j].sin();
+            }
+            let tv = self.ent.row(t);
+            let out_row = &mut out[i * width..(i + 1) * width];
+            for (o, e) in out_row.iter_mut().zip(shard.clone()) {
+                let ev = self.ent.row(e);
+                for j in 0..half {
+                    let (hre, him) = (ev[j], ev[half + j]);
+                    res[j] = hre * cos[j] - him * sin[j] - tv[j];
+                    res[half + j] = hre * sin[j] + him * cos[j] - tv[half + j];
+                }
+                *o = -kg_linalg::vecops::norm2(&res);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +288,23 @@ mod tests {
         let m = RotatE::init(9, 2, TdmConfig { dim: 8, ..TdmConfig::default() }, &mut rng);
         assert_consistent_scoring(&m, 2, 0, 5);
         assert_consistent_scoring(&m, 8, 1, 1);
+    }
+
+    /// The paired-lane shard kernel must be bit-identical to the per-query
+    /// reference: hoisting the rotation (tails) and the `cos`/`sin` pair
+    /// (heads) reuses identical values, never reorders an operation.
+    #[test]
+    fn native_shard_kernel_matches_per_query_bit_for_bit() {
+        use crate::batch::test_support::{
+            assert_batch_matches_per_query, assert_shards_match_per_query,
+        };
+        let mut rng = SeededRng::new(59);
+        let m = RotatE::init(13, 2, TdmConfig { dim: 8, ..TdmConfig::default() }, &mut rng);
+        assert!(m.native_shard_scoring(), "RotatE shard scoring should be native");
+        let tails = [(0, 0), (5, 1), (12, 0)];
+        let heads = [(1, 3), (0, 12), (1, 0)];
+        assert_batch_matches_per_query(&m, &tails, &heads);
+        assert_shards_match_per_query(&m, &tails, &heads);
     }
 
     #[test]

@@ -9,18 +9,35 @@
 //! * [`config`] — [`config::TrainConfig`], the hyper-parameters of Sec. V-A2.
 //! * [`loss`] — loss functions over [`kg_models::BlockSpec`] scores.
 //! * [`trainer`] — the mini-batch trainer, with an epoch callback for
-//!   learning-curve capture (Fig. 4).
+//!   learning-curve capture (Fig. 4), and the [`Trainer`] builder that
+//!   selects the engine.
+//! * [`crew`] — the cooperative sharded training engine: a persistent
+//!   worker crew splits each multi-class block step by entity shard
+//!   (forward scores, rank-1 entity gradients) and by gradient owner
+//!   (query-side partials merged by the lead in fixed ascending shard
+//!   order), deterministic for any thread count at a fixed shard grid.
 //! * [`parallel`] — scoped-thread fan-out training of many candidate structures
 //!   (the paper trains "8 models in parallel", Sec. V-A3).
 //! * [`tpe`] — a Tree-structured Parzen Estimator: the stand-in for
 //!   HyperOpt (hyper-parameter tuning, Sec. V-A2) and the "Bayes" search
 //!   baseline of Fig. 6.
+//!
+//! # Determinism
+//!
+//! Results never depend on scheduling. The sequential loop is bit-exact
+//! given a seed; the crew is bit-exact given a seed *and a shard grid* —
+//! its forward scores, softmax probabilities and cross-entropies equal the
+//! sequential path's bit for bit, while merged query-side gradients
+//! reassociate f32 sums at fixed shard cuts only. See [`crew`] for the
+//! full contract.
 
 pub mod config;
+pub mod crew;
 pub mod loss;
 pub mod parallel;
 pub mod tpe;
 pub mod trainer;
 
 pub use config::{LossKind, TrainConfig};
-pub use trainer::{train, train_with_callback, ControlFlow, EpochCallback, EpochInfo};
+pub use crew::DEFAULT_TRAIN_SHARDS;
+pub use trainer::{train, train_with_callback, ControlFlow, EpochCallback, EpochInfo, Trainer};

@@ -14,7 +14,7 @@ use crate::loss::{
     multiclass_block, neg_sampling_triple, LossScratch, MulticlassScratch, MULTICLASS_BLOCK,
 };
 use kg_core::{Dataset, Triple};
-use kg_linalg::{Adagrad, Mat, Optimizer, SeededRng};
+use kg_linalg::{Adagrad, KernelPolicy, Mat, Optimizer, SeededRng};
 use kg_models::{BlmModel, BlockSpec, Embeddings};
 
 /// Information handed to the per-epoch callback.
@@ -65,6 +65,24 @@ pub fn train_with_callback<F>(
     spec: &BlockSpec,
     ds: &Dataset,
     cfg: &TrainConfig,
+    on_epoch: F,
+) -> BlmModel
+where
+    F: EpochCallback,
+{
+    train_sequential(spec, ds, cfg, None, on_epoch)
+}
+
+/// The single-threaded training loop. With `policy: None` the multiclass
+/// scratch resolves its kernel tier exactly as every release before the
+/// [`Trainer`] existed ([`crate::loss::MulticlassScratch::new`]), keeping
+/// the free functions byte-for-byte on their historical trajectory; an
+/// explicit policy pins the tier for the whole run.
+pub(crate) fn train_sequential<F>(
+    spec: &BlockSpec,
+    ds: &Dataset,
+    cfg: &TrainConfig,
+    policy: Option<KernelPolicy>,
     mut on_epoch: F,
 ) -> BlmModel
 where
@@ -85,7 +103,13 @@ where
     // Allocate only the scratch the configured loss uses — the multiclass
     // score block alone is `64 × n_entities` floats.
     let (mut scratch, mut mc_scratch) = match cfg.loss {
-        LossKind::MultiClass => (None, Some(MulticlassScratch::new(n_ent, dim))),
+        LossKind::MultiClass => {
+            let mc = match policy {
+                None => MulticlassScratch::new(n_ent, dim),
+                Some(p) => MulticlassScratch::with_policy(n_ent, dim, p),
+            };
+            (None, Some(mc))
+        }
         LossKind::NegSampling { .. } => (Some(LossScratch::new(n_ent, dim)), None),
     };
     let mut triple_block: Vec<Triple> = Vec::with_capacity(MULTICLASS_BLOCK);
@@ -184,9 +208,123 @@ where
 }
 
 /// Accumulate the N3 gradient `3·w·sign(v)·v²` of one embedding row.
-fn n3_grad(weight: f32, row: &[f32], grad: &mut [f32]) {
+pub(crate) fn n3_grad(weight: f32, row: &[f32], grad: &mut [f32]) {
     for (g, &v) in grad.iter_mut().zip(row.iter()) {
         *g += 3.0 * weight * v.signum() * v * v;
+    }
+}
+
+/// Builder-style front door over the training engines.
+///
+/// The free [`train`] / [`train_with_callback`] functions keep their exact
+/// historical behaviour; the `Trainer` adds the engine knobs on top:
+///
+/// * [`Trainer::threads`] routes multi-class training through the
+///   cooperative sharded crew ([`crate::crew`]) — `threads(1)` runs the
+///   same crew code path with an empty crew, so parallel results can be
+///   pinned bit-for-bit against a single thread. Negative-sampling
+///   configurations have no batched block step to shard and fall back to
+///   the sequential loop (the thread knob is ignored for them).
+/// * [`Trainer::policy`] pins the [`KernelPolicy`] for the whole run.
+///   Unset, the policy resolves from the environment exactly like every
+///   other entry point ([`KernelPolicy::default_from_env`], i.e. `Exact`
+///   unless `KG_KERNEL_POLICY=fast`).
+/// * [`Trainer::shards`] sets the fixed entity-shard grid of the crew.
+///   The grid — not the thread count — determines where the gradient's
+///   f32 sums reassociate, so results are a function of the grid and
+///   identical for any `threads(n)`.
+///
+/// ```no_run
+/// # use kg_train::{Trainer, TrainConfig};
+/// # let (spec, ds): (kg_models::BlockSpec, kg_core::Dataset) = unimplemented!();
+/// let model = Trainer::new(TrainConfig::default())
+///     .threads(4)
+///     .train(&spec, &ds);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    cfg: TrainConfig,
+    policy: Option<KernelPolicy>,
+    threads: Option<usize>,
+    shards: usize,
+    panic_inject: Option<(usize, usize)>,
+}
+
+impl Trainer {
+    /// A trainer with the given config and default engine knobs: no
+    /// explicit thread count (sequential loop), environment-resolved
+    /// kernel policy, [`crate::crew::DEFAULT_TRAIN_SHARDS`] shards.
+    pub fn new(cfg: TrainConfig) -> Self {
+        Trainer {
+            cfg,
+            policy: None,
+            threads: None,
+            shards: crate::crew::DEFAULT_TRAIN_SHARDS,
+            panic_inject: None,
+        }
+    }
+
+    /// Pin the kernel policy for the whole run.
+    pub fn policy(mut self, policy: KernelPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Train multi-class batches with a cooperative crew of `n` threads
+    /// (the calling thread works as the crew's lead, so `n = 1` spawns
+    /// nothing).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "Trainer::threads requires at least one thread");
+        self.threads = Some(n);
+        self
+    }
+
+    /// Set the crew's fixed entity-shard grid size (capped at the entity
+    /// count). Part of the deterministic layout: changing it changes
+    /// where gradient sums reassociate.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "Trainer::shards requires at least one shard");
+        self.shards = n;
+        self
+    }
+
+    /// Test hook: make crew participant `worker` panic at the start of
+    /// step `step`'s row phase. Exercises the step-tagged poison protocol.
+    #[doc(hidden)]
+    pub fn inject_panic_at(mut self, step: usize, worker: usize) -> Self {
+        self.panic_inject = Some((step, worker));
+        self
+    }
+
+    /// Train without a callback.
+    pub fn train(&self, spec: &BlockSpec, ds: &Dataset) -> BlmModel {
+        self.train_with_callback(spec, ds, |_m: &BlmModel, _i: EpochInfo| ControlFlow::Continue)
+    }
+
+    /// Train with a per-epoch callback; see [`train_with_callback`].
+    pub fn train_with_callback<F>(&self, spec: &BlockSpec, ds: &Dataset, on_epoch: F) -> BlmModel
+    where
+        F: EpochCallback,
+    {
+        match (self.threads, self.cfg.loss) {
+            (Some(threads), LossKind::MultiClass) => crate::crew::train_crew(
+                spec,
+                ds,
+                &self.cfg,
+                self.policy.unwrap_or_else(KernelPolicy::default_from_env),
+                threads,
+                self.shards,
+                self.panic_inject,
+                on_epoch,
+            ),
+            _ => train_sequential(spec, ds, &self.cfg, self.policy, on_epoch),
+        }
     }
 }
 
